@@ -1,0 +1,213 @@
+//! A built-in 5×7 bitmap font.
+//!
+//! The corpus generator draws URLs *into* images (the paper's attackers
+//! embed malicious text in images to evade text filters, §III-A), and the
+//! OCR module recognizes glyphs back by template matching. Lowercase input
+//! renders as its uppercase form — OCR output is therefore case-folded,
+//! which is fine for URL recovery (hosts are case-insensitive; we only need
+//! a matching closed loop).
+
+use crate::bitmap::{Bitmap, Rgb};
+
+/// Glyph width in pixels (excluding the 1-px advance gap).
+pub const GLYPH_W: usize = 5;
+/// Glyph height in pixels.
+pub const GLYPH_H: usize = 7;
+/// Horizontal advance between glyph origins.
+pub const ADVANCE: usize = GLYPH_W + 1;
+
+/// The characters this font can draw (lowercase letters fold to uppercase).
+pub const CHARSET: &str = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789:/.-_?=&@#%+~ ";
+
+type Glyph = [&'static str; GLYPH_H];
+
+fn glyph(c: char) -> Option<&'static Glyph> {
+    let c = c.to_ascii_uppercase();
+    GLYPHS.iter().find(|(gc, _)| *gc == c).map(|(_, g)| g)
+}
+
+/// `true` if `c` has a glyph (after case folding).
+pub fn has_glyph(c: char) -> bool {
+    glyph(c).is_some()
+}
+
+#[rustfmt::skip]
+static GLYPHS: &[(char, Glyph)] = &[
+    ('A', [".###.", "#...#", "#...#", "#####", "#...#", "#...#", "#...#"]),
+    ('B', ["####.", "#...#", "#...#", "####.", "#...#", "#...#", "####."]),
+    ('C', [".###.", "#...#", "#....", "#....", "#....", "#...#", ".###."]),
+    ('D', ["####.", "#...#", "#...#", "#...#", "#...#", "#...#", "####."]),
+    ('E', ["#####", "#....", "#....", "####.", "#....", "#....", "#####"]),
+    ('F', ["#####", "#....", "#....", "####.", "#....", "#....", "#...."]),
+    ('G', [".###.", "#...#", "#....", "#.###", "#...#", "#...#", ".###."]),
+    ('H', ["#...#", "#...#", "#...#", "#####", "#...#", "#...#", "#...#"]),
+    ('I', ["#####", "..#..", "..#..", "..#..", "..#..", "..#..", "#####"]),
+    ('J', ["..###", "...#.", "...#.", "...#.", "...#.", "#..#.", ".##.."]),
+    ('K', ["#...#", "#..#.", "#.#..", "##...", "#.#..", "#..#.", "#...#"]),
+    ('L', ["#....", "#....", "#....", "#....", "#....", "#....", "#####"]),
+    ('M', ["#...#", "##.##", "#.#.#", "#.#.#", "#...#", "#...#", "#...#"]),
+    ('N', ["#...#", "##..#", "#.#.#", "#..##", "#...#", "#...#", "#...#"]),
+    ('O', [".###.", "#...#", "#...#", "#...#", "#...#", "#...#", ".###."]),
+    ('P', ["####.", "#...#", "#...#", "####.", "#....", "#....", "#...."]),
+    ('Q', [".###.", "#...#", "#...#", "#...#", "#.#.#", "#..#.", ".##.#"]),
+    ('R', ["####.", "#...#", "#...#", "####.", "#.#..", "#..#.", "#...#"]),
+    ('S', [".####", "#....", "#....", ".###.", "....#", "....#", "####."]),
+    ('T', ["#####", "..#..", "..#..", "..#..", "..#..", "..#..", "..#.."]),
+    ('U', ["#...#", "#...#", "#...#", "#...#", "#...#", "#...#", ".###."]),
+    ('V', ["#...#", "#...#", "#...#", "#...#", "#...#", ".#.#.", "..#.."]),
+    ('W', ["#...#", "#...#", "#...#", "#.#.#", "#.#.#", "##.##", "#...#"]),
+    ('X', ["#...#", "#...#", ".#.#.", "..#..", ".#.#.", "#...#", "#...#"]),
+    ('Y', ["#...#", "#...#", ".#.#.", "..#..", "..#..", "..#..", "..#.."]),
+    ('Z', ["#####", "....#", "...#.", "..#..", ".#...", "#....", "#####"]),
+    ('0', [".###.", "#...#", "#..##", "#.#.#", "##..#", "#...#", ".###."]),
+    ('1', ["..#..", ".##..", "..#..", "..#..", "..#..", "..#..", ".###."]),
+    ('2', [".###.", "#...#", "....#", "...#.", "..#..", ".#...", "#####"]),
+    ('3', [".###.", "#...#", "....#", "..##.", "....#", "#...#", ".###."]),
+    ('4', ["...#.", "..##.", ".#.#.", "#..#.", "#####", "...#.", "...#."]),
+    ('5', ["#####", "#....", "####.", "....#", "....#", "#...#", ".###."]),
+    ('6', [".###.", "#....", "#....", "####.", "#...#", "#...#", ".###."]),
+    ('7', ["#####", "....#", "...#.", "..#..", ".#...", ".#...", ".#..."]),
+    ('8', [".###.", "#...#", "#...#", ".###.", "#...#", "#...#", ".###."]),
+    ('9', [".###.", "#...#", "#...#", ".####", "....#", "....#", ".###."]),
+    (':', [".....", "..#..", "..#..", ".....", "..#..", "..#..", "....."]),
+    ('/', ["....#", "....#", "...#.", "..#..", ".#...", "#....", "#...."]),
+    ('.', [".....", ".....", ".....", ".....", ".....", ".##..", ".##.."]),
+    ('-', [".....", ".....", ".....", "#####", ".....", ".....", "....."]),
+    ('_', [".....", ".....", ".....", ".....", ".....", ".....", "#####"]),
+    ('?', [".###.", "#...#", "....#", "...#.", "..#..", ".....", "..#.."]),
+    ('=', [".....", ".....", "#####", ".....", "#####", ".....", "....."]),
+    ('&', [".##..", "#..#.", "#.#..", ".#...", "#.#.#", "#..#.", ".##.#"]),
+    ('@', [".###.", "#...#", "#.###", "#.#.#", "#.##.", "#....", ".###."]),
+    ('#', [".#.#.", "#####", ".#.#.", ".#.#.", ".#.#.", "#####", ".#.#."]),
+    ('%', ["##..#", "##..#", "...#.", "..#..", ".#...", "#..##", "#..##"]),
+    ('+', [".....", "..#..", "..#..", "#####", "..#..", "..#..", "....."]),
+    ('~', [".....", ".....", ".#...", "#.#.#", "...#.", ".....", "....."]),
+    (' ', [".....", ".....", ".....", ".....", ".....", ".....", "....."]),
+];
+
+/// Draw one glyph; returns `true` if the character had a glyph.
+pub fn draw_glyph(img: &mut Bitmap, x: usize, y: usize, c: char, scale: usize, color: Rgb) -> bool {
+    let Some(g) = glyph(c) else {
+        return false;
+    };
+    for (gy, row) in g.iter().enumerate() {
+        for (gx, cell) in row.bytes().enumerate() {
+            if cell == b'#' {
+                img.fill_rect(x + gx * scale, y + gy * scale, scale, scale, color);
+            }
+        }
+    }
+    true
+}
+
+/// Draw a text run; characters without glyphs advance but draw nothing.
+/// Returns the x coordinate after the final glyph cell.
+pub fn draw_text(
+    img: &mut Bitmap,
+    x: usize,
+    y: usize,
+    text: &str,
+    scale: usize,
+    color: Rgb,
+) -> usize {
+    let mut cx = x;
+    for c in text.chars() {
+        draw_glyph(img, cx, y, c, scale, color);
+        cx += ADVANCE * scale;
+    }
+    cx
+}
+
+/// The pixel pattern of a glyph as a boolean grid (for OCR templates).
+pub fn glyph_pattern(c: char) -> Option<[[bool; GLYPH_W]; GLYPH_H]> {
+    glyph(c).map(|g| {
+        let mut out = [[false; GLYPH_W]; GLYPH_H];
+        for (y, row) in g.iter().enumerate() {
+            for (x, cell) in row.bytes().enumerate() {
+                out[y][x] = cell == b'#';
+            }
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_charset_character_has_a_glyph() {
+        for c in CHARSET.chars() {
+            assert!(has_glyph(c), "{c:?}");
+        }
+        assert!(has_glyph('a'), "lowercase folds");
+        assert!(!has_glyph('€'));
+    }
+
+    #[test]
+    fn glyph_rows_are_well_formed() {
+        for (c, g) in GLYPHS {
+            for row in g {
+                assert_eq!(row.len(), GLYPH_W, "glyph {c:?}");
+                assert!(row.bytes().all(|b| b == b'#' || b == b'.'), "glyph {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn glyphs_are_distinct() {
+        for (i, (c1, g1)) in GLYPHS.iter().enumerate() {
+            for (c2, g2) in &GLYPHS[i + 1..] {
+                assert_ne!(g1, g2, "glyphs {c1:?} and {c2:?} are identical");
+            }
+        }
+    }
+
+    #[test]
+    fn draw_text_marks_pixels() {
+        let mut img = Bitmap::new(100, 12, Rgb::WHITE);
+        let end = draw_text(&mut img, 1, 1, "HI", 1, Rgb::BLACK);
+        assert_eq!(end, 1 + 2 * ADVANCE);
+        // 'H' left column
+        assert_eq!(img.get(1, 1), Rgb::BLACK);
+        assert_eq!(img.get(1, 7), Rgb::BLACK);
+        // gap column between glyphs is untouched
+        assert_eq!(img.get(6, 3), Rgb::WHITE);
+    }
+
+    #[test]
+    fn scale_multiplies_glyph_size() {
+        let mut img = Bitmap::new(40, 30, Rgb::WHITE);
+        draw_glyph(&mut img, 0, 0, 'L', 3, Rgb::BLACK);
+        // 'L' column 0 is dark for all 7 rows -> 21 scaled pixels tall
+        for y in 0..21 {
+            assert_eq!(img.get(1, y), Rgb::BLACK, "y={y}");
+        }
+        assert_eq!(img.get(4, 0), Rgb::WHITE);
+    }
+
+    #[test]
+    fn unknown_characters_draw_nothing_but_advance() {
+        let mut img = Bitmap::new(40, 10, Rgb::WHITE);
+        let end = draw_text(&mut img, 0, 0, "\u{3042}A", 1, Rgb::BLACK);
+        assert_eq!(end, 2 * ADVANCE);
+        // first cell empty
+        for y in 0..GLYPH_H {
+            for x in 0..GLYPH_W {
+                assert_eq!(img.get(x, y), Rgb::WHITE);
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_matches_drawing() {
+        let pat = glyph_pattern('T').unwrap();
+        let mut img = Bitmap::new(8, 8, Rgb::WHITE);
+        draw_glyph(&mut img, 0, 0, 'T', 1, Rgb::BLACK);
+        for (y, row) in pat.iter().enumerate() {
+            for (x, &dark) in row.iter().enumerate() {
+                assert_eq!(img.get(x, y) == Rgb::BLACK, dark);
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Optical character recognition by template matching against the built-in
+//! font.
+//!
+//! The paper's pipeline scans "inline and attached images … for the presence
+//! of URLs (using a combination of Optical Character Recognition libraries)"
+//! (§IV-B). Our substitute recognizes text rendered with [`crate::font`]:
+//! the image is binarized, glyph-aligned rows are located, and each cell is
+//! matched against every template, accepting only exact (or near-exact)
+//! matches. The closed loop render→recognize exercises the identical
+//! pipeline code path.
+
+use crate::bitmap::Bitmap;
+use crate::font::{self, ADVANCE, GLYPH_H, GLYPH_W};
+
+/// Binarization threshold on luma: darker is "ink".
+const INK_THRESHOLD: u8 = 128;
+
+/// Recognize text lines in `img`, assuming the built-in font at the given
+/// integer `scale`. Returns recognized lines top-to-bottom.
+///
+/// Recognition scans every vertical offset, so text can start anywhere; the
+/// horizontal origin is found by locating the leftmost ink column of each
+/// candidate line band.
+pub fn recognize_lines(img: &Bitmap, scale: usize) -> Vec<String> {
+    assert!(scale > 0, "scale must be nonzero");
+    let ink = binarize(img);
+    let h = img.height();
+    let glyph_h = GLYPH_H * scale;
+    let mut lines = Vec::new();
+    let mut y = 0usize;
+    while y + glyph_h <= h {
+        // A candidate band must contain ink in its first row-of-glyph region.
+        if let Some(line) = recognize_band(&ink, img.width(), y, scale) {
+            if !line.trim().is_empty() {
+                lines.push(line);
+                y += glyph_h; // skip past this band
+                continue;
+            }
+        }
+        y += 1;
+    }
+    lines
+}
+
+/// Recognize all text and return it joined with newlines.
+pub fn recognize_text(img: &Bitmap, scale: usize) -> String {
+    recognize_lines(img, scale).join("\n")
+}
+
+fn binarize(img: &Bitmap) -> Vec<bool> {
+    img.luma_values().iter().map(|&l| l < INK_THRESHOLD).collect()
+}
+
+/// Attempt to read one text line whose glyph tops sit at row `y`.
+fn recognize_band(ink: &[bool], width: usize, y: usize, scale: usize) -> Option<String> {
+    // Find the leftmost ink pixel in the band.
+    let glyph_h = GLYPH_H * scale;
+    let mut left = None;
+    'outer: for x in 0..width {
+        for yy in y..y + glyph_h {
+            if ink[yy * width + x] {
+                left = Some(x);
+                break 'outer;
+            }
+        }
+    }
+    let left = left?;
+    let mut out = String::new();
+    let mut x = left;
+    let mut trailing_spaces = 0usize;
+    while x + GLYPH_W * scale <= width {
+        match match_glyph(ink, width, x, y, scale) {
+            Some(c) => {
+                if c == ' ' {
+                    trailing_spaces += 1;
+                    if trailing_spaces > 2 {
+                        break; // a long blank run ends the line content
+                    }
+                } else {
+                    trailing_spaces = 0;
+                }
+                out.push(c);
+            }
+            None => break,
+        }
+        x += ADVANCE * scale;
+    }
+    let trimmed = out.trim_end().to_string();
+    if trimmed.is_empty() {
+        None
+    } else {
+        Some(trimmed)
+    }
+}
+
+/// Match the glyph cell at `(x, y)`; returns the recognized character or
+/// `None` if nothing matches exactly.
+#[allow(clippy::needless_range_loop)] // gx/gy address both the pattern and pixels
+fn match_glyph(ink: &[bool], width: usize, x: usize, y: usize, scale: usize) -> Option<char> {
+    for c in font::CHARSET.chars() {
+        let pat = font::glyph_pattern(c).expect("charset glyph");
+        let mut ok = true;
+        'cell: for gy in 0..GLYPH_H {
+            for gx in 0..GLYPH_W {
+                // sample the centre pixel of the scaled cell
+                let px = x + gx * scale + scale / 2;
+                let py = y + gy * scale + scale / 2;
+                if ink[py * width + px] != pat[gy][gx] {
+                    ok = false;
+                    break 'cell;
+                }
+            }
+        }
+        if ok {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// Convenience: recognize text at scales 1–3, returning the first non-empty
+/// result (the pipeline does not know the attacker's render scale).
+pub fn recognize_any_scale(img: &Bitmap) -> String {
+    for scale in 1..=3 {
+        let t = recognize_text(img, scale);
+        if !t.is_empty() {
+            return t;
+        }
+    }
+    String::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitmap::Rgb;
+
+    fn render(text: &str, scale: usize) -> Bitmap {
+        let w = text.len() * ADVANCE * scale + 8;
+        let mut img = Bitmap::new(w.max(16), GLYPH_H * scale + 8, Rgb::WHITE);
+        img.draw_text(3, 3, text, scale, Rgb::BLACK);
+        img
+    }
+
+    #[test]
+    fn round_trip_uppercase_url() {
+        let text = "HTTPS://EVIL-SITE.EXAMPLE/DHFYWFH";
+        let img = render(text, 1);
+        assert_eq!(recognize_text(&img, 1), text);
+    }
+
+    #[test]
+    fn lowercase_folds_to_uppercase() {
+        let img = render("https://evil.example/x", 1);
+        assert_eq!(recognize_text(&img, 1), "HTTPS://EVIL.EXAMPLE/X");
+    }
+
+    #[test]
+    fn scaled_text_recognized() {
+        let text = "SCAN ME 2024";
+        for scale in [2usize, 3] {
+            let img = render(text, scale);
+            assert_eq!(recognize_text(&img, scale), text, "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn any_scale_probe_finds_scale() {
+        let img = render("TOKEN=ABC123", 2);
+        assert_eq!(recognize_any_scale(&img), "TOKEN=ABC123");
+    }
+
+    #[test]
+    fn multiple_lines_recognized_in_order() {
+        let mut img = Bitmap::new(260, 40, Rgb::WHITE);
+        img.draw_text(2, 2, "LINE ONE", 1, Rgb::BLACK);
+        img.draw_text(2, 20, "HTTPS://X.EXAMPLE/", 1, Rgb::BLACK);
+        let lines = recognize_lines(&img, 1);
+        assert_eq!(lines, vec!["LINE ONE", "HTTPS://X.EXAMPLE/"]);
+    }
+
+    #[test]
+    fn blank_image_yields_nothing() {
+        let img = Bitmap::new(50, 20, Rgb::WHITE);
+        assert!(recognize_lines(&img, 1).is_empty());
+        assert_eq!(recognize_any_scale(&img), "");
+    }
+
+    #[test]
+    fn noise_only_image_yields_no_false_lines() {
+        let img = Bitmap::new(60, 30, Rgb::WHITE).add_noise(99, 12);
+        // sparse random specks should not assemble into glyphs
+        let lines = recognize_lines(&img, 1);
+        assert!(
+            lines.iter().all(|l| l.chars().count() <= 2),
+            "phantom text: {lines:?}"
+        );
+    }
+
+    #[test]
+    fn colored_text_on_tinted_background_still_reads() {
+        let mut img = Bitmap::new(200, 16, Rgb::new(230, 240, 255));
+        img.draw_text(2, 2, "PAY NOW", 1, Rgb::new(40, 0, 60));
+        assert_eq!(recognize_text(&img, 1), "PAY NOW");
+    }
+}

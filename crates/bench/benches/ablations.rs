@@ -1,0 +1,51 @@
+//! Ablation benches (DESIGN.md A1/A2): NotABot feature knock-outs against
+//! the detector gauntlet, and pHash/dHash robustness under the paper's
+//! perturbations.
+
+use cb_artifacts::{Bitmap, Rgb};
+use cb_browser::CrawlerProfile;
+use cb_imagehash::HashPair;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_notabot_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/notabot");
+    g.bench_function("full_knockout_matrix", |b| {
+        b.iter(|| black_box(crawlerbox::analysis::table1::ablation()))
+    });
+    for profile in CrawlerProfile::ablations() {
+        g.bench_function(profile.name(), |b| {
+            b.iter(|| black_box(crawlerbox::analysis::table1::evaluate_profile(profile)))
+        });
+    }
+    g.finish();
+}
+
+fn login_page() -> Bitmap {
+    let doc = cb_web::Document::parse(&cb_phishkit::Brand::Amadora.login_html(""));
+    cb_web::render::rasterize(&doc, 480, 320)
+}
+
+fn bench_imagehash_ablation(c: &mut Criterion) {
+    let clean = login_page();
+    let reference = HashPair::of(&clean);
+    let perturbations: Vec<(&str, Bitmap)> = vec![
+        ("noise", clean.add_noise(7, 120)),
+        ("hue_rotate_4deg", clean.hue_rotate(4.0)),
+        ("scale_1_5x", clean.scale_to(720, 480)),
+        ("crop_2px", clean.crop(2, 2, 476, 316)),
+    ];
+    let mut g = c.benchmark_group("ablation/imagehash");
+    for (label, image) in &perturbations {
+        g.bench_function(format!("classify_under_{label}"), |b| {
+            b.iter(|| {
+                let pair = HashPair::of(black_box(image));
+                black_box(pair.distance(&reference))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_notabot_ablation, bench_imagehash_ablation);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! §V-C1 faulty-QR bench: the full quishing path — encode, render, detect,
+//! decode, and the strict/lenient/patched extraction policies whose
+//! mismatch is the in-the-wild bug.
+
+use cb_artifacts::qrimage;
+use cb_qr::extract::{extract_url_lenient, extract_url_patched, extract_url_strict};
+use cb_qr::{decode_matrix, encode_bytes, EcLevel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const CLEAN: &[u8] = b"https://evil-site.example/dhfYWfH";
+const FAULTY: &[u8] = b"xxx https://evil-site.example/dhfYWfH";
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qr/codec");
+    for (label, payload) in [("short_v2", &CLEAN[..]), ("long_v7", &[b'u'; 150][..])] {
+        g.bench_function(format!("encode/{label}"), |b| {
+            b.iter(|| black_box(encode_bytes(black_box(payload), EcLevel::M).unwrap()))
+        });
+        let symbol = encode_bytes(payload, EcLevel::M).unwrap();
+        g.bench_function(format!("decode/{label}"), |b| {
+            b.iter(|| black_box(decode_matrix(black_box(symbol.matrix())).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_image_path(c: &mut Criterion) {
+    let symbol = encode_bytes(FAULTY, EcLevel::M).unwrap();
+    let image = qrimage::render(symbol.matrix(), 2);
+    let mut g = c.benchmark_group("qr/image");
+    g.bench_function("render", |b| {
+        b.iter(|| black_box(qrimage::render(black_box(symbol.matrix()), 2)))
+    });
+    g.bench_function("detect_and_decode", |b| {
+        b.iter(|| black_box(qrimage::decode_from_image(black_box(&image)).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_extraction_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qr/extract");
+    for (label, payload) in [("clean", CLEAN), ("faulty", FAULTY)] {
+        g.bench_function(format!("strict/{label}"), |b| {
+            b.iter(|| black_box(extract_url_strict(black_box(payload))))
+        });
+        g.bench_function(format!("lenient/{label}"), |b| {
+            b.iter(|| black_box(extract_url_lenient(black_box(payload))))
+        });
+        g.bench_function(format!("patched/{label}"), |b| {
+            b.iter(|| black_box(extract_url_patched(black_box(payload))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_image_path, bench_extraction_policies);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 1 pipeline bench: end-to-end message scans by §V class, the
+//! parsing phase alone, and batch throughput.
+
+use cb_bench::{bench_corpus, one_of_each_class};
+use cb_email::MimeEntity;
+use crawlerbox::extract::extract_resources;
+use crawlerbox::CrawlerBox;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_scan_by_class(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let cbx = CrawlerBox::new(&corpus.world);
+    let mut g = c.benchmark_group("pipeline/scan_by_class");
+    for message in one_of_each_class(&corpus) {
+        g.bench_function(format!("{:?}", message.truth.class), |b| {
+            b.iter(|| black_box(cbx.scan(black_box(message))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parse_phase(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let mut g = c.benchmark_group("pipeline/parse_phase");
+    for message in one_of_each_class(&corpus) {
+        let parsed = MimeEntity::parse(&message.raw).unwrap();
+        // key by class (unique), noting the carrier — classes can share one
+        g.bench_function(
+            format!("extract/{:?}({:?})", message.truth.class, message.truth.carrier),
+            |b| b.iter(|| black_box(extract_resources(black_box(&parsed)))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let batch = &corpus.messages[..24.min(corpus.messages.len())];
+    let mut g = c.benchmark_group("pipeline/batch");
+    g.throughput(Throughput::Elements(batch.len() as u64));
+    g.sample_size(10);
+    g.bench_function("end_to_end_24_messages", |b| {
+        let cbx = CrawlerBox::new(&corpus.world);
+        b.iter(|| black_box(cbx.scan_all(black_box(batch))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scan_by_class, bench_parse_phase, bench_batch_throughput);
+criterion_main!(benches);

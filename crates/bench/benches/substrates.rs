@@ -1,0 +1,122 @@
+//! Substrate hot-path benches: the primitives everything else is built on.
+
+use cb_artifacts::{Bitmap, Rgb};
+use cb_email::codec::{base64_decode, base64_encode};
+use cb_email::MimeEntity;
+use cb_imagehash::{dhash, phash};
+use cb_qr::reed_solomon;
+use cb_script::{hosts::RecordingHost, run, Script};
+use cb_web::{render, Document};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_codecs(c: &mut Criterion) {
+    let data = vec![0xA7u8; 4096];
+    let encoded = base64_encode(&data);
+    let mut g = c.benchmark_group("substrate/base64");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("encode_4k", |b| b.iter(|| black_box(base64_encode(black_box(&data)))));
+    g.bench_function("decode_4k", |b| {
+        b.iter(|| black_box(base64_decode(black_box(&encoded)).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_reed_solomon(c: &mut Criterion) {
+    let data: Vec<u8> = (0..100u8).collect();
+    let parity = reed_solomon::encode(&data, 30);
+    let clean: Vec<u8> = data.iter().chain(&parity).copied().collect();
+    let mut damaged = clean.clone();
+    for i in [3usize, 17, 42, 88, 101, 115] {
+        damaged[i] ^= 0x5A;
+    }
+    let mut g = c.benchmark_group("substrate/reed_solomon");
+    g.bench_function("encode_100_30", |b| {
+        b.iter(|| black_box(reed_solomon::encode(black_box(&data), 30)))
+    });
+    g.bench_function("correct_clean", |b| {
+        b.iter(|| {
+            let mut cw = clean.clone();
+            black_box(reed_solomon::correct(&mut cw, 30).unwrap())
+        })
+    });
+    g.bench_function("correct_6_errors", |b| {
+        b.iter(|| {
+            let mut cw = damaged.clone();
+            black_box(reed_solomon::correct(&mut cw, 30).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_mime(c: &mut Criterion) {
+    let raw = cb_email::MessageBuilder::new()
+        .from("a@x.example")
+        .to("b@y.example")
+        .subject("bench")
+        .text_body(&"lorem ipsum dolor sit amet ".repeat(40))
+        .html_body("<p>hello</p>")
+        .attach("blob.bin", "application/octet-stream", &vec![7u8; 2048])
+        .build();
+    let mut g = c.benchmark_group("substrate/mime");
+    g.throughput(Throughput::Bytes(raw.len() as u64));
+    g.bench_function("parse_multipart", |b| {
+        b.iter(|| black_box(MimeEntity::parse(black_box(&raw)).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_imagehash(c: &mut Criterion) {
+    let mut img = Bitmap::new(480, 320, Rgb::WHITE);
+    img.fill_rect(0, 0, 480, 40, Rgb::new(0, 60, 180));
+    img.fill_rect(80, 120, 320, 20, Rgb::new(220, 220, 220));
+    let mut g = c.benchmark_group("substrate/imagehash");
+    g.bench_function("phash_480x320", |b| b.iter(|| black_box(phash(black_box(&img)))));
+    g.bench_function("dhash_480x320", |b| b.iter(|| black_box(dhash(black_box(&img)))));
+    g.finish();
+}
+
+fn bench_web(c: &mut Criterion) {
+    let html = cb_phishkit::Brand::Amadora.login_html("");
+    let doc = Document::parse(&html);
+    let mut g = c.benchmark_group("substrate/web");
+    g.bench_function("parse_login_page", |b| {
+        b.iter(|| black_box(Document::parse(black_box(&html))))
+    });
+    g.bench_function("rasterize_480x320", |b| {
+        b.iter(|| black_box(render::rasterize(black_box(&doc), 480, 320)))
+    });
+    g.finish();
+}
+
+fn bench_mjs(c: &mut Criterion) {
+    let src = cb_phishkit::scripts::victim_db_check("https://c2.example");
+    let script = Script::parse(&src).unwrap();
+    let mut g = c.benchmark_group("substrate/mjs");
+    g.bench_function("parse_victim_check", |b| {
+        b.iter(|| black_box(Script::parse(black_box(&src)).unwrap()))
+    });
+    g.bench_function("run_victim_check", |b| {
+        b.iter(|| {
+            let mut host = RecordingHost::new();
+            host.set_env(
+                "location.search",
+                cb_script::Value::from("?victim=v@corp.example"),
+            );
+            host.set_response("https://c2.example/check-victim", "yes");
+            black_box(run(&script, &mut host).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codecs,
+    bench_reed_solomon,
+    bench_mime,
+    bench_imagehash,
+    bench_web,
+    bench_mjs
+);
+criterion_main!(benches);

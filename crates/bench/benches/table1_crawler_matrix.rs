@@ -1,0 +1,54 @@
+//! Table I bench: the crawler × detector matrix, per detector and as the
+//! full assessment, plus live site probes per crawler profile.
+
+use cb_botdetect::{AnonWaf, BotD, Detector, ReCaptchaV3, Turnstile};
+use cb_browser::{Browser, CrawlerProfile};
+use cb_netsim::Internet;
+use cb_phishkit::{Brand, CloakConfig, PhishingSite};
+use cb_sim::SimTime;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_detectors(c: &mut Criterion) {
+    let report = CrawlerProfile::NotABot.fingerprint().attestation();
+    let mut g = c.benchmark_group("table1/detectors");
+    g.bench_function("botd", |b| {
+        b.iter(|| black_box(BotD.evaluate(black_box(&report))))
+    });
+    g.bench_function("turnstile", |b| {
+        b.iter(|| black_box(Turnstile::default().evaluate(black_box(&report))))
+    });
+    g.bench_function("anonwaf", |b| {
+        b.iter(|| black_box(AnonWaf::default().evaluate(black_box(&report))))
+    });
+    g.bench_function("recaptcha_v3", |b| {
+        b.iter(|| black_box(ReCaptchaV3::default().evaluate(black_box(&report))))
+    });
+    g.finish();
+}
+
+fn bench_full_matrix(c: &mut Criterion) {
+    c.bench_function("table1/full_matrix", |b| {
+        b.iter(|| black_box(crawlerbox::analysis::table1::table1()))
+    });
+}
+
+fn bench_live_probes(c: &mut Criterion) {
+    let net = Internet::new(SimTime::from_ymd(2024, 2, 1));
+    net.register_domain("bench-kit.example", "REG");
+    net.host(
+        "bench-kit.example",
+        PhishingSite::new(Brand::Amadora, "https://bench-kit.example", CloakConfig::typical_2024()),
+    );
+    let mut g = c.benchmark_group("table1/live_probe");
+    for profile in [CrawlerProfile::NotABot, CrawlerProfile::PuppeteerStealth, CrawlerProfile::Kangooroo] {
+        g.bench_function(profile.name(), |b| {
+            let browser = Browser::new(profile);
+            b.iter(|| black_box(browser.visit(&net, "https://bench-kit.example/")));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_detectors, bench_full_matrix, bench_live_probes);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Table II / Figure 2 / Figure 3 benches: the analysis computations that
+//! regenerate the paper's distributional results over scan records.
+
+use cb_bench::{bench_corpus, bench_records};
+use crawlerbox::analysis::{figures, tables};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_analyses(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let records = bench_records(&corpus);
+
+    let mut g = c.benchmark_group("analysis");
+    g.bench_function("table2_tld_distribution", |b| {
+        b.iter(|| black_box(tables::table2(black_box(&records))))
+    });
+    g.bench_function("figure2_monthly_volume", |b| {
+        b.iter(|| black_box(figures::figure2(black_box(&records))))
+    });
+    g.bench_function("figure3_timedeltas", |b| {
+        b.iter(|| black_box(figures::figure3(black_box(&records))))
+    });
+    g.bench_function("class_mix", |b| {
+        b.iter(|| black_box(tables::ClassMix::of(black_box(&records))))
+    });
+    g.bench_function("spear_stats", |b| {
+        b.iter(|| black_box(tables::spear_stats(black_box(&records))))
+    });
+    g.bench_function("cloaking_prevalence", |b| {
+        b.iter(|| {
+            black_box(crawlerbox::analysis::cloaking::prevalence(black_box(
+                &records,
+            )))
+        })
+    });
+    g.bench_function("t_test", |b| {
+        let f2 = figures::figure2(&records);
+        let y2023 = corpus.spec.monthly_2023;
+        b.iter(|| black_box(figures::volume_t_test(black_box(&y2023), black_box(&f2))))
+    });
+    g.finish();
+}
+
+fn bench_lexical(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let names: Vec<String> = corpus
+        .campaigns
+        .iter()
+        .map(|cmp| cmp.domain.name.clone())
+        .collect();
+    c.bench_function("analysis/lexical_522_domains", |b| {
+        b.iter(|| {
+            black_box(crawlerbox::analysis::lexical::analyze_domains(
+                names.iter().map(String::as_str),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_analyses, bench_lexical);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! Shared fixtures for the benchmark harness.
+//!
+//! One bench target exists per table and figure of the paper (DESIGN.md §3):
+//!
+//! | paper artifact | bench target |
+//! |----------------|--------------|
+//! | Table I        | `table1_crawler_matrix` |
+//! | Table II, Figure 2, Figure 3 | `table2_figures` |
+//! | §V-C1 faulty-QR bug | `faulty_qr_bug` |
+//! | Figure 1 pipeline | `pipeline` |
+//! | substrate hot paths | `substrates` |
+//! | A1/A2 ablations | `ablations` |
+//!
+//! Criterion measures throughput; correctness of the regenerated numbers is
+//! asserted by the test suite and the `repro` binary.
+
+use cb_phishgen::{Corpus, CorpusSpec, ReportedMessage};
+use crawlerbox::{CrawlerBox, ScanRecord};
+
+/// A small fixed corpus for benching (2% scale ≈ 104 messages).
+pub fn bench_corpus() -> Corpus {
+    Corpus::generate(&CorpusSpec::paper().with_scale(0.02), 2024)
+}
+
+/// Scan records over [`bench_corpus`].
+pub fn bench_records(corpus: &Corpus) -> Vec<ScanRecord> {
+    CrawlerBox::new(&corpus.world).scan_all(&corpus.messages)
+}
+
+/// One message of each §V class from the corpus, for per-class pipeline
+/// benches.
+pub fn one_of_each_class(corpus: &Corpus) -> Vec<&ReportedMessage> {
+    use cb_phishgen::MessageClass::*;
+    [NoResource, ErrorPage, InteractionRequired, Download, ActivePhish]
+        .iter()
+        .filter_map(|class| corpus.messages.iter().find(|m| m.truth.class == *class))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let corpus = bench_corpus();
+        assert!(!corpus.messages.len() > 0);
+        let classes = one_of_each_class(&corpus);
+        assert!(classes.len() >= 3);
+    }
+}

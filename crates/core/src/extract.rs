@@ -1,0 +1,503 @@
+//! The parsing phase (§IV-B): recursive resource extraction from MIME
+//! messages.
+//!
+//! > "URLs are statically extracted from text-based formats. Inline and
+//! > attached images are scanned for the presence of URLs (using … OCR) and
+//! > QR codes. For PDF files … (1) extracting embedded and text-based URLs,
+//! > and (2) taking a screenshot of each page … Octet Stream files are
+//! > analyzed according to their file signature … ZIP files are unpacked …
+//! > EML files are processed recursively."
+
+use cb_artifacts::magic::{self, FileKind};
+use cb_artifacts::{qrimage, Bitmap, PdfDocument, ZipArchive};
+use cb_email::{MediaType, MimeEntity};
+use cb_qr::extract::{extract_url_anchored, extract_url_lenient, extract_url_strict};
+use serde::{Deserialize, Serialize};
+
+/// Recursion ceiling for nested containers (EML-in-ZIP-in-EML bombs).
+const MAX_DEPTH: usize = 6;
+
+/// Where a resource was found — the provenance the analysis phase keys on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExtractionSource {
+    /// Plain text body or text attachment.
+    BodyText,
+    /// `href`/`src` in an HTML part.
+    HtmlHref,
+    /// Inline script in an HTML part assigned `location.href`.
+    HtmlScriptRedirect,
+    /// QR code in an image. `faulty` means the payload failed strict URL
+    /// validation and only lenient (mobile-camera) extraction recovered it
+    /// — the in-the-wild filter-bypass bug (§V-C1).
+    QrCode {
+        /// Strict extraction failed; lenient succeeded.
+        faulty: bool,
+    },
+    /// OCR over an image.
+    ImageOcr,
+    /// PDF link annotation.
+    PdfAnnotation,
+    /// PDF page text (direct or via the page-screenshot OCR path).
+    PdfText,
+    /// Found inside a ZIP member (wrapping the member's own source).
+    ZipMember,
+    /// Found inside a nested EML.
+    NestedEml,
+    /// The landing URL of an HTML *attachment* that redirects when opened
+    /// locally (the §V-B technique).
+    HtmlAttachment,
+}
+
+/// One extracted web resource.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExtractedResource {
+    /// The URL.
+    pub url: String,
+    /// Provenance.
+    pub source: ExtractionSource,
+}
+
+/// Extract every web resource from a parsed message.
+pub fn extract_resources(message: &MimeEntity) -> Vec<ExtractedResource> {
+    let mut out = Vec::new();
+    walk_entity(message, 0, None, &mut out);
+    dedup(out)
+}
+
+fn dedup(resources: Vec<ExtractedResource>) -> Vec<ExtractedResource> {
+    let mut seen = std::collections::HashSet::new();
+    resources
+        .into_iter()
+        .filter(|r| seen.insert((r.url.clone(), r.source.clone())))
+        .collect()
+}
+
+/// Wrap a source in its container provenance when recursing. QR sources
+/// keep their identity regardless of nesting: the faulty-QR flag (§V-C1)
+/// must survive ZIP/EML/PDF containers, or the measurement undercounts.
+fn wrap(source: ExtractionSource, container: Option<&ExtractionSource>) -> ExtractionSource {
+    if matches!(source, ExtractionSource::QrCode { .. }) {
+        return source;
+    }
+    match container {
+        Some(ExtractionSource::ZipMember) => ExtractionSource::ZipMember,
+        Some(ExtractionSource::NestedEml) => ExtractionSource::NestedEml,
+        _ => source,
+    }
+}
+
+fn walk_entity(
+    entity: &MimeEntity,
+    depth: usize,
+    container: Option<&ExtractionSource>,
+    out: &mut Vec<ExtractedResource>,
+) {
+    if depth > MAX_DEPTH {
+        return;
+    }
+    for leaf in entity.leaves() {
+        let Some(bytes) = leaf.body_bytes() else {
+            continue;
+        };
+        match leaf.content_type().media_type() {
+            MediaType::Text => {
+                if let Some(text) = leaf.body_text() {
+                    extract_from_text(&text, container, out);
+                }
+            }
+            MediaType::Html => {
+                if let Some(text) = leaf.body_text() {
+                    let is_attachment = leaf.filename().is_some();
+                    extract_from_html(&text, is_attachment, container, out);
+                }
+            }
+            MediaType::Image => extract_from_image_bytes(bytes, container, out),
+            MediaType::Pdf => extract_from_pdf(bytes, container, out),
+            MediaType::Zip => extract_from_zip(bytes, depth, out),
+            MediaType::Eml => extract_from_eml(bytes, depth, out),
+            MediaType::OctetStream | MediaType::Other => {
+                extract_by_signature(bytes, depth, container, out)
+            }
+            MediaType::Multipart => unreachable!("leaves() yields no containers"),
+        }
+    }
+}
+
+/// Scan free text for http(s) URLs.
+pub fn extract_from_text(
+    text: &str,
+    container: Option<&ExtractionSource>,
+    out: &mut Vec<ExtractedResource>,
+) {
+    let mut rest = text;
+    while let Some(pos) = rest.find("http") {
+        let tail = &rest[pos..];
+        if tail.starts_with("http://") || tail.starts_with("https://") {
+            // Anchored extraction: the URL at *this* scheme position — a
+            // later https:// in the same text must not shadow an earlier
+            // http:// link.
+            if let Some(mut url) = extract_url_anchored(tail.as_bytes()) {
+                // Sentence punctuation touching a URL is not part of it.
+                while url.ends_with(['.', ',', ';', ':', ')', ']', '\'']) {
+                    url.pop();
+                }
+                out.push(ExtractedResource {
+                    source: wrap(ExtractionSource::BodyText, container),
+                    url,
+                });
+            }
+        }
+        rest = &rest[pos + 4..];
+    }
+}
+
+fn extract_from_html(
+    html: &str,
+    is_attachment: bool,
+    container: Option<&ExtractionSource>,
+    out: &mut Vec<ExtractedResource>,
+) {
+    let doc = cb_web::Document::parse(html);
+    for href in doc.anchor_urls() {
+        if href.starts_with("http") {
+            out.push(ExtractedResource {
+                source: wrap(ExtractionSource::HtmlHref, container),
+                url: href,
+            });
+        }
+    }
+    if let Some(url) = doc.meta_refresh_url() {
+        if url.starts_with("http") {
+            out.push(ExtractedResource {
+                source: wrap(ExtractionSource::HtmlHref, container),
+                url,
+            });
+        }
+    }
+    // Dynamic analysis: run inline scripts in a recording sandbox and
+    // observe navigations (the paper: "any discovered HTML or JavaScript
+    // code is dynamically loaded … fundamental given the use of
+    // obfuscation").
+    for src in doc.inline_scripts() {
+        if let Ok(script) = cb_script::Script::parse(&src) {
+            let mut host = cb_script::hosts::RecordingHost::new();
+            let _ = cb_script::run(&script, &mut host);
+            for nav in host.navigations() {
+                if nav.starts_with("http") {
+                    let source = if is_attachment {
+                        ExtractionSource::HtmlAttachment
+                    } else {
+                        ExtractionSource::HtmlScriptRedirect
+                    };
+                    out.push(ExtractedResource {
+                        source: wrap(source, container),
+                        url: nav,
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn extract_from_image_bytes(
+    bytes: &[u8],
+    container: Option<&ExtractionSource>,
+    out: &mut Vec<ExtractedResource>,
+) {
+    let Some(img) = Bitmap::from_bytes(bytes) else {
+        // Foreign raster formats (real PNG/JPEG) carry no decodable pixels
+        // in the simulation.
+        return;
+    };
+    extract_from_image(&img, container, out);
+}
+
+/// The image path: QR detection then OCR (§IV-B).
+pub fn extract_from_image(
+    img: &Bitmap,
+    container: Option<&ExtractionSource>,
+    out: &mut Vec<ExtractedResource>,
+) {
+    if let Some(payload) = qrimage::decode_from_image(img) {
+        let strict = extract_url_strict(&payload);
+        let lenient = extract_url_lenient(&payload);
+        match (strict, lenient) {
+            (Some(url), _) => out.push(ExtractedResource {
+                source: wrap(ExtractionSource::QrCode { faulty: false }, container),
+                url,
+            }),
+            (None, Some(url)) => out.push(ExtractedResource {
+                source: wrap(ExtractionSource::QrCode { faulty: true }, container),
+                url,
+            }),
+            (None, None) => {}
+        }
+    }
+    let text = cb_artifacts::ocr::recognize_any_scale(img);
+    if !text.is_empty() {
+        // OCR output is case-folded; URLs survive lowercasing.
+        let mut found = Vec::new();
+        extract_from_text(&text.to_lowercase(), container, &mut found);
+        for mut r in found {
+            r.source = wrap(ExtractionSource::ImageOcr, container);
+            out.push(r);
+        }
+    }
+}
+
+fn extract_from_pdf(
+    bytes: &[u8],
+    container: Option<&ExtractionSource>,
+    out: &mut Vec<ExtractedResource>,
+) {
+    let Ok(doc) = PdfDocument::parse(bytes) else {
+        return;
+    };
+    // (1) embedded and text-based URLs (PDF text is faithful — no case
+    // folding, unlike the OCR path)
+    for uri in doc.link_uris() {
+        if uri.starts_with("http") {
+            out.push(ExtractedResource {
+                source: wrap(ExtractionSource::PdfAnnotation, container),
+                url: uri.to_string(),
+            });
+        }
+    }
+    let mut text_found = Vec::new();
+    extract_from_text(&doc.all_text(), container, &mut text_found);
+    for mut r in text_found {
+        r.source = wrap(ExtractionSource::PdfText, container);
+        out.push(r);
+    }
+    // (2) screenshot of each page through the image path; QR codes found
+    // there keep their QrCode{faulty} provenance, OCR text reads as PdfText
+    for page in &doc.pages {
+        let shot = page.rasterize(cb_artifacts::pdf::PAGE_WIDTH, cb_artifacts::pdf::PAGE_HEIGHT);
+        let mut page_found = Vec::new();
+        extract_from_image(&shot, container, &mut page_found);
+        for mut r in page_found {
+            if !matches!(r.source, ExtractionSource::QrCode { .. }) {
+                r.source = wrap(ExtractionSource::PdfText, container);
+            }
+            out.push(r);
+        }
+    }
+}
+
+fn extract_from_zip(bytes: &[u8], depth: usize, out: &mut Vec<ExtractedResource>) {
+    let Ok(zip) = ZipArchive::parse(bytes) else {
+        return;
+    };
+    let zip_source = ExtractionSource::ZipMember;
+    for entry in zip.entries() {
+        extract_by_signature(&entry.data, depth + 1, Some(&zip_source), out);
+    }
+}
+
+fn extract_from_eml(bytes: &[u8], depth: usize, out: &mut Vec<ExtractedResource>) {
+    let Ok(text) = std::str::from_utf8(bytes) else {
+        return;
+    };
+    let Ok(inner) = MimeEntity::parse(text) else {
+        return;
+    };
+    let eml_source = ExtractionSource::NestedEml;
+    walk_entity(&inner, depth + 1, Some(&eml_source), out);
+}
+
+/// Dispatch unlabeled bytes by magic number (§IV-B octet-stream handling).
+fn extract_by_signature(
+    bytes: &[u8],
+    depth: usize,
+    container: Option<&ExtractionSource>,
+    out: &mut Vec<ExtractedResource>,
+) {
+    if depth > MAX_DEPTH {
+        return;
+    }
+    match magic::sniff(bytes) {
+        FileKind::Zip => extract_from_zip(bytes, depth, out),
+        FileKind::Pdf => extract_from_pdf(bytes, container, out),
+        FileKind::CbxBitmap => extract_from_image_bytes(bytes, container, out),
+        FileKind::Eml => extract_from_eml(bytes, depth, out),
+        FileKind::Html => {
+            if let Ok(text) = std::str::from_utf8(bytes) {
+                // HTA droppers are HTML by signature; CrawlerBox refuses to
+                // execute them (§V) but still statically extracts URLs.
+                extract_from_html(text, true, container, out);
+                if magic::is_hta(bytes) {
+                    extract_from_text(text, container, out);
+                }
+            }
+        }
+        FileKind::Text => {
+            if let Ok(text) = std::str::from_utf8(bytes) {
+                extract_from_text(text, container, out);
+            }
+        }
+        FileKind::Png | FileKind::Jpeg | FileKind::Gif | FileKind::Unknown => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_phishgen::messages::{build_message, Carrier};
+    use cb_sim::{SeedFork, SimTime};
+
+    fn extract_for(carrier: Carrier, url: &str) -> Vec<ExtractedResource> {
+        let mut rng = SeedFork::new(3).rng("x");
+        let raw = build_message(
+            &mut rng,
+            carrier,
+            Some(url),
+            "v@corp.example",
+            SimTime::from_ymd(2024, 4, 2),
+            false,
+            None,
+            9,
+        );
+        let msg = MimeEntity::parse(&raw).unwrap();
+        extract_resources(&msg)
+    }
+
+    #[test]
+    fn body_link_extracted_from_text_and_html() {
+        let found = extract_for(Carrier::BodyLink, "https://evil-b.example/tokn1234");
+        assert!(found
+            .iter()
+            .any(|r| r.url == "https://evil-b.example/tokn1234"
+                && r.source == ExtractionSource::BodyText));
+        assert!(found
+            .iter()
+            .any(|r| r.source == ExtractionSource::HtmlHref));
+    }
+
+    #[test]
+    fn clean_qr_extracted_with_source() {
+        let found = extract_for(
+            Carrier::QrCode { faulty: false },
+            "https://evil-q.example/qrtoken1",
+        );
+        assert!(found.iter().any(|r| r.url == "https://evil-q.example/qrtoken1"
+            && r.source == ExtractionSource::QrCode { faulty: false }));
+    }
+
+    #[test]
+    fn faulty_qr_recovered_and_flagged() {
+        let found = extract_for(
+            Carrier::QrCode { faulty: true },
+            "https://evil-q.example/faulty77",
+        );
+        assert!(
+            found.iter().any(|r| r.url == "https://evil-q.example/faulty77"
+                && r.source == ExtractionSource::QrCode { faulty: true }),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn image_text_found_by_ocr() {
+        let found = extract_for(Carrier::ImageText, "https://evil-i.example/imgtok12");
+        assert!(
+            found.iter().any(|r| r.url == "https://evil-i.example/imgtok12"
+                && r.source == ExtractionSource::ImageOcr),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn pdf_annotation_and_pdf_text_paths() {
+        let a = extract_for(Carrier::PdfLink, "https://evil-p.example/pdftok12");
+        assert!(a.iter().any(|r| r.source == ExtractionSource::PdfAnnotation));
+        let b = extract_for(Carrier::PdfText, "https://evil-p.example/pdftxt12");
+        assert!(
+            b.iter().any(|r| r.url == "https://evil-p.example/pdftxt12"
+                && r.source == ExtractionSource::PdfText),
+            "{b:?}"
+        );
+    }
+
+    #[test]
+    fn nested_eml_recursed() {
+        let found = extract_for(Carrier::NestedEml, "https://evil-n.example/nesttok1");
+        assert!(found.iter().any(|r| r.url == "https://evil-n.example/nesttok1"
+            && r.source == ExtractionSource::NestedEml));
+    }
+
+    #[test]
+    fn html_attachment_redirect_detected_dynamically() {
+        let found = extract_for(Carrier::HtmlAttachment, "https://evil-h.example/redirect");
+        assert!(
+            found.iter().any(|r| r.url == "https://evil-h.example/redirect"
+                && r.source == ExtractionSource::HtmlAttachment),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn zip_hta_member_surfaces_url() {
+        let found = extract_for(Carrier::ZipHta, "https://evil-z.example/htatok12");
+        assert!(
+            found
+                .iter()
+                .any(|r| r.url.contains("evil-z.example") && r.source == ExtractionSource::ZipMember),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn no_resource_message_yields_nothing() {
+        let found = extract_for(Carrier::None, "https://unused.example/");
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        let mut out = vec![
+            ExtractedResource {
+                url: "https://a.example/".into(),
+                source: ExtractionSource::BodyText,
+            },
+            ExtractedResource {
+                url: "https://a.example/".into(),
+                source: ExtractionSource::BodyText,
+            },
+            ExtractedResource {
+                url: "https://a.example/".into(),
+                source: ExtractionSource::HtmlHref,
+            },
+        ];
+        out = dedup(out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn text_scanner_finds_multiple_urls() {
+        let mut out = Vec::new();
+        extract_from_text(
+            "first https://a.example/x then http://b.example/y.",
+            None,
+            &mut out,
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].url, "http://b.example/y");
+    }
+
+    #[test]
+    fn depth_bomb_terminates() {
+        // ZIP containing a ZIP containing … beyond MAX_DEPTH.
+        let mut inner = ZipArchive::new();
+        inner.add("u.txt", b"https://deep.example/x");
+        let mut bytes = inner.to_bytes();
+        for i in 0..10 {
+            let mut z = ZipArchive::new();
+            z.add(&format!("layer{i}.zip"), &bytes);
+            bytes = z.to_bytes();
+        }
+        let mut out = Vec::new();
+        extract_by_signature(&bytes, 0, None, &mut out);
+        // must terminate without finding the too-deep URL
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,260 @@
+//! The logging phase (§IV-C): everything CrawlerBox records about one
+//! scanned message, enriched with WHOIS / CT / passive-DNS context.
+
+use crate::classify::SpearMatch;
+use crate::extract::ExtractedResource;
+use cb_browser::engine::VisitOutcome;
+use cb_imagehash::HashPair;
+use cb_netsim::{QueryVolume, Url};
+use cb_phishgen::MessageClass;
+use cb_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One crawled resource's log entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VisitLog {
+    /// The URL the pipeline requested.
+    pub requested_url: String,
+    /// The navigation chain `(url, status)`.
+    pub chain: Vec<(String, u16)>,
+    /// Final outcome.
+    pub outcome: VisitOutcome,
+    /// Final HTTP status.
+    pub status: u16,
+    /// Whether the final page shows a credential form.
+    pub login_form: bool,
+    /// pHash/dHash of the screenshot, when one was captured.
+    pub screenshot_hash: Option<HashPair>,
+    /// Spear classification, when positive.
+    pub spear: Option<SpearMatch>,
+    /// Subresource loads `(url, status)` — hotlinking evidence.
+    pub subresources: Vec<(String, u16)>,
+    /// Script-initiated fetches `(url, body, status)` — exfiltration
+    /// evidence.
+    pub exfil: Vec<(String, String, u16)>,
+    /// Scripts hijacked console methods.
+    pub console_hijacked: bool,
+    /// `debugger;` statements executed.
+    pub debugger_hits: usize,
+    /// Gate kinds encountered and solved by custom code (`otp`, `math`).
+    pub gates_solved: Vec<String>,
+    /// WHOIS registration instant of the landing domain.
+    pub domain_registered_at: Option<SimTime>,
+    /// Registrar of the landing domain.
+    pub registrar: Option<String>,
+    /// First CT-log certificate issuance of the landing domain.
+    pub cert_issued_at: Option<SimTime>,
+    /// Passive-DNS volume over the 30 days before delivery.
+    pub dns_volume: Option<QueryVolume>,
+    /// Shodan-style service banner of the landing host.
+    pub banner: Option<String>,
+    /// Whether the final page injected a hue-rotate filter.
+    pub hue_rotated: bool,
+}
+
+impl VisitLog {
+    /// The landing (final) URL.
+    pub fn final_url(&self) -> &str {
+        self.chain
+            .last()
+            .map(|(u, _)| u.as_str())
+            .unwrap_or(&self.requested_url)
+    }
+
+    /// The landing domain (host of the final URL).
+    pub fn landing_domain(&self) -> Option<String> {
+        Url::parse(self.final_url()).ok().map(|u| u.host)
+    }
+}
+
+/// The complete scan record of one reported message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScanRecord {
+    /// Corpus message id.
+    pub message_id: usize,
+    /// Delivery instant (from the message `Date:` header).
+    pub delivered_at: SimTime,
+    /// Parsed authentication results (§V-C1).
+    pub auth_pass: bool,
+    /// Resources the parsing phase extracted.
+    pub extracted: Vec<ExtractedResource>,
+    /// Crawl logs, one per crawled resource.
+    pub visits: Vec<VisitLog>,
+    /// Message body size in bytes (noise-padding signal).
+    pub body_bytes: usize,
+    /// Consecutive blank lines in the body (noise-padding signal).
+    pub blank_line_run: usize,
+    /// The derived §V class.
+    pub class: MessageClass,
+}
+
+impl ScanRecord {
+    /// The first visit that loaded an active phishing page, if any.
+    pub fn phish_visit(&self) -> Option<&VisitLog> {
+        self.visits
+            .iter()
+            .find(|v| v.outcome == VisitOutcome::Loaded && v.login_form)
+    }
+
+    /// The spear classification of this message, if any visit matched.
+    pub fn spear_match(&self) -> Option<SpearMatch> {
+        self.visits.iter().find_map(|v| v.spear)
+    }
+
+    /// `true` when any extracted resource came from a faulty QR code.
+    pub fn has_faulty_qr(&self) -> bool {
+        self.extracted.iter().any(|r| {
+            matches!(
+                r.source,
+                crate::extract::ExtractionSource::QrCode { faulty: true }
+            )
+        })
+    }
+}
+
+/// Write scan records as JSON Lines — the on-disk crawl log CrawlerBox's
+/// logging phase produces ("thoroughly logged … the collected data is
+/// enriched", §IV-C).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_jsonl<W: std::io::Write>(
+    mut writer: W,
+    records: &[ScanRecord],
+) -> std::io::Result<()> {
+    for r in records {
+        serde_json::to_writer(&mut writer, r)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Read scan records back from a JSON Lines stream.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure or malformed lines.
+pub fn read_jsonl<R: std::io::BufRead>(reader: R) -> std::io::Result<Vec<ScanRecord>> {
+    let mut out = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(
+            serde_json::from_str(&line)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::ExtractionSource;
+
+    fn empty_visit(url: &str) -> VisitLog {
+        VisitLog {
+            requested_url: url.to_string(),
+            chain: vec![(url.to_string(), 200)],
+            outcome: VisitOutcome::Loaded,
+            status: 200,
+            login_form: false,
+            screenshot_hash: None,
+            spear: None,
+            subresources: Vec::new(),
+            exfil: Vec::new(),
+            console_hijacked: false,
+            debugger_hits: 0,
+            gates_solved: Vec::new(),
+            domain_registered_at: None,
+            registrar: None,
+            cert_issued_at: None,
+            dns_volume: None,
+            banner: None,
+            hue_rotated: false,
+        }
+    }
+
+    #[test]
+    fn landing_domain_extraction() {
+        let mut v = empty_visit("https://a.example/x");
+        v.chain.push(("https://final.example/land".to_string(), 200));
+        assert_eq!(v.final_url(), "https://final.example/land");
+        assert_eq!(v.landing_domain().as_deref(), Some("final.example"));
+    }
+
+    #[test]
+    fn phish_visit_requires_login_form() {
+        let mut record = ScanRecord {
+            message_id: 0,
+            delivered_at: SimTime::EPOCH,
+            auth_pass: true,
+            extracted: Vec::new(),
+            visits: vec![empty_visit("https://a.example/")],
+            body_bytes: 100,
+            blank_line_run: 0,
+            class: MessageClass::ErrorPage,
+        };
+        assert!(record.phish_visit().is_none());
+        record.visits[0].login_form = true;
+        assert!(record.phish_visit().is_some());
+    }
+
+    #[test]
+    fn faulty_qr_detection() {
+        let record = ScanRecord {
+            message_id: 1,
+            delivered_at: SimTime::EPOCH,
+            auth_pass: true,
+            extracted: vec![ExtractedResource {
+                url: "https://x.example/".into(),
+                source: ExtractionSource::QrCode { faulty: true },
+            }],
+            visits: Vec::new(),
+            body_bytes: 10,
+            blank_line_run: 0,
+            class: MessageClass::NoResource,
+        };
+        assert!(record.has_faulty_qr());
+    }
+
+    #[test]
+    fn records_serialize() {
+        let v = empty_visit("https://a.example/");
+        let json = serde_json::to_string(&v).unwrap();
+        assert!(json.contains("requested_url"));
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let record = ScanRecord {
+            message_id: 7,
+            delivered_at: SimTime::from_ymd(2024, 5, 2),
+            auth_pass: true,
+            extracted: vec![ExtractedResource {
+                url: "https://x.example/t".into(),
+                source: ExtractionSource::BodyText,
+            }],
+            visits: vec![empty_visit("https://x.example/t")],
+            body_bytes: 321,
+            blank_line_run: 2,
+            class: MessageClass::ActivePhish,
+        };
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, std::slice::from_ref(&record)).unwrap();
+        let back = read_jsonl(std::io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].message_id, 7);
+        assert_eq!(back[0].class, MessageClass::ActivePhish);
+        assert_eq!(back[0].extracted, record.extracted);
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        assert!(read_jsonl(std::io::BufReader::new(&b"not json\n"[..])).is_err());
+    }
+}

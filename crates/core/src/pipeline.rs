@@ -1,0 +1,494 @@
+//! The CrawlerBox pipeline: parse → crawl → log → classify, per Figure 1.
+//!
+//! Crawling uses NotABot by default ("given that the detection of automated
+//! tools follows a continuous adversarial cycle, CrawlerBox has been
+//! designed with a modular architecture, allowing for interchangeable use
+//! of the crawling component") — [`CrawlerBox::with_profile`] swaps it.
+
+use crate::classify::SpearClassifier;
+use crate::extract::extract_resources;
+use crate::logging::{ScanRecord, VisitLog};
+use cb_browser::engine::VisitOutcome;
+use cb_browser::{Browser, CrawlerProfile, Visit};
+use cb_email::MimeEntity;
+use cb_imagehash::HashPair;
+use cb_netsim::Internet;
+use cb_phishgen::{MessageClass, ReportedMessage};
+use cb_sim::{SimDuration, SimTime};
+
+/// Crawl at most this many distinct URLs per message.
+const MAX_URLS_PER_MESSAGE: usize = 4;
+
+/// The analysis infrastructure.
+pub struct CrawlerBox<'a> {
+    world: &'a Internet,
+    browser: Browser,
+    /// Fallback crawler components tried when the primary sees nothing
+    /// malicious — the paper's future-work item ("for future work, we
+    /// consider expanding CrawlerBox by integrating [Nodriver and
+    /// Selenium-Driverless]; diversifying crawler components … can only be
+    /// beneficial"), implemented.
+    fallbacks: Vec<Browser>,
+    classifier: SpearClassifier,
+    /// Worker threads for [`scan_all`](Self::scan_all).
+    pub parallelism: usize,
+}
+
+impl<'a> CrawlerBox<'a> {
+    /// A CrawlerBox crawling `world` with NotABot.
+    pub fn new(world: &'a Internet) -> CrawlerBox<'a> {
+        CrawlerBox {
+            world,
+            browser: Browser::new(CrawlerProfile::NotABot),
+            fallbacks: Vec::new(),
+            classifier: SpearClassifier::new(),
+            parallelism: 4,
+        }
+    }
+
+    /// Swap the crawler component (the modular-crawler design point).
+    pub fn with_profile(mut self, profile: CrawlerProfile) -> CrawlerBox<'a> {
+        self.browser = Browser::new(profile);
+        self
+    }
+
+    /// Add fallback crawler components, tried in order when the primary
+    /// crawler reaches no phishing content for a URL.
+    pub fn with_fallbacks(mut self, profiles: &[CrawlerProfile]) -> CrawlerBox<'a> {
+        self.fallbacks = profiles.iter().map(|p| Browser::new(*p)).collect();
+        self
+    }
+
+    /// The active crawler profile.
+    pub fn profile(&self) -> CrawlerProfile {
+        self.browser.profile()
+    }
+
+    /// Scan one reported message end to end.
+    pub fn scan(&self, message: &ReportedMessage) -> ScanRecord {
+        let parsed = MimeEntity::parse(&message.raw).ok();
+        let (extracted, auth_pass, blank_line_run, delivered_at) = match &parsed {
+            Some(msg) => (
+                extract_resources(msg),
+                msg.header("Authentication-Results")
+                    .map(|v| v.contains("spf=pass") && v.contains("dkim=pass") && v.contains("dmarc=pass"))
+                    .unwrap_or(false),
+                blank_run(msg),
+                msg.header("Date")
+                    .and_then(parse_date)
+                    .unwrap_or(message.delivered_at),
+            ),
+            None => (Vec::new(), false, 0, message.delivered_at),
+        };
+
+        // Crawl distinct URLs (first occurrence order).
+        let mut urls: Vec<&str> = Vec::new();
+        for r in &extracted {
+            if !urls.contains(&r.url.as_str()) {
+                urls.push(&r.url);
+            }
+            if urls.len() >= MAX_URLS_PER_MESSAGE {
+                break;
+            }
+        }
+        let full_text = parsed
+            .as_ref()
+            .map(collect_text)
+            .unwrap_or_default();
+        let visits: Vec<VisitLog> = urls
+            .iter()
+            .map(|u| self.crawl_one(u, &full_text, delivered_at))
+            .collect();
+
+        let class = derive_class(&extracted, &visits);
+        ScanRecord {
+            message_id: message.id,
+            delivered_at,
+            auth_pass,
+            extracted,
+            visits,
+            body_bytes: message.raw.len(),
+            blank_line_run,
+            class,
+        }
+    }
+
+    /// Scan a batch in parallel, preserving order.
+    pub fn scan_all(&self, messages: &[ReportedMessage]) -> Vec<ScanRecord> {
+        if messages.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.parallelism.max(1).min(messages.len());
+        let chunk = messages.len().div_ceil(workers);
+        let mut out: Vec<Option<ScanRecord>> = Vec::new();
+        out.resize_with(messages.len(), || None);
+        crossbeam::thread::scope(|scope| {
+            for (slot, msgs) in out.chunks_mut(chunk).zip(messages.chunks(chunk)) {
+                scope.spawn(move |_| {
+                    for (s, m) in slot.iter_mut().zip(msgs) {
+                        *s = Some(self.scan(m));
+                    }
+                });
+            }
+        })
+        .expect("scan workers do not panic");
+        out.into_iter().map(|r| r.expect("every slot filled")).collect()
+    }
+
+    /// Crawl one URL, solving what custom code can solve (math challenges,
+    /// and OTP gates when the code is present in the message text). When
+    /// the primary crawler sees nothing malicious, fallback components get
+    /// a turn — a kit cloaking against one crawler's tells may reveal to
+    /// another.
+    fn crawl_one(&self, url: &str, message_text: &str, delivered_at: SimTime) -> VisitLog {
+        let log = self.crawl_with(&self.browser, url, message_text, delivered_at);
+        if log.login_form || log.outcome != cb_browser::engine::VisitOutcome::Loaded {
+            return log;
+        }
+        for fallback in &self.fallbacks {
+            let retry = self.crawl_with(fallback, url, message_text, delivered_at);
+            if retry.login_form {
+                return retry;
+            }
+        }
+        log
+    }
+
+    fn crawl_with(
+        &self,
+        browser: &Browser,
+        url: &str,
+        message_text: &str,
+        delivered_at: SimTime,
+    ) -> VisitLog {
+        let mut visit = browser.visit(self.world, url);
+        let mut gates_solved = Vec::new();
+
+        for _attempt in 0..2 {
+            if visit.outcome != VisitOutcome::InteractionRequired {
+                break;
+            }
+            let Some(kind) = gate_kind(&visit) else {
+                break;
+            };
+            let retry = match kind.as_str() {
+                "math" => solve_math(&visit).map(|answer| {
+                    with_param(visit.final_url().to_string().as_str(), "answer", &answer)
+                }),
+                "otp" => find_otp(message_text)
+                    .map(|code| with_param(visit.final_url().to_string().as_str(), "otp", &code)),
+                _ => None,
+            };
+            match retry {
+                Some(retry_url) => {
+                    gates_solved.push(kind);
+                    visit = browser.visit(self.world, &retry_url);
+                }
+                None => break,
+            }
+        }
+
+        self.log_visit(&visit, gates_solved, delivered_at)
+    }
+
+    fn log_visit(
+        &self,
+        visit: &Visit,
+        gates_solved: Vec<String>,
+        delivered_at: SimTime,
+    ) -> VisitLog {
+        let screenshot_hash = visit.screenshot.as_ref().map(HashPair::of);
+        let spear = visit
+            .screenshot
+            .as_ref()
+            .and_then(|s| self.classifier.classify(s))
+            .filter(|_| visit.shows_login_form());
+        let hue_rotated = visit
+            .document
+            .as_ref()
+            .map(|d| {
+                ["body", "html"].iter().any(|t| {
+                    d.elements(t)
+                        .first()
+                        .and_then(|n| n.attr("style"))
+                        .map(|s| s.contains("hue-rotate"))
+                        .unwrap_or(false)
+                })
+            })
+            .unwrap_or(false);
+
+        let landing_host = visit.final_url().host.clone();
+        let whois = self.world.whois(&landing_host);
+        let cert = self.world.first_certificate(&landing_host);
+        let dns_volume = Some(self.world.dns_volume(
+            &landing_host,
+            delivered_at,
+            SimDuration::days(30),
+        ));
+        let banner = self.world.banner(&landing_host);
+
+        VisitLog {
+            requested_url: visit.requested_url.to_string(),
+            chain: visit
+                .chain
+                .iter()
+                .map(|(u, s)| (u.to_string(), *s))
+                .collect(),
+            outcome: visit.outcome,
+            status: visit.status,
+            login_form: visit.shows_login_form(),
+            screenshot_hash,
+            spear,
+            subresources: visit
+                .subresources
+                .iter()
+                .map(|(u, s)| (u.to_string(), *s))
+                .collect(),
+            exfil: visit.exfil.clone(),
+            console_hijacked: visit.console_hijacked,
+            debugger_hits: visit.debugger_hits,
+            gates_solved,
+            domain_registered_at: whois.as_ref().map(|w| w.registered_at),
+            registrar: whois.map(|w| w.registrar),
+            cert_issued_at: cert.map(|c| c.issued_at),
+            dns_volume,
+            banner,
+            hue_rotated,
+        }
+    }
+}
+
+/// Derive the §V message class from what the scan observed.
+fn derive_class(
+    extracted: &[crate::extract::ExtractedResource],
+    visits: &[VisitLog],
+) -> MessageClass {
+    if extracted.is_empty() {
+        return MessageClass::NoResource;
+    }
+    if visits
+        .iter()
+        .any(|v| v.outcome == VisitOutcome::Loaded && v.login_form)
+    {
+        return MessageClass::ActivePhish;
+    }
+    if visits.iter().any(|v| v.outcome == VisitOutcome::Download) {
+        return MessageClass::Download;
+    }
+    if visits
+        .iter()
+        .any(|v| v.outcome == VisitOutcome::InteractionRequired)
+    {
+        return MessageClass::InteractionRequired;
+    }
+    MessageClass::ErrorPage
+}
+
+/// The gate kind marker on the final page.
+fn gate_kind(visit: &Visit) -> Option<String> {
+    visit.document.as_ref().and_then(|d| {
+        d.walk()
+            .iter()
+            .find_map(|n| n.attr("data-requires-interaction").map(str::to_string))
+    })
+}
+
+/// Solve a "What is X + Y?" math challenge from the gate prompt.
+fn solve_math(visit: &Visit) -> Option<String> {
+    let text = visit.document.as_ref()?.visible_text();
+    let idx = text.find("What is ")?;
+    let rest = &text[idx + 8..];
+    let end = rest.find('?')?;
+    let expr = &rest[..end];
+    let (a, b) = expr.split_once('+')?;
+    let sum = a.trim().parse::<i64>().ok()? + b.trim().parse::<i64>().ok()?;
+    Some(sum.to_string())
+}
+
+/// Find a one-time code in the message text ("access code: 123456").
+fn find_otp(text: &str) -> Option<String> {
+    let marker = cb_phishgen::messages::ACCESS_CODE_PREFIX;
+    // Slice the lowercased text, not the original: case folding can change
+    // byte lengths (e.g. 'İ'), so indexes into `lower` are only valid in
+    // `lower` — digits are unaffected by folding.
+    let lower = text.to_lowercase();
+    let idx = lower.find(marker)?;
+    let rest = &lower[idx + marker.len()..];
+    let code: String = rest
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    (code.len() >= 4).then_some(code)
+}
+
+/// Append a query parameter respecting existing query strings and keeping
+/// any fragment after the parameter (servers never see fragments).
+fn with_param(url: &str, name: &str, value: &str) -> String {
+    let (base, fragment) = match url.split_once('#') {
+        Some((b, f)) => (b, Some(f)),
+        None => (url, None),
+    };
+    let sep = if base.contains('?') { '&' } else { '?' };
+    match fragment {
+        Some(f) => format!("{base}{sep}{name}={value}#{f}"),
+        None => format!("{base}{sep}{name}={value}"),
+    }
+}
+
+/// All text content of a message's leaves (for OTP search).
+fn collect_text(msg: &MimeEntity) -> String {
+    msg.leaves()
+        .iter()
+        .filter_map(|l| l.body_text())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Maximum run of consecutive blank lines in the message body.
+fn blank_run(msg: &MimeEntity) -> usize {
+    let text = collect_text(msg);
+    let mut best = 0usize;
+    let mut run = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            run += 1;
+            best = best.max(run);
+        } else {
+            run = 0;
+        }
+    }
+    best
+}
+
+/// Parse the corpus `Date:` header format (`DD Mon YYYY HH:MM:SS +0000`).
+fn parse_date(s: &str) -> Option<SimTime> {
+    let mut parts = s.split_whitespace();
+    let day: u32 = parts.next()?.parse().ok()?;
+    let month = match parts.next()? {
+        "Jan" => 1,
+        "Feb" => 2,
+        "Mar" => 3,
+        "Apr" => 4,
+        "May" => 5,
+        "Jun" => 6,
+        "Jul" => 7,
+        "Aug" => 8,
+        "Sep" => 9,
+        "Oct" => 10,
+        "Nov" => 11,
+        "Dec" => 12,
+        _ => return None,
+    };
+    let year: i64 = parts.next()?.parse().ok()?;
+    let mut hms = parts.next()?.split(':');
+    let h: u32 = hms.next()?.parse().ok()?;
+    let m: u32 = hms.next()?.parse().ok()?;
+    let sec: u32 = hms.next()?.parse().ok()?;
+    Some(SimTime::from_ymd_hms(year, month, day, h, m, sec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cb_phishgen::{Corpus, CorpusSpec};
+
+    fn corpus() -> Corpus {
+        Corpus::generate(&CorpusSpec::paper().with_scale(0.02), 99)
+    }
+
+    #[test]
+    fn classes_match_ground_truth() {
+        let corpus = corpus();
+        let cbx = CrawlerBox::new(&corpus.world);
+        let mut agreement = 0usize;
+        for m in &corpus.messages {
+            let record = cbx.scan(m);
+            if record.class == m.truth.class {
+                agreement += 1;
+            }
+        }
+        let rate = agreement as f64 / corpus.messages.len() as f64;
+        assert!(
+            rate > 0.95,
+            "class agreement {rate} ({agreement}/{})",
+            corpus.messages.len()
+        );
+    }
+
+    #[test]
+    fn active_spear_messages_classify_as_spear() {
+        let corpus = corpus();
+        let cbx = CrawlerBox::new(&corpus.world);
+        let spear_msg = corpus
+            .messages
+            .iter()
+            .find(|m| m.truth.spear && m.truth.class == cb_phishgen::MessageClass::ActivePhish)
+            .expect("a spear message");
+        let record = cbx.scan(spear_msg);
+        assert_eq!(record.class, cb_phishgen::MessageClass::ActivePhish);
+        assert!(
+            record.spear_match().is_some(),
+            "spear lookalike must classify: {:?}",
+            record.visits.iter().map(|v| (&v.requested_url, v.outcome, v.login_form)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn auth_results_parsed() {
+        let corpus = corpus();
+        let cbx = CrawlerBox::new(&corpus.world);
+        let record = cbx.scan(&corpus.messages[0]);
+        assert!(record.auth_pass);
+    }
+
+    #[test]
+    fn scan_all_parallel_matches_serial() {
+        let corpus = corpus();
+        let cbx = CrawlerBox::new(&corpus.world);
+        let subset = &corpus.messages[..20.min(corpus.messages.len())];
+        let parallel = cbx.scan_all(subset);
+        for (p, m) in parallel.iter().zip(subset) {
+            let s = cbx.scan(m);
+            assert_eq!(p.message_id, s.message_id);
+            assert_eq!(p.class, s.class);
+            assert_eq!(p.extracted, s.extracted);
+        }
+    }
+
+    #[test]
+    fn date_header_round_trips() {
+        let t = SimTime::from_ymd_hms(2024, 7, 9, 14, 5, 33);
+        let s = cb_phishgen::messages::date_header(t);
+        assert_eq!(parse_date(&s), Some(t));
+    }
+
+    #[test]
+    fn otp_extraction_from_text() {
+        assert_eq!(
+            find_otp("Your one-time access code: 491827\nthanks"),
+            Some("491827".to_string())
+        );
+        assert_eq!(find_otp("no code here"), None);
+        assert_eq!(find_otp("access code: 12"), None, "too short");
+    }
+
+    #[test]
+    fn math_solver() {
+        assert_eq!(with_param("https://a.example/x", "answer", "42"), "https://a.example/x?answer=42");
+        assert_eq!(
+            with_param("https://a.example/x?victim=v", "otp", "1"),
+            "https://a.example/x?victim=v&otp=1"
+        );
+    }
+
+    #[test]
+    fn noise_padding_detected_via_blank_run() {
+        let corpus = corpus();
+        let cbx = CrawlerBox::new(&corpus.world);
+        if let Some(noisy) = corpus.messages.iter().find(|m| m.truth.noise_padded) {
+            let record = cbx.scan(noisy);
+            assert!(record.blank_line_run >= 8, "run {}", record.blank_line_run);
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! Content-transfer-encoding codecs: Base64 (RFC 4648) and Quoted-Printable
+//! (RFC 2045 §6.7).
+//!
+//! Message-level evasion routinely hides payloads behind these encodings
+//! (paper §III-A: "parts of the message are encoded in Base64"), so the
+//! parser must decode them before URL extraction — and the corpus generator
+//! must encode them.
+
+use std::fmt;
+
+const B64_ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Errors produced when decoding Base64 input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Base64Error {
+    /// A byte outside the Base64 alphabet (and not padding or whitespace).
+    InvalidByte(u8),
+    /// The non-whitespace payload length is not a multiple of 4, or padding
+    /// appears in the wrong place.
+    InvalidLength,
+}
+
+impl fmt::Display for Base64Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Base64Error::InvalidByte(b) => write!(f, "invalid base64 byte 0x{b:02x}"),
+            Base64Error::InvalidLength => write!(f, "base64 payload has invalid length"),
+        }
+    }
+}
+
+impl std::error::Error for Base64Error {}
+
+/// Encode `data` as Base64 with no line wrapping.
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(B64_ALPHABET[(triple >> 18) as usize & 63] as char);
+        out.push(B64_ALPHABET[(triple >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            B64_ALPHABET[(triple >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64_ALPHABET[triple as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Encode as Base64 wrapped to 76-character lines (the MIME convention).
+pub fn base64_encode_wrapped(data: &[u8]) -> String {
+    let flat = base64_encode(data);
+    let mut out = String::with_capacity(flat.len() + flat.len() / 76 * 2);
+    for (i, c) in flat.chars().enumerate() {
+        if i > 0 && i % 76 == 0 {
+            out.push_str("\r\n");
+        }
+        out.push(c);
+    }
+    out
+}
+
+fn b64_value(b: u8) -> Option<u8> {
+    match b {
+        b'A'..=b'Z' => Some(b - b'A'),
+        b'a'..=b'z' => Some(b - b'a' + 26),
+        b'0'..=b'9' => Some(b - b'0' + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decode Base64, tolerating interleaved ASCII whitespace (MIME bodies are
+/// line-wrapped).
+///
+/// # Errors
+///
+/// Returns [`Base64Error`] on alphabet violations or bad padding.
+pub fn base64_decode(text: &str) -> Result<Vec<u8>, Base64Error> {
+    let mut out = Vec::with_capacity(text.len() / 4 * 3);
+    let mut quad = [0u8; 4];
+    let mut fill = 0usize;
+    let mut pad = 0usize;
+    for &b in text.as_bytes() {
+        if b.is_ascii_whitespace() {
+            continue;
+        }
+        if b == b'=' {
+            // RFC 4648: at most two pads, never in the first two positions.
+            if fill < 2 || pad >= 2 {
+                return Err(Base64Error::InvalidLength);
+            }
+            pad += 1;
+            quad[fill] = 0;
+            fill += 1;
+        } else {
+            if pad > 0 {
+                // data after padding
+                return Err(Base64Error::InvalidLength);
+            }
+            quad[fill] = b64_value(b).ok_or(Base64Error::InvalidByte(b))?;
+            fill += 1;
+        }
+        if fill == 4 {
+            let triple = ((quad[0] as u32) << 18)
+                | ((quad[1] as u32) << 12)
+                | ((quad[2] as u32) << 6)
+                | quad[3] as u32;
+            out.push((triple >> 16) as u8);
+            if pad < 2 {
+                out.push((triple >> 8) as u8);
+            }
+            if pad == 0 {
+                out.push(triple as u8);
+            }
+            fill = 0;
+            if pad > 0 {
+                pad = 3; // any further non-whitespace byte is an error
+            }
+        }
+    }
+    if fill != 0 {
+        return Err(Base64Error::InvalidLength);
+    }
+    Ok(out)
+}
+
+/// Encode text as Quoted-Printable (RFC 2045 §6.7), wrapping at 76 columns
+/// with soft line breaks.
+pub fn quoted_printable_encode(data: &[u8]) -> String {
+    let mut out = String::new();
+    let mut col = 0usize;
+    let push = |s: &str, col: &mut usize, out: &mut String| {
+        if *col + s.len() > 75 {
+            out.push_str("=\r\n");
+            *col = 0;
+        }
+        out.push_str(s);
+        *col += s.len();
+    };
+    let mut i = 0;
+    while i < data.len() {
+        let b = data[i];
+        match b {
+            b'\r' if data.get(i + 1) == Some(&b'\n') => {
+                out.push_str("\r\n");
+                col = 0;
+                i += 2;
+                continue;
+            }
+            b'\n' => {
+                out.push_str("\r\n");
+                col = 0;
+            }
+            b'=' => push(&format!("={:02X}", b), &mut col, &mut out),
+            b' ' | b'\t' => {
+                // Trailing whitespace before a line break must be encoded;
+                // we conservatively encode whitespace at end of input or line.
+                let at_line_end = matches!(data.get(i + 1), None | Some(b'\r') | Some(b'\n'));
+                if at_line_end {
+                    push(&format!("={:02X}", b), &mut col, &mut out);
+                } else {
+                    push(std::str::from_utf8(&[b]).unwrap(), &mut col, &mut out);
+                }
+            }
+            0x21..=0x7e => push(std::str::from_utf8(&[b]).unwrap(), &mut col, &mut out),
+            _ => push(&format!("={:02X}", b), &mut col, &mut out),
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Decode Quoted-Printable text. Invalid escape sequences are passed through
+/// literally, matching the leniency of real mail software.
+pub fn quoted_printable_decode(text: &str) -> Vec<u8> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'=' {
+            // soft line break: '=' CRLF or '=' LF
+            if bytes.get(i + 1) == Some(&b'\r') && bytes.get(i + 2) == Some(&b'\n') {
+                i += 3;
+                continue;
+            }
+            if bytes.get(i + 1) == Some(&b'\n') {
+                i += 2;
+                continue;
+            }
+            let hex = |b: u8| -> Option<u8> {
+                match b {
+                    b'0'..=b'9' => Some(b - b'0'),
+                    b'A'..=b'F' => Some(b - b'A' + 10),
+                    b'a'..=b'f' => Some(b - b'a' + 10),
+                    _ => None,
+                }
+            };
+            if let (Some(&h), Some(&l)) = (bytes.get(i + 1), bytes.get(i + 2)) {
+                if let (Some(h), Some(l)) = (hex(h), hex(l)) {
+                    out.push((h << 4) | l);
+                    i += 3;
+                    continue;
+                }
+            }
+            out.push(b'=');
+            i += 1;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base64_rfc4648_vectors() {
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
+        assert_eq!(base64_encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn base64_round_trip_binary() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn base64_decode_tolerates_whitespace() {
+        assert_eq!(base64_decode("Zm9v\r\nYmFy").unwrap(), b"foobar");
+        assert_eq!(base64_decode("Z g = =").unwrap(), b"f");
+    }
+
+    #[test]
+    fn base64_decode_rejects_garbage() {
+        assert_eq!(base64_decode("Zm9!"), Err(Base64Error::InvalidByte(b'!')));
+        assert_eq!(base64_decode("Zm9"), Err(Base64Error::InvalidLength));
+        assert_eq!(base64_decode("Zg==Zg=="), Err(Base64Error::InvalidLength));
+    }
+
+    #[test]
+    fn base64_wrapped_lines_are_76_cols() {
+        let data = vec![0xAB; 100];
+        let s = base64_encode_wrapped(&data);
+        for line in s.lines() {
+            assert!(line.len() <= 76);
+        }
+        assert_eq!(base64_decode(&s).unwrap(), data);
+    }
+
+    #[test]
+    fn qp_round_trip_ascii() {
+        let text = b"Hello, world! Simple ASCII stays readable.";
+        let enc = quoted_printable_encode(text);
+        assert_eq!(quoted_printable_decode(&enc), text);
+        assert!(enc.contains("Hello, world!"));
+    }
+
+    #[test]
+    fn qp_encodes_equals_and_high_bytes() {
+        let enc = quoted_printable_encode("1=2 caf\u{e9}".as_bytes());
+        assert!(enc.contains("=3D"), "{enc}");
+        assert!(enc.contains("=C3=A9"), "{enc}");
+        assert_eq!(quoted_printable_decode(&enc), "1=2 caf\u{e9}".as_bytes());
+    }
+
+    #[test]
+    fn qp_soft_breaks_wrap_long_lines() {
+        let long = "x".repeat(200);
+        let enc = quoted_printable_encode(long.as_bytes());
+        for line in enc.split("\r\n") {
+            assert!(line.len() <= 76, "line too long: {}", line.len());
+        }
+        assert_eq!(quoted_printable_decode(&enc), long.as_bytes());
+    }
+
+    #[test]
+    fn qp_preserves_crlf_structure() {
+        let text = b"line one\r\nline two\r\n";
+        let enc = quoted_printable_encode(text);
+        assert_eq!(quoted_printable_decode(&enc), text);
+    }
+
+    #[test]
+    fn qp_trailing_space_is_protected() {
+        let text = b"trailing \r\nnext";
+        let enc = quoted_printable_encode(text);
+        assert!(enc.contains("=20"), "{enc}");
+        assert_eq!(quoted_printable_decode(&enc), text);
+    }
+
+    #[test]
+    fn qp_decode_is_lenient_on_bad_escapes() {
+        assert_eq!(quoted_printable_decode("a=ZZb"), b"a=ZZb");
+        assert_eq!(quoted_printable_decode("end="), b"end=");
+    }
+}
+
+#[cfg(test)]
+mod review_regressions {
+    use super::*;
+
+    #[test]
+    fn over_padded_base64_is_rejected() {
+        assert_eq!(base64_decode("===="), Err(Base64Error::InvalidLength));
+        assert_eq!(base64_decode("Z==="), Err(Base64Error::InvalidLength));
+        assert_eq!(base64_decode("=g=="), Err(Base64Error::InvalidLength));
+        // legal padding still decodes
+        assert_eq!(base64_decode("Zg==").unwrap(), b"f");
+        assert_eq!(base64_decode("Zm8=").unwrap(), b"fo");
+    }
+}

@@ -1,0 +1,134 @@
+//! Type-II discrete cosine transform for the 32×32 pHash core.
+//!
+//! Implemented directly from the definition with precomputed cosine tables;
+//! at 32×32 the O(n³) separable evaluation is microseconds, so no FFT is
+//! needed.
+
+use std::sync::OnceLock;
+
+const N: usize = 32;
+
+/// cos((2x+1)·u·π / 2N) table, indexed `[u][x]`.
+fn cos_table() -> &'static [[f64; N]; N] {
+    static TABLE: OnceLock<[[f64; N]; N]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [[0.0; N]; N];
+        for (u, row) in t.iter_mut().enumerate() {
+            for (x, cell) in row.iter_mut().enumerate() {
+                *cell =
+                    ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / (2.0 * N as f64)).cos();
+            }
+        }
+        t
+    })
+}
+
+fn alpha(u: usize) -> f64 {
+    if u == 0 {
+        (1.0 / N as f64).sqrt()
+    } else {
+        (2.0 / N as f64).sqrt()
+    }
+}
+
+/// 1-D type-II DCT of a length-32 slice.
+fn dct1d(input: &[f64], output: &mut [f64]) {
+    let table = cos_table();
+    for u in 0..N {
+        let mut sum = 0.0;
+        for x in 0..N {
+            sum += input[x] * table[u][x];
+        }
+        output[u] = alpha(u) * sum;
+    }
+}
+
+/// Separable 2-D type-II DCT of a row-major 32×32 input.
+///
+/// # Panics
+///
+/// Panics if `input` is not exactly 1024 elements.
+pub fn dct2_32(input: &[f64]) -> Vec<f64> {
+    assert_eq!(input.len(), N * N, "dct2_32 expects a 32x32 input");
+    let mut rows = vec![0.0; N * N];
+    for y in 0..N {
+        dct1d(&input[y * N..(y + 1) * N], &mut rows[y * N..(y + 1) * N]);
+    }
+    let mut out = vec![0.0; N * N];
+    let mut col_in = [0.0; N];
+    let mut col_out = [0.0; N];
+    for x in 0..N {
+        for y in 0..N {
+            col_in[y] = rows[y * N + x];
+        }
+        dct1d(&col_in, &mut col_out);
+        for y in 0..N {
+            out[y * N + x] = col_out[y];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_term_is_scaled_mean() {
+        let input = vec![10.0; N * N];
+        let out = dct2_32(&input);
+        // DC = alpha(0)^2 * sum = (1/N) * N^2 * 10 = N * 10
+        assert!((out[0] - N as f64 * 10.0).abs() < 1e-9);
+        // all other coefficients vanish for a constant signal
+        assert!(out[1..].iter().all(|&c| c.abs() < 1e-9));
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        // Orthonormal DCT preserves the L2 norm.
+        let input: Vec<f64> = (0..N * N).map(|i| ((i * 37 + 11) % 97) as f64).collect();
+        let out = dct2_32(&input);
+        let e_in: f64 = input.iter().map(|v| v * v).sum();
+        let e_out: f64 = out.iter().map(|v| v * v).sum();
+        assert!((e_in - e_out).abs() / e_in < 1e-10);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<f64> = (0..N * N).map(|i| (i % 13) as f64).collect();
+        let b: Vec<f64> = (0..N * N).map(|i| ((i * 7) % 31) as f64).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let da = dct2_32(&a);
+        let db = dct2_32(&b);
+        let ds = dct2_32(&sum);
+        for i in 0..N * N {
+            assert!((ds[i] - da[i] - db[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn single_cosine_concentrates_in_one_bin() {
+        // input = cos basis function (u=3 horizontal) should excite only
+        // coefficients in column 3 of row 0.
+        let mut input = vec![0.0; N * N];
+        for y in 0..N {
+            for x in 0..N {
+                input[y * N + x] =
+                    ((2 * x + 1) as f64 * 3.0 * std::f64::consts::PI / (2.0 * N as f64)).cos();
+            }
+        }
+        let out = dct2_32(&input);
+        let peak = out[3].abs();
+        for (i, &c) in out.iter().enumerate() {
+            if i != 3 {
+                assert!(c.abs() < peak / 1e6, "leak at {i}: {c}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "32x32")]
+    fn wrong_size_panics() {
+        dct2_32(&[0.0; 10]);
+    }
+}

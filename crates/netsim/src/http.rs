@@ -1,0 +1,263 @@
+//! HTTP request/response types with the bot-detection-relevant surface:
+//! **ordered** headers (header-order inspection is an AnonWAF signal), a
+//! TLS fingerprint (JA3-like), and the client's source address.
+
+use crate::ip::IpAddress;
+use crate::url::Url;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A JA3-style TLS client fingerprint. Real browsers, automation stacks and
+/// HTTP libraries each produce stable, distinguishable values; WAFs compare
+/// the fingerprint against the claimed User-Agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TlsFingerprint {
+    /// Genuine Chrome TLS stack.
+    ChromeReal,
+    /// Chrome driven over CDP: same TLS stack as real Chrome.
+    ChromeCdp,
+    /// Legacy automation stacks that terminate TLS differently (older
+    /// headless builds, proxied capture setups).
+    HeadlessLegacy,
+    /// A plain HTTP client library (curl/reqwest-style).
+    LibraryClient,
+}
+
+impl fmt::Display for TlsFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TlsFingerprint::ChromeReal => "tls:chrome",
+            TlsFingerprint::ChromeCdp => "tls:chrome",
+            TlsFingerprint::HeadlessLegacy => "tls:headless-legacy",
+            TlsFingerprint::LibraryClient => "tls:library",
+        })
+    }
+}
+
+impl TlsFingerprint {
+    /// `true` when the fingerprint is indistinguishable from desktop Chrome
+    /// (CDP-driven Chrome shares the real stack).
+    pub fn looks_like_chrome(self) -> bool {
+        matches!(self, TlsFingerprint::ChromeReal | TlsFingerprint::ChromeCdp)
+    }
+}
+
+/// An HTTP request with ordered headers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HttpRequest {
+    /// `GET` or `POST`.
+    pub method: String,
+    /// Absolute target URL.
+    pub url: Url,
+    /// Headers in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (POST data, AJAX payloads).
+    pub body: Vec<u8>,
+    /// Source address (resolved through [`crate::IpSpace`] classes).
+    pub client_ip: IpAddress,
+    /// The client's TLS fingerprint.
+    pub tls: TlsFingerprint,
+}
+
+impl HttpRequest {
+    /// A plain GET with browser-default headers from a residential-looking
+    /// client. Builder methods refine it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `url` does not parse — requests are built from
+    /// already-validated pipeline URLs.
+    pub fn get(url: &str) -> HttpRequest {
+        HttpRequest {
+            method: "GET".to_string(),
+            url: Url::parse(url).expect("caller provides a valid url"),
+            headers: vec![
+                ("Host".to_string(), String::new()),
+                ("User-Agent".to_string(), "Mozilla/5.0".to_string()),
+                ("Accept".to_string(), "text/html,*/*".to_string()),
+                ("Accept-Language".to_string(), "en-US".to_string()),
+            ],
+            body: Vec::new(),
+            client_ip: IpAddress(78 << 24 | 1),
+            tls: TlsFingerprint::ChromeReal,
+        }
+    }
+
+    /// A POST with the given body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `url` does not parse.
+    pub fn post(url: &str, body: &[u8]) -> HttpRequest {
+        let mut r = HttpRequest::get(url);
+        r.method = "POST".to_string();
+        r.body = body.to_vec();
+        r
+    }
+
+    /// Replace or append a header, preserving the position of an existing
+    /// one (header order is a fingerprinting signal).
+    pub fn set_header(&mut self, name: &str, value: &str) -> &mut Self {
+        match self
+            .headers
+            .iter_mut()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        {
+            Some((_, v)) => *v = value.to_string(),
+            None => self.headers.push((name.to_string(), value.to_string())),
+        }
+        self
+    }
+
+    /// First value of a header (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `User-Agent` value (empty when absent).
+    pub fn user_agent(&self) -> &str {
+        self.header("User-Agent").unwrap_or("")
+    }
+
+    /// Comma-joined lowercased header names in wire order — the AnonWAF
+    /// header-order signal.
+    pub fn header_order_signature(&self) -> String {
+        self.headers
+            .iter()
+            .map(|(n, _)| n.to_ascii_lowercase())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A 200 response with the given content type.
+    pub fn ok(content_type: &str, body: Vec<u8>) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            headers: vec![("Content-Type".to_string(), content_type.to_string())],
+            body,
+        }
+    }
+
+    /// An HTML 200.
+    pub fn html(body: &str) -> HttpResponse {
+        HttpResponse::ok("text/html", body.as_bytes().to_vec())
+    }
+
+    /// A redirect to `location`.
+    pub fn redirect(location: &str) -> HttpResponse {
+        HttpResponse {
+            status: 302,
+            headers: vec![("Location".to_string(), location.to_string())],
+            body: Vec::new(),
+        }
+    }
+
+    /// A 404.
+    pub fn not_found() -> HttpResponse {
+        HttpResponse {
+            status: 404,
+            headers: Vec::new(),
+            body: b"not found".to_vec(),
+        }
+    }
+
+    /// A 403 (blocked by filtering).
+    pub fn forbidden() -> HttpResponse {
+        HttpResponse {
+            status: 403,
+            headers: Vec::new(),
+            body: b"forbidden".to_vec(),
+        }
+    }
+
+    /// First value of a header (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as lossy UTF-8.
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// `true` for 3xx with a Location header.
+    pub fn is_redirect(&self) -> bool {
+        (300..400).contains(&self.status) && self.header("Location").is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_has_browser_default_headers() {
+        let r = HttpRequest::get("https://x.example/p");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.user_agent(), "Mozilla/5.0");
+        assert_eq!(
+            r.header_order_signature(),
+            "host,user-agent,accept,accept-language"
+        );
+    }
+
+    #[test]
+    fn set_header_preserves_position() {
+        let mut r = HttpRequest::get("https://x.example/");
+        r.set_header("user-agent", "CustomBot/1.0");
+        assert_eq!(r.user_agent(), "CustomBot/1.0");
+        assert_eq!(
+            r.header_order_signature(),
+            "host,user-agent,accept,accept-language"
+        );
+        r.set_header("Cache-Control", "no-cache");
+        assert!(r.header_order_signature().ends_with(",cache-control"));
+    }
+
+    #[test]
+    fn response_constructors() {
+        assert_eq!(HttpResponse::html("<p>x</p>").status, 200);
+        let r = HttpResponse::redirect("https://next.example/");
+        assert!(r.is_redirect());
+        assert_eq!(r.header("location"), Some("https://next.example/"));
+        assert_eq!(HttpResponse::not_found().status, 404);
+        assert_eq!(HttpResponse::forbidden().status, 403);
+    }
+
+    #[test]
+    fn tls_fingerprint_chrome_equivalence() {
+        assert!(TlsFingerprint::ChromeReal.looks_like_chrome());
+        assert!(TlsFingerprint::ChromeCdp.looks_like_chrome());
+        assert!(!TlsFingerprint::HeadlessLegacy.looks_like_chrome());
+        assert_eq!(
+            TlsFingerprint::ChromeReal.to_string(),
+            TlsFingerprint::ChromeCdp.to_string()
+        );
+    }
+
+    #[test]
+    fn post_carries_body() {
+        let r = HttpRequest::post("https://c2.example/collect", b"ip=1.2.3.4");
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"ip=1.2.3.4");
+    }
+}

@@ -1,0 +1,347 @@
+//! The shared world: clock + registries + hosted sites, behind one
+//! thread-safe facade.
+
+use crate::ca::{Certificate, CertificateAuthority};
+use crate::dns::{DnsService, PassiveDnsLedger, QueryVolume};
+use crate::http::{HttpRequest, HttpResponse};
+use crate::ip::{IpAddress, IpClass, IpSpace};
+use crate::url::DomainName;
+use crate::whois::{DomainRegistry, WhoisRecord};
+use cb_sim::{Clock, SimDuration, SimTime};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Read-only view handed to site handlers: what a server can see of the
+/// world (time, and the requesting client's classification).
+#[derive(Debug)]
+pub struct NetContext<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// ASN class of the requesting client.
+    pub client_class: IpClass,
+    /// The domain the request was routed to.
+    pub domain: &'a DomainName,
+}
+
+/// A hosted site: takes requests, returns responses. Handlers use interior
+/// mutability for state (visit counters, token burn lists) because crawls
+/// run concurrently.
+pub trait SiteHandler: Send + Sync {
+    /// Serve one request.
+    fn handle(&self, req: &HttpRequest, ctx: &NetContext<'_>) -> HttpResponse;
+}
+
+impl<F> SiteHandler for F
+where
+    F: Fn(&HttpRequest, &NetContext<'_>) -> HttpResponse + Send + Sync,
+{
+    fn handle(&self, req: &HttpRequest, ctx: &NetContext<'_>) -> HttpResponse {
+        self(req, ctx)
+    }
+}
+
+/// The simulated internet.
+pub struct Internet {
+    clock: Arc<Clock>,
+    ip_space: IpSpace,
+    registry: RwLock<DomainRegistry>,
+    ca: RwLock<CertificateAuthority>,
+    dns: RwLock<DnsService>,
+    passive_dns: RwLock<PassiveDnsLedger>,
+    sites: RwLock<HashMap<DomainName, Arc<dyn SiteHandler>>>,
+    banners: RwLock<HashMap<DomainName, String>>,
+}
+
+impl std::fmt::Debug for Internet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Internet")
+            .field("now", &self.clock.now())
+            .field("domains", &self.registry.read().len())
+            .field("sites", &self.sites.read().len())
+            .finish()
+    }
+}
+
+impl Internet {
+    /// A world starting at `t0`.
+    pub fn new(t0: SimTime) -> Internet {
+        Internet {
+            clock: Arc::new(Clock::starting_at(t0)),
+            ip_space: IpSpace::new(),
+            registry: RwLock::new(DomainRegistry::new()),
+            ca: RwLock::new(CertificateAuthority::new()),
+            dns: RwLock::new(DnsService::new()),
+            passive_dns: RwLock::new(PassiveDnsLedger::new()),
+            sites: RwLock::new(HashMap::new()),
+            banners: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &Arc<Clock> {
+        &self.clock
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Advance simulated time.
+    pub fn advance(&self, d: SimDuration) -> SimTime {
+        self.clock.advance(d)
+    }
+
+    /// Allocate a client address of the given class.
+    pub fn allocate_ip(&self, class: IpClass) -> IpAddress {
+        self.ip_space.allocate(class)
+    }
+
+    /// Register `domain` now through `registrar`; also binds it in DNS to a
+    /// fresh datacenter address. Returns `false` if already registered.
+    pub fn register_domain(&self, domain: &str, registrar: &str) -> bool {
+        self.register_domain_at(domain, registrar, self.now())
+    }
+
+    /// Register with an explicit timestamp (corpus generation backdates
+    /// registrations — the paper's median is 24 days before delivery).
+    pub fn register_domain_at(&self, domain: &str, registrar: &str, when: SimTime) -> bool {
+        let fresh = self.registry.write().register(domain, when, registrar);
+        if fresh {
+            let ip = self.ip_space.allocate(IpClass::Datacenter);
+            self.dns.write().bind(domain, ip);
+        }
+        fresh
+    }
+
+    /// Mark a registered domain as a compromised legitimate site.
+    pub fn mark_compromised(&self, domain: &str) -> bool {
+        self.registry.write().mark_compromised(domain)
+    }
+
+    /// Issue a TLS certificate for `domain` now.
+    pub fn issue_certificate(&self, domain: &str) -> Certificate {
+        self.issue_certificate_at(domain, self.now())
+    }
+
+    /// Issue with an explicit timestamp.
+    pub fn issue_certificate_at(&self, domain: &str, when: SimTime) -> Certificate {
+        self.ca.write().issue(domain, when).clone()
+    }
+
+    /// WHOIS lookup.
+    pub fn whois(&self, domain: &str) -> Option<WhoisRecord> {
+        self.registry.read().lookup(domain).cloned()
+    }
+
+    /// First CT-log certificate for `domain`.
+    pub fn first_certificate(&self, domain: &str) -> Option<Certificate> {
+        self.ca.read().first_for(domain).cloned()
+    }
+
+    /// Attach a site handler to `domain`.
+    pub fn host<H: SiteHandler + 'static>(&self, domain: &str, handler: H) {
+        self.sites
+            .write()
+            .insert(DomainName::new(domain), Arc::new(handler));
+    }
+
+    /// Detach the site (take-down); DNS stays bound, requests 404.
+    pub fn take_down(&self, domain: &str) -> bool {
+        self.sites.write().remove(&DomainName::new(domain)).is_some()
+    }
+
+    /// Remove the DNS binding entirely (NXDOMAIN thereafter).
+    pub fn unbind_dns(&self, domain: &str) -> bool {
+        self.dns.write().unbind(domain)
+    }
+
+    /// Publish a Shodan-style service banner for a host (the enrichment
+    /// source §IV-C names alongside WHOIS and Umbrella).
+    pub fn set_banner(&self, domain: &str, banner: &str) {
+        self.banners
+            .write()
+            .insert(DomainName::new(domain), banner.to_string());
+    }
+
+    /// The service banner Shodan-style scanning would report for `domain`.
+    pub fn banner(&self, domain: &str) -> Option<String> {
+        self.banners.read().get(&DomainName::new(domain)).cloned()
+    }
+
+    /// Record background DNS traffic for a domain (victim visits observed
+    /// by the passive-DNS feed).
+    pub fn record_dns_traffic(&self, domain: &str, when: SimTime, queries: u64) {
+        self.passive_dns
+            .write()
+            .record(&DomainName::new(domain), when, queries);
+    }
+
+    /// Umbrella-style volume lookup.
+    pub fn dns_volume(&self, domain: &str, end: SimTime, window: SimDuration) -> QueryVolume {
+        self.passive_dns
+            .read()
+            .volume(&DomainName::new(domain), end, window)
+    }
+
+    /// Issue a request: resolve DNS (recorded in the passive ledger),
+    /// dispatch to the hosted site.
+    ///
+    /// * unresolvable name → status **0** (the "NXDomain error, page
+    ///   unreachable" class of §V)
+    /// * resolvable but unhosted → 404
+    pub fn request(&self, req: HttpRequest) -> HttpResponse {
+        let domain = DomainName::new(&req.url.host);
+        let now = self.now();
+        if self.dns.read().resolve(domain.as_str()).is_err() {
+            return HttpResponse {
+                status: 0,
+                headers: Vec::new(),
+                body: b"NXDOMAIN".to_vec(),
+            };
+        }
+        self.passive_dns.write().record(&domain, now, 1);
+        let handler = self.sites.read().get(&domain).cloned();
+        match handler {
+            Some(h) => {
+                let ctx = NetContext {
+                    now,
+                    client_class: IpSpace::classify(req.client_ip),
+                    domain: &domain,
+                };
+                h.handle(&req, &ctx)
+            }
+            None => HttpResponse::not_found(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn static_site(body: &'static str) -> impl SiteHandler {
+        move |_req: &HttpRequest, _ctx: &NetContext<'_>| HttpResponse::html(body)
+    }
+
+    #[test]
+    fn end_to_end_request() {
+        let net = Internet::new(SimTime::from_ymd(2024, 1, 1));
+        net.register_domain("site.example", "REG");
+        net.host("site.example", static_site("<html>hello</html>"));
+        let resp = net.request(HttpRequest::get("https://site.example/"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body_text().contains("hello"));
+    }
+
+    #[test]
+    fn unregistered_domain_is_unreachable() {
+        let net = Internet::new(SimTime::from_ymd(2024, 1, 1));
+        let resp = net.request(HttpRequest::get("https://ghost.example/"));
+        assert_eq!(resp.status, 0);
+    }
+
+    #[test]
+    fn registered_but_unhosted_is_404() {
+        let net = Internet::new(SimTime::from_ymd(2024, 1, 1));
+        net.register_domain("parked.example", "REG");
+        assert_eq!(
+            net.request(HttpRequest::get("https://parked.example/")).status,
+            404
+        );
+    }
+
+    #[test]
+    fn take_down_and_unbind() {
+        let net = Internet::new(SimTime::from_ymd(2024, 1, 1));
+        net.register_domain("ephemeral.example", "REG");
+        net.host("ephemeral.example", static_site("up"));
+        assert_eq!(net.request(HttpRequest::get("https://ephemeral.example/")).status, 200);
+        assert!(net.take_down("ephemeral.example"));
+        assert_eq!(net.request(HttpRequest::get("https://ephemeral.example/")).status, 404);
+        assert!(net.unbind_dns("ephemeral.example"));
+        assert_eq!(net.request(HttpRequest::get("https://ephemeral.example/")).status, 0);
+    }
+
+    #[test]
+    fn requests_feed_passive_dns() {
+        let net = Internet::new(SimTime::from_ymd(2024, 2, 1));
+        net.register_domain("watched.example", "REG");
+        net.host("watched.example", static_site("x"));
+        for _ in 0..5 {
+            net.request(HttpRequest::get("https://watched.example/"));
+        }
+        let v = net.dns_volume("watched.example", net.now(), SimDuration::days(30));
+        assert_eq!(v.total, 5);
+        assert_eq!(v.max_per_day, 5);
+    }
+
+    #[test]
+    fn handler_sees_client_class_and_time() {
+        let net = Internet::new(SimTime::from_ymd(2024, 3, 1));
+        net.register_domain("filter.example", "REG");
+        net.host(
+            "filter.example",
+            |req: &HttpRequest, ctx: &NetContext<'_>| {
+                let _ = req;
+                if ctx.client_class == IpClass::Datacenter {
+                    HttpResponse::forbidden()
+                } else {
+                    HttpResponse::html("welcome human")
+                }
+            },
+        );
+        let mut from_dc = HttpRequest::get("https://filter.example/");
+        from_dc.client_ip = net.allocate_ip(IpClass::Datacenter);
+        assert_eq!(net.request(from_dc).status, 403);
+        let mut from_mobile = HttpRequest::get("https://filter.example/");
+        from_mobile.client_ip = net.allocate_ip(IpClass::MobileCarrier);
+        assert_eq!(net.request(from_mobile).status, 200);
+    }
+
+    #[test]
+    fn banners_enrich_hosts() {
+        let net = Internet::new(SimTime::from_ymd(2024, 1, 1));
+        net.set_banner("kit.example", "nginx/1.24.0 (Ubuntu)");
+        assert_eq!(net.banner("KIT.example").as_deref(), Some("nginx/1.24.0 (Ubuntu)"));
+        assert_eq!(net.banner("other.example"), None);
+    }
+
+    #[test]
+    fn whois_and_ct_queries() {
+        let net = Internet::new(SimTime::from_ymd(2024, 1, 1));
+        let reg_time = SimTime::from_ymd(2023, 12, 8);
+        net.register_domain_at("planned.example", "REGRU-RU", reg_time);
+        let cert_time = SimTime::from_ymd(2023, 12, 24);
+        net.issue_certificate_at("planned.example", cert_time);
+        assert_eq!(net.whois("planned.example").unwrap().registered_at, reg_time);
+        assert_eq!(
+            net.first_certificate("planned.example").unwrap().issued_at,
+            cert_time
+        );
+    }
+
+    #[test]
+    fn concurrent_requests_are_safe() {
+        let net = Arc::new(Internet::new(SimTime::from_ymd(2024, 1, 1)));
+        net.register_domain("busy.example", "REG");
+        net.host("busy.example", static_site("ok"));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let n = net.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    assert_eq!(n.request(HttpRequest::get("https://busy.example/")).status, 200);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(
+            net.dns_volume("busy.example", net.now(), SimDuration::days(1)).total,
+            200
+        );
+    }
+}

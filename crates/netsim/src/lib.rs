@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! The simulated internet every other crate runs against.
+//!
+//! The paper's measurements lean on public infrastructure — WHOIS records
+//! (domain registration timestamps), Certificate Transparency (TLS issuance
+//! timestamps), Cisco Umbrella's passive DNS (per-domain query volumes) —
+//! and on properties of the live network: IP reputation by ASN class
+//! (datacenter vs residential vs the 4G modem NotABot used), HTTP header
+//! order, TLS fingerprints. This crate implements all of it as a
+//! deterministic, thread-safe world ([`Internet`]) that the attacker side
+//! populates with sites and the crawler side issues requests into.
+//!
+//! # Example
+//!
+//! ```
+//! use cb_netsim::{Internet, HttpRequest, HttpResponse, SiteHandler, NetContext};
+//! use cb_sim::SimTime;
+//!
+//! struct Hello;
+//! impl SiteHandler for Hello {
+//!     fn handle(&self, _req: &HttpRequest, _ctx: &NetContext<'_>) -> HttpResponse {
+//!         HttpResponse::ok("text/html", b"<html>hi</html>".to_vec())
+//!     }
+//! }
+//!
+//! let net = Internet::new(SimTime::from_ymd(2024, 1, 1));
+//! net.register_domain("example.test", "REG-1");
+//! net.issue_certificate("example.test");
+//! net.host("example.test", Hello);
+//!
+//! let resp = net.request(HttpRequest::get("https://example.test/"));
+//! assert_eq!(resp.status, 200);
+//! assert!(net.whois("example.test").is_some());
+//! ```
+
+pub mod ca;
+pub mod dns;
+pub mod http;
+pub mod ip;
+pub mod url;
+pub mod whois;
+
+mod internet;
+
+pub use ca::{Certificate, CertificateAuthority};
+pub use dns::{DnsService, PassiveDnsLedger, QueryVolume};
+pub use http::{HttpRequest, HttpResponse, TlsFingerprint};
+pub use internet::{Internet, NetContext, SiteHandler};
+pub use ip::{IpAddress, IpClass, IpSpace};
+pub use url::{DomainName, Url};
+pub use whois::{DomainRegistry, WhoisRecord};

@@ -1,0 +1,746 @@
+//! Corpus orchestration: build the world, deploy the attacker
+//! infrastructure, and synthesize every reported message with ground truth.
+
+use crate::campaigns::{generate_campaigns, Campaign, VictimCheckScript};
+use crate::domains::generate_domains;
+use crate::messages::{build_message, Carrier};
+use crate::spec::CorpusSpec;
+use crate::timeline;
+use cb_netsim::{HttpRequest, HttpResponse, Internet, NetContext};
+use cb_phishkit::brand::LegitSite;
+use cb_phishkit::{Brand, C2Server, PhishingSite};
+use cb_sim::{SimDuration, SimTime};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The §V class of a message (ground truth; the pipeline must re-derive it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MessageClass {
+    /// No embedded web resource (49.6%).
+    NoResource,
+    /// Leads to an error page / dead infrastructure (15.9%).
+    ErrorPage,
+    /// Leads to a page demanding interaction (4.5%).
+    InteractionRequired,
+    /// Leads to a file download (0.1%).
+    Download,
+    /// Leads to an active phishing page (29.9%).
+    ActivePhish,
+}
+
+/// Ground truth attached to each generated message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// The §V class.
+    pub class: MessageClass,
+    /// Index into [`Corpus::campaigns`] for active-phish messages.
+    pub campaign: Option<usize>,
+    /// URL carrier shape.
+    pub carrier: Carrier,
+    /// Spear (company lookalike) vs non-targeted.
+    pub spear: bool,
+    /// Noise-padded body.
+    pub noise_padded: bool,
+    /// The embedded URL (when any).
+    pub url: Option<String>,
+}
+
+/// One user-reported message.
+#[derive(Debug, Clone)]
+pub struct ReportedMessage {
+    /// Stable index within the corpus.
+    pub id: usize,
+    /// Wire-format MIME.
+    pub raw: String,
+    /// Delivery instant.
+    pub delivered_at: SimTime,
+    /// The recipient who reported it.
+    pub victim: String,
+    /// Ground truth for validation.
+    pub truth: GroundTruth,
+}
+
+/// The generated corpus plus the world it lives in.
+pub struct Corpus {
+    /// The generating specification.
+    pub spec: CorpusSpec,
+    /// The simulated internet with everything deployed.
+    pub world: Internet,
+    /// All campaigns (sites are live in `world`).
+    pub campaigns: Vec<Campaign>,
+    /// The deployed site handles, parallel to `campaigns`.
+    pub sites: Vec<PhishingSite>,
+    /// The five companies' legitimate sites (their referral logs implement
+    /// the §V-A early-detection defence).
+    pub legit_sites: Vec<(Brand, cb_phishkit::brand::LegitSite)>,
+    /// All reported messages, delivery-ordered.
+    pub messages: Vec<ReportedMessage>,
+    /// Shared C2 of victim-check script A.
+    pub c2_alpha: C2Server,
+    /// Shared C2 of victim-check script B.
+    pub c2_beta: C2Server,
+    /// The C2 used by every other campaign.
+    pub c2_shared: C2Server,
+}
+
+impl std::fmt::Debug for Corpus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Corpus")
+            .field("messages", &self.messages.len())
+            .field("campaigns", &self.campaigns.len())
+            .finish()
+    }
+}
+
+/// Largest-remainder apportionment of `total` across the monthly weights.
+fn apportion(total: usize, weights: &[usize; 10]) -> [usize; 10] {
+    let wsum: usize = weights.iter().sum();
+    let mut out = [0usize; 10];
+    let mut fractions: Vec<(usize, f64)> = Vec::new();
+    let mut assigned = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = total as f64 * w as f64 / wsum as f64;
+        out[i] = exact.floor() as usize;
+        assigned += out[i];
+        fractions.push((i, exact - exact.floor()));
+    }
+    fractions.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    for (i, _) in fractions.into_iter().take(total - assigned) {
+        out[i] += 1;
+    }
+    out
+}
+
+impl Corpus {
+    /// Generate the corpus at `spec` with deterministic `seed`.
+    pub fn generate(spec: &CorpusSpec, seed: u64) -> Corpus {
+        let fork = cb_sim::SeedFork::new(seed);
+        let world = Internet::new(timeline::world_epoch());
+
+        // --- the legitimate web -----------------------------------------
+        let mut legit_sites = Vec::new();
+        for brand in Brand::companies()
+            .into_iter()
+            .chain(Brand::commodity_services().iter().map(|(b, _)| *b))
+        {
+            world.register_domain_at(
+                brand.legit_domain(),
+                "CORP-REG",
+                timeline::world_epoch(),
+            );
+            world.issue_certificate_at(
+                brand.legit_domain(),
+                timeline::study_start() - SimDuration::days(30),
+            );
+            let site = LegitSite::new(brand);
+            world.host(brand.legit_domain(), site.clone());
+            legit_sites.push((brand, site));
+        }
+        for svc in [
+            cb_phishkit::infrastructure::HTTPBIN_HOST,
+            cb_phishkit::infrastructure::IPAPI_HOST,
+            "freeimages.example",
+            "gyazo.example",
+            cb_phishkit::infrastructure::TURNSTILE_HOST,
+            cb_phishkit::infrastructure::RECAPTCHA_HOST,
+        ] {
+            world.register_domain_at(svc, "CORP-REG", timeline::world_epoch());
+            world.host(svc, |req: &HttpRequest, ctx: &NetContext<'_>| {
+                let body = if ctx.domain.as_str() == cb_phishkit::infrastructure::HTTPBIN_HOST {
+                    format!("{}", req.client_ip)
+                } else if ctx.domain.as_str() == cb_phishkit::infrastructure::IPAPI_HOST {
+                    format!("FR;AS{};{}", 2000, ctx.client_class)
+                } else {
+                    "binary-image-data".to_string()
+                };
+                HttpResponse::ok("text/plain", body.into_bytes())
+            });
+        }
+
+        // --- attacker shared infrastructure ------------------------------
+        let c2_alpha = C2Server::new();
+        let c2_beta = C2Server::new();
+        let c2_shared = C2Server::new();
+        for (domain, c2) in [
+            ("c2-alpha.example", &c2_alpha),
+            ("c2-beta.example", &c2_beta),
+            ("c2-shared.example", &c2_shared),
+        ] {
+            world.register_domain_at(
+                domain,
+                "REGRU-RU",
+                timeline::study_start() - SimDuration::days(120),
+            );
+            world.host(domain, c2.clone());
+        }
+
+        // --- campaigns ----------------------------------------------------
+        let global_anchor = SimTime::from_ymd(2024, 6, 1);
+        let domains = generate_domains(spec, &mut fork.rng("domains"), global_anchor);
+        let mut campaigns = generate_campaigns(spec, &mut fork.rng("campaigns"), domains);
+        // Non-victim-check campaigns exfiltrate to the shared C2.
+        for c in campaigns.iter_mut() {
+            if c.victim_check.is_none() {
+                c.c2_base = "https://c2-shared.example".to_string();
+            }
+        }
+
+        // --- class / month layout -----------------------------------------
+        // The error / interaction / download classes are apportioned across
+        // months; campaigns are placed against each month's remaining
+        // capacity; NoResource absorbs whatever is left, so each month's
+        // total matches Figure 2 exactly.
+        let monthly = timeline::scaled_monthly(spec);
+        let error_count = spec.scaled(spec.error_pages());
+        let interaction_count = spec.scaled(spec.interaction_required);
+        let download_count = spec.scaled(spec.downloads);
+        let per_month_error = apportion(error_count, &monthly);
+        let per_month_interaction = apportion(interaction_count, &monthly);
+        let per_month_download = apportion(download_count, &monthly);
+
+        let mut rng = fork.rng("layout");
+        let mut campaign_order: Vec<usize> = (0..campaigns.len()).collect();
+        campaign_order.shuffle(&mut rng);
+        let mut campaign_month = vec![0usize; campaigns.len()];
+        let mut active_in_month = [0usize; 10];
+        {
+            // Active capacity per month before NoResource absorbs the rest:
+            // aim for the active class's proportional share.
+            let active_total: usize = campaigns.iter().map(|c| c.message_count).sum();
+            let capacity = apportion(active_total, &monthly);
+            let mut month = 0usize;
+            for &ci in &campaign_order {
+                while month < 9 && active_in_month[month] >= capacity[month] {
+                    month += 1;
+                }
+                campaign_month[ci] = month;
+                active_in_month[month] += campaigns[ci].message_count;
+            }
+        }
+        let mut per_month_noresource = [0usize; 10];
+        for m in 0..10 {
+            let others = per_month_error[m]
+                + per_month_interaction[m]
+                + per_month_download[m]
+                + active_in_month[m];
+            per_month_noresource[m] = monthly[m].saturating_sub(others);
+        }
+
+        // --- deploy campaign infrastructure --------------------------------
+        let mut sites = Vec::with_capacity(campaigns.len());
+        let mut msg_rng = fork.rng("messages");
+        for (ci, c) in campaigns.iter_mut().enumerate() {
+            let (y, mo) = timeline::months_2024()[campaign_month[ci]];
+            let campaign_anchor = SimTime::from_ymd(y, mo, 15);
+            c.launch = campaign_anchor;
+            let shift = campaign_anchor - global_anchor;
+            c.domain.registered_at = c.domain.registered_at + shift;
+            c.domain.cert_issued_at = c.domain.cert_issued_at + shift;
+
+            world.register_domain_at(&c.domain.name, &c.domain.registrar, c.domain.registered_at);
+            if c.domain.origin == crate::domains::DomainOrigin::Compromised {
+                world.mark_compromised(&c.domain.name);
+            }
+            world.issue_certificate_at(&c.domain.name, c.domain.cert_issued_at);
+
+            let site = PhishingSite::new(c.brand, &c.c2_base, c.cloak.clone());
+            world.host(&c.domain.name, site.clone());
+            // Shodan-style banner: commodity kit hosting stacks.
+            let banners = ["nginx/1.24.0", "Apache/2.4.58 (Ubuntu)", "cloudflare", "LiteSpeed"];
+            world.set_banner(&c.domain.name, banners[ci % banners.len()]);
+            sites.push(site);
+
+            // Background DNS traffic: 30 days of activity before the
+            // campaign anchor, volume by message count (§V-A medians).
+            let (background, burst): (u64, u64) = if c.message_count == 1 {
+                (msg_rng.gen_range(1..=2), msg_rng.gen_range(12..=25))
+            } else {
+                (msg_rng.gen_range(2..=3), msg_rng.gen_range(40..=60))
+            };
+            for day in 0..30 {
+                world.record_dns_traffic(
+                    &c.domain.name,
+                    campaign_anchor - SimDuration::days(day),
+                    background,
+                );
+            }
+            world.record_dns_traffic(
+                &c.domain.name,
+                campaign_anchor - SimDuration::days(3),
+                burst,
+            );
+        }
+        // The three headline DNS-volume domains (§V-A): the most-reported
+        // campaign carries enormous traffic; a 5-message campaign comes
+        // second; a single-message domain holds the third slot.
+        {
+            let max_ci = (0..campaigns.len())
+                .max_by_key(|&i| campaigns[i].message_count)
+                .expect("campaigns nonempty");
+            let anchor_of = |ci: usize| {
+                let (y, mo) = timeline::months_2024()[campaign_month[ci]];
+                SimTime::from_ymd(y, mo, 15)
+            };
+            let spread = |total: u64, ci: usize, world: &Internet| {
+                let per_day = total / 30;
+                for day in 0..30 {
+                    world.record_dns_traffic(
+                        &campaigns[ci].domain.name,
+                        anchor_of(ci) - SimDuration::days(day),
+                        per_day,
+                    );
+                }
+            };
+            spread(665_126_135, max_ci, &world);
+            if let Some(five_ci) = (0..campaigns.len())
+                .find(|&i| i != max_ci && campaigns[i].message_count == 5)
+            {
+                spread(37_623_107, five_ci, &world);
+            }
+            if let Some(single_ci) =
+                (0..campaigns.len()).find(|&i| campaigns[i].message_count == 1)
+            {
+                spread(15_362, single_ci, &world);
+            }
+        }
+
+        // --- non-active infrastructure --------------------------------------
+        // Error-page targets: half NXDOMAIN (never registered), half
+        // registered but taken down (404).
+        let error_total = error_count;
+        let mut error_urls = Vec::with_capacity(error_total);
+        for i in 0..error_total {
+            match i % 5 {
+                0 | 1 => {
+                    // never registered: NXDOMAIN
+                    error_urls.push(format!("https://gone-{i}.example/{}", i * 7 + 11));
+                }
+                2 | 3 => {
+                    // registered, resolvable, but no site hosted -> 404
+                    let d = format!("expired-{i}.example");
+                    world.register_domain_at(
+                        &d,
+                        "NameBay",
+                        timeline::study_start() - SimDuration::days(40),
+                    );
+                    error_urls.push(format!("https://{d}/landing"));
+                }
+                _ => {
+                    // live but mobile-UA-filtered: the desktop crawler sees a
+                    // benign page — the paper's hypothesis for part of its
+                    // error class ("server-side filtering mechanisms, such
+                    // as … User-Agent filtering").
+                    let d = format!("mobile-only-{i}.example");
+                    world.register_domain_at(
+                        &d,
+                        "REGRU-RU",
+                        timeline::study_start() - SimDuration::days(25),
+                    );
+                    let cloak = cb_phishkit::CloakConfig {
+                        server: cb_phishkit::ServerCloak {
+                            mobile_ua_only: true,
+                            ..Default::default()
+                        },
+                        client: Default::default(),
+                    };
+                    world.host(
+                        &d,
+                        PhishingSite::new(Brand::Microsoft, "https://c2-shared.example", cloak),
+                    );
+                    error_urls.push(format!("https://{d}/doc"));
+                }
+            }
+        }
+        // Interaction-required targets: document-share / CAPTCHA pages.
+        let interaction_total = interaction_count;
+        let interaction_domains = (interaction_total / 6).max(1);
+        let mut interaction_urls = Vec::with_capacity(interaction_total);
+        for i in 0..interaction_domains {
+            let d = format!("doc-share-{i}.example");
+            world.register_domain_at(&d, "NameBay", timeline::study_start() - SimDuration::days(20));
+            world.host(&d, |_req: &HttpRequest, _ctx: &NetContext<'_>| {
+                HttpResponse::html(
+                    r#"<html><body><h2>Shared document</h2>
+<div data-requires-interaction="captcha">Complete the puzzle to continue</div>
+</body></html>"#,
+                )
+            });
+        }
+        for i in 0..interaction_total {
+            interaction_urls.push(format!(
+                "https://doc-share-{}.example/d/{}",
+                i % interaction_domains,
+                i
+            ));
+        }
+        // Download targets: ZIP served over HTTP (→ HTA inside).
+        let download_total = download_count;
+        if download_total > 0 {
+            world.register_domain_at(
+                "file-drop.example",
+                "REGRU-RU",
+                timeline::study_start() - SimDuration::days(10),
+            );
+            world.host("file-drop.example", |_req: &HttpRequest, _ctx: &NetContext<'_>| {
+                let mut zip = cb_artifacts::ZipArchive::new();
+                zip.add(
+                    "invoice.hta",
+                    b"<html><hta:application/><script>new ActiveXObject('WScript.Shell');</script></html>",
+                );
+                HttpResponse::ok("application/zip", zip.to_bytes())
+            });
+        }
+
+        // --- synthesize messages --------------------------------------------
+        // Carrier quotas over the active messages.
+        let qr_quota = spec.scaled(spec.qr_messages);
+        let faulty_quota = spec.scaled(spec.faulty_qr_messages).min(qr_quota);
+        let image_quota = spec.scaled(spec.image_url_messages);
+        let pdf_quota = spec.scaled(spec.pdf_messages);
+        let eml_quota = spec.scaled(spec.eml_messages);
+        let html_quota = spec.scaled(spec.html_attachment_messages);
+        let noise_quota = spec.scaled(spec.noise_padded_messages);
+
+        let mut messages = Vec::new();
+        let mut id = 0usize;
+        let mut victim_no = 0usize;
+        let mut active_emitted = 0usize;
+        let mut noise_emitted = 0usize;
+
+        // Per-campaign message emission order: campaigns grouped by month.
+        let mut campaigns_by_month: Vec<Vec<usize>> = vec![Vec::new(); 10];
+        for (ci, &m) in campaign_month.iter().enumerate() {
+            campaigns_by_month[m].push(ci);
+        }
+
+        for m in 0..10 {
+            let (year, month) = timeline::months_2024()[m];
+            let mut slots: Vec<(MessageClass, Option<usize>, Option<usize>)> = Vec::new();
+            // active slots: (class, campaign, msg_idx_within_campaign)
+            for &ci in &campaigns_by_month[m] {
+                for k in 0..campaigns[ci].message_count {
+                    slots.push((MessageClass::ActivePhish, Some(ci), Some(k)));
+                }
+            }
+            for (class, count) in [
+                (MessageClass::NoResource, per_month_noresource[m]),
+                (MessageClass::ErrorPage, per_month_error[m]),
+                (MessageClass::InteractionRequired, per_month_interaction[m]),
+                (MessageClass::Download, per_month_download[m]),
+            ] {
+                for _ in 0..count {
+                    slots.push((class, None, None));
+                }
+            }
+            slots.shuffle(&mut msg_rng);
+
+            for (class, campaign_idx, msg_idx) in slots {
+                let delivered = timeline::delivery_instant(&mut msg_rng, year, month);
+                let victim = format!("victim-{victim_no}@corp.example");
+                victim_no += 1;
+
+                let (carrier, url, spear, noise) = match class {
+                    MessageClass::NoResource => (Carrier::None, None, false, false),
+                    MessageClass::ErrorPage => {
+                        let u = error_urls[id % error_urls.len().max(1)].clone();
+                        (Carrier::BodyLink, Some(u), false, false)
+                    }
+                    MessageClass::InteractionRequired => {
+                        let u = interaction_urls[id % interaction_urls.len().max(1)].clone();
+                        (Carrier::BodyLink, Some(u), false, false)
+                    }
+                    MessageClass::Download => (
+                        Carrier::BodyLink,
+                        Some(format!("https://file-drop.example/archive-{id}.zip")),
+                        false,
+                        false,
+                    ),
+                    MessageClass::ActivePhish => {
+                        let ci = campaign_idx.expect("active slot has campaign");
+                        let k = msg_idx.expect("active slot has index");
+                        let c = &campaigns[ci];
+                        let mut url = c.url_for_message(k).to_string();
+                        if c.cloak.client.victim_db_check {
+                            url.push_str(&format!("?victim={victim}"));
+                        }
+                        // carrier by running quota
+                        let carrier = if active_emitted < qr_quota {
+                            Carrier::QrCode {
+                                faulty: active_emitted < faulty_quota,
+                            }
+                        } else if active_emitted < qr_quota + image_quota {
+                            Carrier::ImageText
+                        } else if active_emitted < qr_quota + image_quota + pdf_quota {
+                            if active_emitted.is_multiple_of(3) {
+                                Carrier::PdfText
+                            } else {
+                                Carrier::PdfLink
+                            }
+                        } else if active_emitted < qr_quota + image_quota + pdf_quota + eml_quota
+                        {
+                            Carrier::NestedEml
+                        } else if !c.spear
+                            && active_emitted
+                                < qr_quota + image_quota + pdf_quota + eml_quota + html_quota
+                        {
+                            Carrier::HtmlAttachment
+                        } else {
+                            Carrier::BodyLink
+                        };
+                        active_emitted += 1;
+                        let noise = matches!(carrier, Carrier::BodyLink)
+                            && noise_emitted < noise_quota
+                            && {
+                                noise_emitted += 1;
+                                true
+                            };
+                        (carrier, Some(url), c.spear, noise)
+                    }
+                };
+
+                // Victim-check campaigns know their targets.
+                if let Some(ci) = campaign_idx {
+                    match campaigns[ci].victim_check {
+                        Some(VictimCheckScript::A) => {
+                            c2_alpha.add_victim(&victim);
+                        }
+                        Some(VictimCheckScript::B) => {
+                            c2_beta.add_victim(&victim);
+                        }
+                        None => {}
+                    }
+                }
+
+                let otp = campaign_idx.and_then(|ci| {
+                    campaigns[ci]
+                        .cloak
+                        .client
+                        .otp_gate
+                        .then_some(cb_phishkit::site::DEFAULT_OTP_CODE)
+                });
+                let raw = build_message(
+                    &mut msg_rng,
+                    carrier,
+                    url.as_deref(),
+                    &victim,
+                    delivered,
+                    noise,
+                    otp,
+                    id as u64,
+                );
+                messages.push(ReportedMessage {
+                    id,
+                    raw,
+                    delivered_at: delivered,
+                    victim,
+                    truth: GroundTruth {
+                        class,
+                        campaign: campaign_idx,
+                        carrier,
+                        spear,
+                        noise_padded: noise,
+                        url,
+                    },
+                });
+                id += 1;
+            }
+        }
+
+        // The world's clock advances to the end of the window: analysis is
+        // retrospective.
+        world.advance_to_end();
+
+        Corpus {
+            spec: spec.clone(),
+            world,
+            campaigns,
+            sites,
+            legit_sites,
+            messages,
+            c2_alpha,
+            c2_beta,
+            c2_shared,
+        }
+    }
+}
+
+/// Extension to advance the world's clock past the study window.
+trait AdvanceToEnd {
+    fn advance_to_end(&self);
+}
+
+impl AdvanceToEnd for Internet {
+    fn advance_to_end(&self) {
+        self.clock().advance_to(timeline::study_end());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_corpus() -> Corpus {
+        Corpus::generate(&CorpusSpec::paper().with_scale(0.04), 42)
+    }
+
+    #[test]
+    fn totals_and_class_mix() {
+        let c = small_corpus();
+        let spec = &c.spec;
+        let expected: usize = timeline::scaled_monthly(spec).iter().sum();
+        assert_eq!(c.messages.len(), expected);
+        let actives = c
+            .messages
+            .iter()
+            .filter(|m| m.truth.class == MessageClass::ActivePhish)
+            .count();
+        let campaign_total: usize = c.campaigns.iter().map(|x| x.message_count).sum();
+        assert_eq!(actives, campaign_total);
+    }
+
+    #[test]
+    fn messages_parse_and_carry_auth_results() {
+        let c = small_corpus();
+        for m in c.messages.iter().take(30) {
+            let parsed = cb_email::MimeEntity::parse(&m.raw).unwrap();
+            assert!(parsed
+                .header("Authentication-Results")
+                .unwrap()
+                .contains("dmarc=pass"));
+        }
+    }
+
+    #[test]
+    fn campaign_domains_are_live_with_whois_and_certs() {
+        let c = small_corpus();
+        for camp in &c.campaigns {
+            let whois = c.world.whois(&camp.domain.name).expect("registered");
+            assert_eq!(whois.registered_at, camp.domain.registered_at);
+            let cert = c.world.first_certificate(&camp.domain.name).expect("cert");
+            assert_eq!(cert.issued_at, camp.domain.cert_issued_at);
+        }
+    }
+
+    #[test]
+    fn active_message_urls_point_at_live_campaign_sites() {
+        let c = small_corpus();
+        let sample = c
+            .messages
+            .iter()
+            .find(|m| {
+                m.truth.class == MessageClass::ActivePhish
+                    && m.truth.carrier == Carrier::BodyLink
+            })
+            .expect("an active body-link message");
+        let url = sample.truth.url.as_ref().unwrap();
+        let ci = sample.truth.campaign.unwrap();
+        assert!(url.contains(&c.campaigns[ci].domain.name));
+    }
+
+    #[test]
+    fn error_class_urls_are_dead() {
+        let c = small_corpus();
+        let err = c
+            .messages
+            .iter()
+            .find(|m| m.truth.class == MessageClass::ErrorPage)
+            .unwrap();
+        let resp = c
+            .world
+            .request(cb_netsim::HttpRequest::get(err.truth.url.as_ref().unwrap()));
+        assert!(resp.status == 0 || resp.status == 404, "status {}", resp.status);
+    }
+
+    #[test]
+    fn download_class_serves_zip() {
+        let c = small_corpus();
+        if let Some(dl) = c
+            .messages
+            .iter()
+            .find(|m| m.truth.class == MessageClass::Download)
+        {
+            let resp = c
+                .world
+                .request(cb_netsim::HttpRequest::get(dl.truth.url.as_ref().unwrap()));
+            assert_eq!(resp.header("Content-Type"), Some("application/zip"));
+            assert_eq!(
+                cb_artifacts::magic::sniff(&resp.body),
+                cb_artifacts::magic::FileKind::Zip
+            );
+        }
+    }
+
+    #[test]
+    fn delivery_months_follow_figure_2_shape() {
+        let c = small_corpus();
+        let mut per_month = [0usize; 10];
+        for m in &c.messages {
+            let (_, month) = m.delivered_at.year_month();
+            per_month[(month - 1) as usize] += 1;
+        }
+        let scaled = timeline::scaled_monthly(&c.spec);
+        assert_eq!(per_month, scaled);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Corpus::generate(&CorpusSpec::paper().with_scale(0.02), 7);
+        let b = Corpus::generate(&CorpusSpec::paper().with_scale(0.02), 7);
+        assert_eq!(a.messages.len(), b.messages.len());
+        for (x, y) in a.messages.iter().zip(&b.messages) {
+            assert_eq!(x.raw, y.raw);
+            assert_eq!(x.delivered_at, y.delivered_at);
+        }
+    }
+
+    #[test]
+    fn victim_check_c2s_know_their_targets() {
+        let c = Corpus::generate(&CorpusSpec::paper().with_scale(0.2), 13);
+        let a_victims: Vec<&ReportedMessage> = c
+            .messages
+            .iter()
+            .filter(|m| {
+                m.truth
+                    .campaign
+                    .map(|ci| c.campaigns[ci].victim_check == Some(VictimCheckScript::A))
+                    .unwrap_or(false)
+            })
+            .collect();
+        if let Some(m) = a_victims.first() {
+            let resp = c.world.request(cb_netsim::HttpRequest::post(
+                "https://c2-alpha.example/check-victim",
+                m.victim.as_bytes(),
+            ));
+            assert_eq!(resp.body_text(), "yes");
+        }
+    }
+
+    #[test]
+    fn dns_volumes_separate_single_from_multi() {
+        let c = Corpus::generate(&CorpusSpec::paper().with_scale(0.3), 21);
+        let mut singles = Vec::new();
+        let mut multis = Vec::new();
+        for camp in &c.campaigns {
+            let v = c
+                .world
+                .dns_volume(&camp.domain.name, camp.launch, SimDuration::days(31))
+                .total;
+            if camp.message_count == 1 {
+                singles.push(v);
+            } else {
+                multis.push(v);
+            }
+        }
+        let med = |v: &mut Vec<u64>| {
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        if !singles.is_empty() && !multis.is_empty() {
+            assert!(
+                med(&mut singles) < med(&mut multis),
+                "single-message campaigns must show lower DNS volume"
+            );
+        }
+    }
+}

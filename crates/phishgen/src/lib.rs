@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Corpus generator: synthesizes the paper's ten-month reported-email
+//! dataset at its published parameters.
+//!
+//! The study's dataset is proprietary (user-reported emails from five real
+//! companies), so the reproduction substitutes a **parameterized synthetic
+//! corpus** (`DESIGN.md` §4): every count, proportion and distribution the
+//! paper reports is a generator parameter ([`CorpusSpec`]), and the
+//! generated world is *real* — domains get registered in the simulated
+//! WHOIS with backdated timestamps, certificates appear in the CT log,
+//! phishing kits are deployed as live site handlers with their cloaking
+//! configured, QR codes are actual encoded symbols in image attachments,
+//! and messages are wire-format MIME. CrawlerBox then analyzes the corpus
+//! *blind*, and the analysis must re-derive the published numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use cb_phishgen::{CorpusSpec, Corpus};
+//!
+//! // A 5%-scale corpus for quick runs; scale 1.0 is the paper's size.
+//! let spec = CorpusSpec::paper().with_scale(0.05);
+//! let corpus = Corpus::generate(&spec, 42);
+//! assert!(corpus.messages.len() > 200);
+//! assert!(corpus.world.whois("login.amadora.example").is_some());
+//! ```
+
+pub mod campaigns;
+pub mod corpus;
+pub mod domains;
+pub mod funnel;
+pub mod messages;
+pub mod spec;
+pub mod timeline;
+
+pub use corpus::{Corpus, GroundTruth, MessageClass, ReportedMessage};
+pub use funnel::FunnelReport;
+pub use spec::CorpusSpec;

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! The attacker ecosystem: phishing kits with every evasion the paper
+//! observed in the wild.
+//!
+//! A [`PhishingSite`] is a [`cb_netsim::SiteHandler`] assembled from a
+//! [`CloakConfig`]: server-side cloaking (delayed activation, User-Agent
+//! filtering, IP-class blocklists, tokenized URLs — §III-B) decides *whether*
+//! to serve the phish; client-side cloaking (Turnstile / reCAPTCHA gates,
+//! fingerprint checks, OTP prompts, math challenges, console hijacking,
+//! debugger timers, right-click blocking, the hue-rotate visual trick,
+//! victim-database AJAX checks — §V-C2) shapes *what* the page does in the
+//! victim's browser. Harvested credentials and exfiltrated visitor data
+//! land on a [`C2Server`].
+//!
+//! Brand lookalikes come from [`brand::Brand`]: the five studied companies
+//! plus the commodity services (§V-B: Microsoft/Excel/OneDrive/Office 365/
+//! DocuSign) that non-targeted campaigns impersonate.
+
+pub mod brand;
+pub mod c2;
+pub mod cloak;
+pub mod scripts;
+pub mod site;
+
+/// Well-known hosts and paths of the simulated attacker/abuse ecosystem.
+/// The kits emit them and the analysis recognizes them — keeping both sides
+/// on these constants prevents silent drift.
+pub mod infrastructure {
+    /// Cloudflare-Turnstile-style challenge provider host.
+    pub const TURNSTILE_HOST: &str = "challenges-cloudflare.example";
+    /// reCAPTCHA-style provider host.
+    pub const RECAPTCHA_HOST: &str = "recaptcha-google.example";
+    /// httpbin-style IP echo host.
+    pub const HTTPBIN_HOST: &str = "httpbin.example";
+    /// ipapi-style IP enrichment host.
+    pub const IPAPI_HOST: &str = "ipapi.example";
+    /// C2 path receiving visitor-data exfiltration.
+    pub const COLLECT_PATH: &str = "/collect";
+    /// C2 path answering victim-database checks.
+    pub const VICTIM_CHECK_PATH: &str = "/check-victim";
+}
+
+pub use brand::Brand;
+pub use c2::C2Server;
+pub use cloak::{ClientCloak, CloakConfig, ServerCloak};
+pub use site::PhishingSite;

@@ -1,0 +1,152 @@
+//! MSB-first bit stream writer and reader used by segment encoding.
+
+/// Accumulates bits most-significant-first into bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitWriter {
+    bits: Vec<bool>,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the low `width` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 32` or `value` does not fit in `width` bits.
+    pub fn push(&mut self, value: u32, width: usize) {
+        assert!(width <= 32, "width > 32");
+        assert!(
+            width == 32 || value < (1u32 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        for i in (0..width).rev() {
+            self.bits.push(value >> i & 1 == 1);
+        }
+    }
+
+    /// Append a single bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        self.bits.push(bit);
+    }
+
+    /// Number of bits written so far.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` if no bits have been written.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Pack into bytes, zero-padding the final partial byte.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.bits.len().div_ceil(8)];
+        for (i, &b) in self.bits.iter().enumerate() {
+            if b {
+                out[i / 8] |= 1 << (7 - i % 8);
+            }
+        }
+        out
+    }
+}
+
+/// Reads bits most-significant-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// A reader over `bytes` starting at bit 0.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Read `width` bits (≤ 32) as an integer, or `None` if the stream is
+    /// exhausted.
+    pub fn read(&mut self, width: usize) -> Option<u32> {
+        assert!(width <= 32, "width > 32");
+        if self.pos + width > self.bytes.len() * 8 {
+            return None;
+        }
+        let mut v = 0u32;
+        for _ in 0..width {
+            let byte = self.bytes[self.pos / 8];
+            let bit = byte >> (7 - self.pos % 8) & 1;
+            v = (v << 1) | bit as u32;
+            self.pos += 1;
+        }
+        Some(v)
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut w = BitWriter::new();
+        w.push(0b0100, 4); // byte-mode indicator
+        w.push(17, 8);
+        w.push(0xABCD, 16);
+        let bytes = w.to_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(4), Some(0b0100));
+        assert_eq!(r.read(8), Some(17));
+        assert_eq!(r.read(16), Some(0xABCD));
+    }
+
+    #[test]
+    fn partial_final_byte_zero_padded() {
+        let mut w = BitWriter::new();
+        w.push(0b101, 3);
+        assert_eq!(w.to_bytes(), vec![0b1010_0000]);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn reader_exhaustion_returns_none() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read(8), Some(0xFF));
+        assert_eq!(r.read(1), None);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn single_bits() {
+        let mut w = BitWriter::new();
+        for b in [true, false, true, true] {
+            w.push_bit(b);
+        }
+        let bytes = w.to_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(4), Some(0b1011));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        BitWriter::new().push(16, 4);
+    }
+
+    #[test]
+    fn full_width_32_accepted() {
+        let mut w = BitWriter::new();
+        w.push(u32::MAX, 32);
+        let bytes = w.to_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(32), Some(u32::MAX));
+    }
+}

@@ -1,0 +1,191 @@
+//! Arithmetic in GF(2⁸) with the QR-code primitive polynomial
+//! x⁸ + x⁴ + x³ + x² + 1 (0x11D).
+//!
+//! Log/antilog tables are built at first use; all field operations are table
+//! lookups thereafter.
+
+/// The QR primitive polynomial (reduced modulo x⁸).
+const PRIMITIVE: u16 = 0x11D;
+
+/// Exp/log tables. `exp` is doubled in length so products of logs never need
+/// an explicit modulo.
+struct Tables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        #[allow(clippy::needless_range_loop)] // exp and log fill in lockstep
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= PRIMITIVE;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// α raised to the `n`-th power (n taken modulo 255).
+pub fn exp(n: usize) -> u8 {
+    tables().exp[n % 255]
+}
+
+/// Discrete log base α of `x`.
+///
+/// # Panics
+///
+/// Panics if `x == 0` (zero has no logarithm).
+pub fn log(x: u8) -> usize {
+    assert!(x != 0, "log(0) is undefined in GF(256)");
+    tables().log[x as usize] as usize
+}
+
+/// Field addition (and subtraction): XOR.
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Field multiplication.
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        tables().exp[log(a) + log(b)]
+    }
+}
+
+/// Field division.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(256)");
+    if a == 0 {
+        0
+    } else {
+        tables().exp[log(a) + 255 - log(b)]
+    }
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+///
+/// Panics if `x == 0`.
+pub fn inv(x: u8) -> u8 {
+    div(1, x)
+}
+
+/// Evaluate polynomial `coeffs` (highest-degree first) at `x` via Horner.
+pub fn poly_eval(coeffs: &[u8], x: u8) -> u8 {
+    let mut acc = 0u8;
+    for &c in coeffs {
+        acc = add(mul(acc, x), c);
+    }
+    acc
+}
+
+/// Multiply two polynomials (highest-degree first).
+pub fn poly_mul(a: &[u8], b: &[u8]) -> Vec<u8> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u8; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] ^= mul(x, y);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_log_are_inverse() {
+        for x in 1..=255u8 {
+            assert_eq!(exp(log(x)), x);
+        }
+        for n in 0..255 {
+            assert_eq!(log(exp(n)), n);
+        }
+    }
+
+    #[test]
+    fn generator_has_order_255() {
+        assert_eq!(exp(0), 1);
+        assert_eq!(exp(255), 1);
+        // alpha^1 = 2 for this primitive polynomial
+        assert_eq!(exp(1), 2);
+        // alpha^8 = 0x11D reduced = 0x1D
+        assert_eq!(exp(8), 0x1D);
+    }
+
+    #[test]
+    fn mul_matches_schoolbook() {
+        // Russian-peasant reference multiplication.
+        fn slow_mul(mut a: u16, mut b: u16) -> u8 {
+            let mut p = 0u16;
+            while b > 0 {
+                if b & 1 != 0 {
+                    p ^= a;
+                }
+                a <<= 1;
+                if a & 0x100 != 0 {
+                    a ^= PRIMITIVE;
+                }
+                b >>= 1;
+            }
+            p as u8
+        }
+        for a in [0u8, 1, 2, 3, 0x53, 0xCA, 0xFF] {
+            for b in [0u8, 1, 2, 0x8E, 0xFF] {
+                assert_eq!(mul(a, b), slow_mul(a as u16, b as u16), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn div_inverts_mul() {
+        for a in 1..=255u8 {
+            let b = 0x5Au8;
+            assert_eq!(div(mul(a, b), b), a);
+            assert_eq!(mul(a, inv(a)), 1);
+        }
+    }
+
+    #[test]
+    fn poly_eval_horner() {
+        // p(x) = x^2 + 3 over GF(256): p(2) = 4 ^ 3 = 7
+        assert_eq!(poly_eval(&[1, 0, 3], 2), 7);
+        assert_eq!(poly_eval(&[], 9), 0);
+    }
+
+    #[test]
+    fn poly_mul_known_product() {
+        // (x + 1)(x + 2) = x^2 + 3x + 2 in GF(256) (1^2=2? no: (x+1)(x+2) =
+        // x^2 + (1^2)x + 1*2 = x^2 + 3x + 2 since addition is XOR)
+        assert_eq!(poly_mul(&[1, 1], &[1, 2]), vec![1, 3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        div(1, 0);
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! QR code substrate: a from-scratch ISO/IEC 18004 byte-mode implementation.
+//!
+//! The paper found QR codes at the centre of modern "quishing": malicious
+//! URLs are embedded in QR images so the victim scans them with a *personal
+//! phone*, sidestepping corporate defences — and 35 messages carried
+//! **faulty QR codes** whose decoded payload is a syntactically broken URL
+//! (`"xxx https://evil-site.com/"`). Mobile camera apps happily recover the
+//! URL; two of three leading commercial email filters did not (§V-C1).
+//!
+//! Reproducing that bug requires a *real* QR stack, not a stub: this crate
+//! implements GF(2⁸) arithmetic, Reed–Solomon encode/decode, symbol
+//! construction for versions 1–10 at all four error-correction levels
+//! (masking, format/version information, interleaving), full decoding, and
+//! the two URL-extraction policies whose mismatch *is* the bug:
+//! [`extract::extract_url_strict`] (email-filter behaviour) and
+//! [`extract::extract_url_lenient`] (mobile-camera behaviour).
+//!
+//! # Example
+//!
+//! ```
+//! use cb_qr::{encode_bytes, decode_matrix, EcLevel};
+//! use cb_qr::extract::{extract_url_strict, extract_url_lenient};
+//!
+//! // A faulty payload as observed in the wild: junk before the URL.
+//! let payload = b"xxx https://evil-site.example/dhfYWfH";
+//! let symbol = encode_bytes(payload, EcLevel::M).unwrap();
+//! let decoded = decode_matrix(symbol.matrix()).unwrap();
+//!
+//! // The email filter rejects it; the phone happily extracts the URL.
+//! assert_eq!(extract_url_strict(&decoded), None);
+//! assert_eq!(
+//!     extract_url_lenient(&decoded).as_deref(),
+//!     Some("https://evil-site.example/dhfYWfH"),
+//! );
+//! ```
+
+pub mod bits;
+pub mod decode;
+pub mod encode;
+pub mod extract;
+pub mod gf256;
+pub mod matrix;
+pub mod reed_solomon;
+pub mod tables;
+
+pub use decode::{decode_matrix, DecodeError};
+pub use encode::{encode_bytes, EncodeError, QrSymbol};
+pub use matrix::QrMatrix;
+pub use tables::EcLevel;

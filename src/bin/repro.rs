@@ -1,0 +1,163 @@
+//! The reproduction harness: regenerate every table, figure and headline
+//! statistic of the paper.
+//!
+//! ```text
+//! repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl]
+//!
+//! EXPERIMENT: all (default) | table1 | ablation | table2 | figure2 |
+//!             figure3 | classmix | spear | volumes | lexical | cloaking |
+//!             ttest | funnel
+//! --scale F:  corpus scale, default 1.0 (the paper's 5,181 messages)
+//! --seed N:   corpus seed, default 2024
+//! --json:     dump the full AnalysisReport as JSON to stdout
+//! ```
+
+use cb_phishgen::{Corpus, CorpusSpec};
+use crawlerbox::analysis::{analyze, AnalysisReport};
+use crawlerbox::CrawlerBox;
+
+struct Args {
+    experiment: String,
+    scale: f64,
+    seed: u64,
+    json: bool,
+    log: Option<String>,
+}
+
+fn usage_exit(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!(
+        "usage: repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        experiment: "all".to_string(),
+        scale: 1.0,
+        seed: 2024,
+        json: false,
+        log: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--scale" => {
+                args.scale = match iter.next().and_then(|v| v.parse().ok()) {
+                    Some(s) if s > 0.0 && s <= 1.0 => s,
+                    _ => usage_exit("--scale needs a number in (0, 1]"),
+                };
+            }
+            "--seed" => {
+                args.seed = match iter.next().and_then(|v| v.parse().ok()) {
+                    Some(s) => s,
+                    None => usage_exit("--seed needs an integer"),
+                };
+            }
+            "--json" => args.json = true,
+            "--log" => {
+                args.log = match iter.next() {
+                    Some(p) => Some(p),
+                    None => usage_exit("--log needs a file path"),
+                };
+            }
+            other if !other.starts_with('-') => args.experiment = other.to_string(),
+            other => usage_exit(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+fn section(report: &AnalysisReport, which: &str) -> String {
+    match which {
+        "table1" => format!("== Table I ==\n{}", report.table1),
+        "ablation" => format!("== A1 ablation ==\n{}", report.ablation),
+        "table2" => format!("== Table II ==\n{}", report.table2),
+        "figure2" => format!("== Figure 2 ==\n{}", report.figure2),
+        "figure3" => format!("== Figure 3 ==\n{}", report.figure3),
+        "classmix" => format!("== Class mix ==\n{}", report.class_mix),
+        "spear" => format!(
+            "== Spear ==\nactive {} spear {} ({:.1}%) hotlinking {} ({:.1}% of spear)\nlanding URLs {} domains {}\n",
+            report.spear.active,
+            report.spear.spear,
+            report.spear.spear as f64 * 100.0 / report.spear.active.max(1) as f64,
+            report.spear.hotlinking,
+            report.spear.hotlinking as f64 * 100.0 / report.spear.spear.max(1) as f64,
+            report.landing_urls,
+            report.table2.total_domains,
+        ),
+        "volumes" => format!(
+            "== Volumes ==\nmean {:.2} median {:.1} max {}\nsingles: max/day {:.1} total {:.1}\nmulti:   max/day {:.1} total {:.1}\ntop: {:?}\n",
+            report.volumes.mean_messages,
+            report.volumes.median_messages,
+            report.volumes.max_messages,
+            report.volumes.single_median_max_per_day,
+            report.volumes.single_median_total,
+            report.volumes.multi_median_max_per_day,
+            report.volumes.multi_median_total,
+            report.volumes.top_by_queries,
+        ),
+        "lexical" => format!(
+            "== Lexical ==\ndeceptive {}/{} punycode {}\n",
+            report.lexical.deceptive, report.lexical.total, report.lexical.punycode
+        ),
+        "cloaking" => format!(
+            "== Cloaking ==\n{}challenge-gated {}/{}\n",
+            report.cloaking, report.challenge_gating.0, report.challenge_gating.1
+        ),
+        "ttest" => match &report.t_test {
+            Some(t) => format!("== t-test ==\n{t}\n"),
+            None => "== t-test ==\n(not computable: need 10 months)\n".to_string(),
+        },
+        "funnel" => format!(
+            "== Funnel ==\ninbound {} filtered {} delivered {} reported {} malicious {} spam {} legit {}\n",
+            report.funnel.inbound,
+            report.funnel.filtered,
+            report.funnel.delivered,
+            report.funnel.reported,
+            report.funnel.confirmed_malicious,
+            report.funnel.confirmed_spam,
+            report.funnel.confirmed_legitimate,
+        ),
+        "all" => report.render(),
+        other => format!("unknown experiment {other}; try: all table1 ablation table2 figure2 figure3 classmix spear volumes lexical cloaking ttest funnel\n"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = CorpusSpec::paper().with_scale(args.scale);
+    eprintln!(
+        "generating corpus (scale {}, seed {}) ...",
+        args.scale, args.seed
+    );
+    let corpus = Corpus::generate(&spec, args.seed);
+    eprintln!(
+        "scanning {} reported messages with CrawlerBox/NotABot ...",
+        corpus.messages.len()
+    );
+    let mut cbx = CrawlerBox::new(&corpus.world);
+    cbx.parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let records = cbx.scan_all(&corpus.messages);
+    if let Some(path) = &args.log {
+        match std::fs::File::create(path) {
+            Ok(file) => {
+                crawlerbox::logging::write_jsonl(std::io::BufWriter::new(file), &records)
+                    .unwrap_or_else(|e| usage_exit(&format!("writing crawl log: {e}")));
+                eprintln!("crawl log written to {path}");
+            }
+            Err(e) => usage_exit(&format!("cannot create crawl log {path}: {e}")),
+        }
+    }
+    eprintln!("analyzing {} scan records ...", records.len());
+    let report = analyze(&corpus.world, &spec, &records);
+
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&report).expect("report serializes"));
+    } else {
+        print!("{}", section(&report, &args.experiment));
+    }
+}

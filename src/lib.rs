@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! crawlerbox-suite: examples, integration tests and the reproduction
+//! harness for CrawlerBox-RS.
+//!
+//! The library surface is a convenience prelude over the workspace crates;
+//! the interesting entry points are the `repro` binary (regenerates every
+//! table and figure of the paper) and the runnable examples under
+//! `examples/`.
+
+/// One-stop imports for examples and downstream experiments.
+pub mod prelude {
+    pub use cb_botdetect::{AnonWaf, BotD, Detector, ReCaptchaV3, Turnstile};
+    pub use cb_browser::{Browser, BrowserFingerprint, CrawlerProfile};
+    pub use cb_email::{MessageBuilder, MimeEntity};
+    pub use cb_netsim::{HttpRequest, HttpResponse, Internet, NetContext, SiteHandler};
+    pub use cb_phishgen::{Corpus, CorpusSpec};
+    pub use cb_phishkit::{Brand, CloakConfig, PhishingSite};
+    pub use cb_qr::{decode_matrix, encode_bytes, EcLevel};
+    pub use cb_sim::{SimDuration, SimTime};
+    pub use crawlerbox::analysis::{analyze, AnalysisReport};
+    pub use crawlerbox::{CrawlerBox, ScanRecord};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let _spec = CorpusSpec::paper();
+        let _profile = CrawlerProfile::NotABot;
+    }
+}

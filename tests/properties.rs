@@ -1,0 +1,210 @@
+//! Property-based tests over the core substrates and invariants.
+
+use cb_email::codec::{
+    base64_decode, base64_encode, quoted_printable_decode, quoted_printable_encode,
+};
+use cb_netsim::Url;
+use cb_qr::{decode_matrix, encode_bytes, EcLevel};
+use cb_stats::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn base64_round_trips(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let encoded = base64_encode(&data);
+        prop_assert_eq!(base64_decode(&encoded).unwrap(), data);
+    }
+
+    #[test]
+    fn quoted_printable_round_trips(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // QP is line-oriented: normalize bare CR (which QP cannot represent
+        // distinctly from CRLF) out of the input.
+        let data: Vec<u8> = data.into_iter().filter(|&b| b != b'\r').collect();
+        let encoded = quoted_printable_encode(&data);
+        let expected: Vec<u8> = data
+            .iter()
+            .flat_map(|&b| if b == b'\n' { vec![b'\r', b'\n'] } else { vec![b] })
+            .collect();
+        prop_assert_eq!(quoted_printable_decode(&encoded), expected);
+    }
+
+    #[test]
+    fn qr_round_trips_any_payload(
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+        level in prop_oneof![Just(EcLevel::L), Just(EcLevel::M), Just(EcLevel::Q), Just(EcLevel::H)],
+    ) {
+        if let Ok(symbol) = encode_bytes(&data, level) {
+            prop_assert_eq!(decode_matrix(symbol.matrix()).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn qr_corrects_scattered_damage(
+        payload in "[a-z0-9:/.]{10,60}",
+        positions in proptest::collection::vec(0usize..10_000, 0..6),
+    ) {
+        let symbol = encode_bytes(payload.as_bytes(), EcLevel::H).unwrap();
+        let mut damaged = symbol.matrix().clone();
+        let spots = damaged.data_positions();
+        for p in positions {
+            let (r, c) = spots[p % spots.len()];
+            let v = damaged.get(r, c);
+            damaged.set(r, c, !v);
+        }
+        // ≤6 damaged modules -> at most 6 byte errors, well within H-level
+        // correction for small symbols; decoding must not mis-decode.
+        if let Ok(decoded) = decode_matrix(&damaged) {
+            prop_assert_eq!(decoded, payload.as_bytes());
+        }
+    }
+
+    #[test]
+    fn zip_round_trips_arbitrary_members(
+        members in proptest::collection::vec(
+            ("[a-zA-Z0-9_./-]{1,24}", proptest::collection::vec(any::<u8>(), 0..256)),
+            0..8,
+        )
+    ) {
+        // de-duplicate names (ZIP allows duplicates; our reader keeps both,
+        // but equality comparison is simplest on unique names)
+        let mut seen = std::collections::HashSet::new();
+        let mut zip = cb_artifacts::ZipArchive::new();
+        for (name, data) in &members {
+            if seen.insert(name.clone()) {
+                zip.add(name, data);
+            }
+        }
+        let parsed = cb_artifacts::ZipArchive::parse(&zip.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, zip);
+    }
+
+    #[test]
+    fn url_display_parse_round_trips(
+        host in "[a-z][a-z0-9-]{0,20}\\.[a-z]{2,6}",
+        path in "(/[a-zA-Z0-9_-]{0,12}){0,4}",
+        query in "([a-z]{1,6}=[a-zA-Z0-9]{0,8}(&[a-z]{1,6}=[a-zA-Z0-9]{0,8}){0,3})?",
+    ) {
+        let s = if query.is_empty() {
+            format!("https://{host}{}", if path.is_empty() { "/" } else { &path })
+        } else {
+            format!("https://{host}{}?{query}", if path.is_empty() { "/" } else { &path })
+        };
+        let parsed = Url::parse(&s).unwrap();
+        prop_assert_eq!(Url::parse(&parsed.to_string()).unwrap(), parsed);
+    }
+
+    #[test]
+    fn histogram_conserves_observations(
+        values in proptest::collection::vec(-50.0f64..200.0, 0..300)
+    ) {
+        let mut h = Histogram::new(0.0, 90.0, 9);
+        h.record_all(values.iter().copied());
+        prop_assert_eq!(
+            h.total_in_range() + h.underflow + h.overflow,
+            values.len() as u64
+        );
+    }
+
+    #[test]
+    fn mjs_lexer_never_panics(src in "\\PC{0,200}") {
+        let _ = cb_script::Script::parse(&src);
+    }
+
+    #[test]
+    fn mime_builder_output_always_parses(
+        subject in "[a-zA-Z0-9 ]{0,40}",
+        body in "[ -~]{0,300}",
+        attach in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut b = cb_email::MessageBuilder::new();
+        b.from("a@x.example")
+            .to("b@y.example")
+            .subject(&subject)
+            .text_body(&body)
+            .attach("blob.bin", "application/octet-stream", &attach);
+        let raw = b.build();
+        let parsed = cb_email::MimeEntity::parse(&raw).unwrap();
+        let leaf = parsed
+            .leaves()
+            .into_iter()
+            .find(|l| l.filename().is_some())
+            .unwrap();
+        prop_assert_eq!(leaf.body_bytes().unwrap(), &attach[..]);
+    }
+
+    #[test]
+    fn hamming_distance_is_a_metric(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let d = cb_stats::hamming64;
+        prop_assert_eq!(d(a, b), d(b, a));
+        prop_assert_eq!(d(a, a), 0);
+        prop_assert!(d(a, c) <= d(a, b) + d(b, c));
+    }
+
+    #[test]
+    fn strict_url_extraction_implies_lenient(payload in "\\PC{0,80}") {
+        use cb_qr::extract::{extract_url_lenient, extract_url_strict};
+        let bytes = payload.as_bytes();
+        if let Some(strict) = extract_url_strict(bytes) {
+            prop_assert_eq!(extract_url_lenient(bytes), Some(strict));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sim_time_calendar_round_trips(secs in -2_000_000_000i64..4_000_000_000) {
+        use cb_sim::SimTime;
+        let t = SimTime::from_unix(secs);
+        let (y, m, d) = t.ymd();
+        let (h, mi, s) = t.hms();
+        let back = SimTime::from_ymd_hms(y, m, d, h, mi, s);
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn domain_name_invariants(
+        labels in proptest::collection::vec("[a-z][a-z0-9-]{0,10}", 1..5),
+        tld in prop_oneof![
+            Just(".com"), Just(".ru"), Just(".dev"), Just(".br"), Just(".co.uk"),
+        ],
+    ) {
+        use cb_netsim::DomainName;
+        let name = format!("{}{}", labels.join("."), tld);
+        let d = DomainName::new(&name);
+        // the registrable domain is a suffix of the full name
+        prop_assert!(name.ends_with(&d.registrable()));
+        // the TLD is a suffix of the registrable domain (modulo the
+        // multi-label public-suffix collapse to the final label)
+        let tld_out = d.tld();
+        prop_assert!(tld_out.starts_with('.'));
+        prop_assert!(d.registrable().ends_with(tld_out.trim_start_matches('.')));
+        // idempotent
+        prop_assert_eq!(DomainName::new(d.as_str()).registrable(), d.registrable());
+    }
+
+    #[test]
+    fn html_parser_never_panics_and_walk_terminates(src in "\\PC{0,400}") {
+        let doc = cb_web::Document::parse(&src);
+        let _ = doc.walk().len();
+        let _ = doc.visible_text();
+        let _ = doc.anchor_urls();
+    }
+
+    #[test]
+    fn describe_is_translation_equivariant(
+        xs in proptest::collection::vec(-1e3f64..1e3, 2..64),
+        shift in -1e3f64..1e3,
+    ) {
+        use cb_stats::Describe;
+        let a = Describe::of(&xs);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let b = Describe::of(&shifted);
+        prop_assert!((a.mean + shift - b.mean).abs() < 1e-6);
+        prop_assert!((a.stddev - b.stddev).abs() < 1e-6);
+        prop_assert!((a.median + shift - b.median).abs() < 1e-6);
+    }
+}

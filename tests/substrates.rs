@@ -1,0 +1,158 @@
+//! Cross-crate substrate integration: the seams between email, QR, images,
+//! PDFs, archives, the browser and the detection services.
+
+use cb_artifacts::{qrimage, Bitmap, PdfDocument, Rgb, ZipArchive};
+use cb_botdetect::{Detector, Turnstile};
+use cb_browser::{Browser, CrawlerProfile};
+use cb_email::{MessageBuilder, MimeEntity};
+use cb_netsim::{HttpRequest, HttpResponse, Internet, NetContext};
+use cb_phishkit::{Brand, CloakConfig, PhishingSite};
+use cb_qr::{encode_bytes, EcLevel};
+use cb_sim::SimTime;
+use crawlerbox::extract::{extract_resources, ExtractionSource};
+
+#[test]
+fn qr_survives_full_email_round_trip() {
+    // encode → render → attach → MIME wire → parse → detect → decode → URL
+    let url = "https://round-trip.example/fulltok1";
+    let symbol = encode_bytes(url.as_bytes(), EcLevel::Q).unwrap();
+    let image = qrimage::render(symbol.matrix(), 3);
+    let raw = MessageBuilder::new()
+        .subject("scan me")
+        .text_body("see attachment")
+        .attach("code.png", "image/png", &image.to_bytes())
+        .build();
+    let parsed = MimeEntity::parse(&raw).unwrap();
+    let found = extract_resources(&parsed);
+    assert!(found
+        .iter()
+        .any(|r| r.url == url && r.source == ExtractionSource::QrCode { faulty: false }));
+}
+
+#[test]
+fn qr_inside_pdf_page_screenshot_is_not_supported_but_pdf_text_is() {
+    // The PDF path extracts annotation links and OCRs page screenshots.
+    let mut doc = PdfDocument::new();
+    let mut page = cb_artifacts::pdf::PdfPage::new();
+    page.text(6, 6, "VISIT HTTPS://PDFPAGE.EXAMPLE/OCR1 NOW");
+    doc.page(page);
+    let raw = MessageBuilder::new()
+        .subject("invoice")
+        .attach("inv.pdf", "application/pdf", &doc.to_bytes())
+        .build();
+    let parsed = MimeEntity::parse(&raw).unwrap();
+    let found = extract_resources(&parsed);
+    assert!(
+        found
+            .iter()
+            .any(|r| r.url.contains("pdfpage.example/ocr1")
+                && r.source == ExtractionSource::PdfText),
+        "{found:?}"
+    );
+}
+
+#[test]
+fn zip_of_eml_of_image_recurses() {
+    // A ZIP containing an EML containing a QR image: three container hops.
+    let url = "https://deep-nest.example/depthtk1";
+    let symbol = encode_bytes(url.as_bytes(), EcLevel::M).unwrap();
+    let image = qrimage::render(symbol.matrix(), 2);
+    let inner_eml = MessageBuilder::new()
+        .subject("inner")
+        .attach("qr.png", "image/png", &image.to_bytes())
+        .build();
+    let mut zip = ZipArchive::new();
+    zip.add("mail.eml", inner_eml.as_bytes());
+    let raw = MessageBuilder::new()
+        .subject("outer")
+        .attach("bundle.zip", "application/zip", &zip.to_bytes())
+        .build();
+    let parsed = MimeEntity::parse(&raw).unwrap();
+    let found = extract_resources(&parsed);
+    assert!(
+        found.iter().any(|r| r.url == url),
+        "nested URL recovered: {found:?}"
+    );
+}
+
+#[test]
+fn octet_stream_mislabeled_pdf_is_sniffed() {
+    let mut doc = PdfDocument::new();
+    let mut page = cb_artifacts::pdf::PdfPage::new();
+    page.link("https://sniffed.example/pdf");
+    doc.page(page);
+    let raw = MessageBuilder::new()
+        .subject("file")
+        .attach("data.bin", "application/octet-stream", &doc.to_bytes())
+        .build();
+    let parsed = MimeEntity::parse(&raw).unwrap();
+    let found = extract_resources(&parsed);
+    assert!(found.iter().any(|r| r.url == "https://sniffed.example/pdf"));
+}
+
+#[test]
+fn browser_attestation_matches_detector_view() {
+    // What a kit's Turnstile sees through the attestation header equals
+    // what the pure detector computes from the profile.
+    let net = Internet::new(SimTime::from_ymd(2024, 3, 1));
+    net.register_domain("probe.example", "REG");
+    net.host("probe.example", |req: &HttpRequest, _: &NetContext<'_>| {
+        let report = cb_browser::ChallengeReport::from_request(req).unwrap();
+        let verdict = Turnstile::default().evaluate(&report);
+        HttpResponse::html(&format!("<p>human={}</p>", verdict.is_human()))
+    });
+    for profile in CrawlerProfile::table1() {
+        let visit = Browser::new(profile).visit(&net, "https://probe.example/");
+        let via_http = visit
+            .document
+            .unwrap()
+            .visible_text()
+            .contains("human=true");
+        let direct = Turnstile::default()
+            .evaluate(&profile.fingerprint().attestation())
+            .is_human();
+        assert_eq!(via_http, direct, "{profile}");
+    }
+}
+
+#[test]
+fn hue_rotated_phish_page_screenshot_still_classifies() {
+    let net = Internet::new(SimTime::from_ymd(2024, 3, 1));
+    net.register_domain("rotated.example", "REG");
+    net.register_domain(Brand::FareLogic.legit_domain(), "CORP");
+    net.host(
+        Brand::FareLogic.legit_domain(),
+        cb_phishkit::brand::LegitSite::new(Brand::FareLogic),
+    );
+    let mut cloak = CloakConfig::none();
+    cloak.client.hue_rotate = true;
+    cloak.client.hotlink_brand_resources = true;
+    net.host(
+        "rotated.example",
+        PhishingSite::new(Brand::FareLogic, "https://rotated.example", cloak),
+    );
+    let visit = Browser::new(CrawlerProfile::NotABot).visit(&net, "https://rotated.example/");
+    assert!(visit.shows_login_form());
+    let classifier = crawlerbox::SpearClassifier::new();
+    let m = classifier
+        .classify(visit.screenshot.as_ref().unwrap())
+        .expect("hue rotation must not defeat the classifier");
+    assert_eq!(m.brand, Brand::FareLogic);
+    // and the hotlinked logo request hit the real org's infrastructure
+    assert!(visit
+        .subresources
+        .iter()
+        .any(|(u, status)| u.host == Brand::FareLogic.legit_domain() && *status == 200));
+}
+
+#[test]
+fn image_noise_does_not_create_phantom_urls() {
+    let img = Bitmap::new(300, 120, Rgb::WHITE).add_noise(12345, 500);
+    let raw = MessageBuilder::new()
+        .subject("pic")
+        .attach("noise.png", "image/png", &img.to_bytes())
+        .build();
+    let parsed = MimeEntity::parse(&raw).unwrap();
+    let found = extract_resources(&parsed);
+    assert!(found.is_empty(), "phantom URLs: {found:?}");
+}
