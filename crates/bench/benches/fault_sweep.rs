@@ -1,0 +1,58 @@
+//! Fault-sweep bench: what the crawl supervisor costs.
+//!
+//! Compares scanning one corpus on a reliable network against scanning the
+//! same corpus under a 20% transient-fault rate with supervision on
+//! (retry/backoff recovery work) and off (fail-fast), plus the full
+//! three-arm `repro faults` sweep.
+
+use cb_phishgen::{Corpus, CorpusSpec};
+use crawlerbox::analysis::fault_sweep;
+use crawlerbox::{CrawlerBox, ScanPolicy};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const SCALE: f64 = 0.02;
+const SEED: u64 = 2024;
+const RATE: f64 = 0.2;
+
+fn bench_supervised_scan(c: &mut Criterion) {
+    let reliable = Corpus::generate(&CorpusSpec::paper().with_scale(SCALE), SEED);
+    let faulted = Corpus::generate(
+        &CorpusSpec::paper().with_scale(SCALE).with_fault_rate(RATE),
+        SEED,
+    );
+    let batch_len = 24.min(reliable.messages.len());
+    let mut g = c.benchmark_group("faults/scan_24_messages");
+    g.throughput(Throughput::Elements(batch_len as u64));
+    g.sample_size(10);
+    g.bench_function("reliable_network", |b| {
+        let cbx = CrawlerBox::new(&reliable.world);
+        let batch = &reliable.messages[..batch_len];
+        b.iter(|| black_box(cbx.scan_all(black_box(batch))))
+    });
+    g.bench_function("faulted_supervised", |b| {
+        let cbx = CrawlerBox::new(&faulted.world);
+        let batch = &faulted.messages[..batch_len];
+        b.iter(|| black_box(cbx.scan_all(black_box(batch))))
+    });
+    g.bench_function("faulted_retryless", |b| {
+        let cbx = CrawlerBox::new(&faulted.world)
+            .with_policy(ScanPolicy::default().with_max_retries(0));
+        let batch = &faulted.messages[..batch_len];
+        b.iter(|| black_box(cbx.scan_all(black_box(batch))))
+    });
+    g.finish();
+}
+
+fn bench_full_sweep(c: &mut Criterion) {
+    let spec = CorpusSpec::paper().with_scale(0.01);
+    let mut g = c.benchmark_group("faults/sweep");
+    g.sample_size(10);
+    g.bench_function("three_arms_scale_0.01", |b| {
+        b.iter(|| black_box(fault_sweep(black_box(&spec), SEED, RATE)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_supervised_scan, bench_full_sweep);
+criterion_main!(benches);

@@ -12,8 +12,9 @@ use crate::fingerprint::{BrowserFingerprint, ATTESTATION_HEADER};
 use crate::hostimpl::{resolve_url, PageHost};
 use crate::profiles::CrawlerProfile;
 use cb_artifacts::Bitmap;
-use cb_netsim::{HttpRequest, Internet, IpClass, Url};
+use cb_netsim::{FaultKind, HttpRequest, Internet, IpClass, Url, FAULT_HEADER, LATENCY_HEADER};
 use cb_script::Script;
+use cb_sim::SimDuration;
 use cb_web::{render, Document};
 use serde::{Deserialize, Serialize};
 
@@ -22,6 +23,11 @@ pub const VIEWPORT: (usize, usize) = (480, 320);
 
 /// Redirect-hop ceiling.
 pub const MAX_HOPS: usize = 8;
+
+/// Default per-visit simulated-time budget. Generous on purpose: under the
+/// bounded-fault model a supervised visit always recovers well within it,
+/// so [`VisitOutcome::Timeout`] signals genuinely pathological latency.
+pub const DEFAULT_VISIT_BUDGET: SimDuration = SimDuration::minutes(30);
 
 /// How a visit ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,6 +45,12 @@ pub enum VisitOutcome {
     InteractionRequired,
     /// The final page triggered a file download instead of rendering.
     Download,
+    /// The visit's simulated-time budget was exhausted by fault latency.
+    Timeout,
+    /// A transport-level transient fault ended the visit (no HTTP response).
+    NetError(FaultKind),
+    /// The response body was cut short of its declared `Content-Length`.
+    Truncated,
 }
 
 /// The full record of one crawl.
@@ -71,6 +83,16 @@ pub struct Visit {
     pub timer_delays: Vec<f64>,
     /// How it ended.
     pub outcome: VisitOutcome,
+    /// Simulated time the visit consumed (fault stalls and declared
+    /// first-byte latency; the reliable path costs zero).
+    pub elapsed: SimDuration,
+    /// Structured provenance of every transient fault observed during the
+    /// visit — navigation hops, subresources and script fetches. Non-empty
+    /// means the visit saw adversity (even if it recovered) and a
+    /// supervisor should consider retrying.
+    pub transient_failures: Vec<String>,
+    /// `Retry-After` from a 429/503 final response, in seconds.
+    pub retry_after: Option<u32>,
 }
 
 impl Visit {
@@ -149,11 +171,32 @@ impl Browser {
     }
 
     /// Visit `url` on `net`, following redirects and executing scripts.
+    /// Equivalent to [`Browser::visit_attempt`] with attempt 0 and the
+    /// default budget.
     ///
     /// # Panics
     ///
     /// Panics if `url` is not a valid absolute URL.
     pub fn visit(&self, net: &Internet, url: &str) -> Visit {
+        self.visit_attempt(net, url, 0, DEFAULT_VISIT_BUDGET)
+    }
+
+    /// Visit `url` as retry number `attempt` under a simulated-time
+    /// `budget`. The attempt index is stamped on every request the visit
+    /// makes (navigation, subresources, script fetches), which is how the
+    /// deterministic fault injector knows a flaky URL has been retried
+    /// enough to recover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `url` is not a valid absolute URL.
+    pub fn visit_attempt(
+        &self,
+        net: &Internet,
+        url: &str,
+        attempt: u32,
+        budget: SimDuration,
+    ) -> Visit {
         let requested = Url::parse(url).expect("visit requires a valid absolute url");
         let mut visit = Visit {
             requested_url: requested.clone(),
@@ -169,11 +212,39 @@ impl Browser {
             debugger_hits: 0,
             timer_delays: Vec::new(),
             outcome: VisitOutcome::Unreachable,
+            elapsed: SimDuration::ZERO,
+            transient_failures: Vec::new(),
+            retry_after: None,
         };
 
         let mut current = requested;
         for _hop in 0..MAX_HOPS {
-            let resp = net.request(self.build_request(net, &current));
+            let mut nav_req = self.build_request(net, &current);
+            nav_req.attempt = attempt;
+            let resp = match net.try_request(nav_req) {
+                Ok(resp) => resp,
+                Err(err) => {
+                    visit.elapsed = visit.elapsed + err.latency;
+                    visit.chain.push((current.clone(), 0));
+                    visit.status = 0;
+                    visit.transient_failures.push(format!("nav {current}: {err}"));
+                    visit.outcome = if visit.elapsed > budget {
+                        VisitOutcome::Timeout
+                    } else {
+                        VisitOutcome::NetError(err.kind)
+                    };
+                    return visit;
+                }
+            };
+            if let Some(secs) = resp
+                .header(LATENCY_HEADER)
+                .and_then(|v| v.parse::<i64>().ok())
+            {
+                visit.elapsed = visit.elapsed + SimDuration::seconds(secs);
+            }
+            if let Some(kind) = resp.header(FAULT_HEADER) {
+                visit.transient_failures.push(format!("nav {current}: {kind}"));
+            }
             visit.chain.push((current.clone(), resp.status));
             visit.status = resp.status;
 
@@ -199,8 +270,21 @@ impl Browser {
                 }
             }
             if !(200..300).contains(&resp.status) {
+                visit.retry_after = resp.header("Retry-After").and_then(|v| v.parse().ok());
                 visit.outcome = VisitOutcome::HttpError(resp.status);
                 return visit;
+            }
+            if let Some(declared) = resp
+                .header("Content-Length")
+                .and_then(|v| v.parse::<usize>().ok())
+            {
+                if declared > resp.body.len() {
+                    visit
+                        .transient_failures
+                        .push(format!("nav {current}: body truncated at {}/{declared}", resp.body.len()));
+                    visit.outcome = VisitOutcome::Truncated;
+                    return visit;
+                }
             }
 
             let content_type = resp.header("Content-Type").unwrap_or("text/html");
@@ -213,6 +297,7 @@ impl Browser {
             let html = resp.body_text();
             let doc = Document::parse(&html);
             let mut host = PageHost::new(net, &self.fingerprint, current.clone());
+            host.attempt = attempt;
             for src in doc.inline_scripts() {
                 if let Ok(script) = Script::parse(&src) {
                     // Script errors abort that script only, like a browser.
@@ -227,6 +312,10 @@ impl Browser {
             visit
                 .exfil
                 .extend(host.fetches.iter().cloned());
+            visit
+                .transient_failures
+                .extend(host.transient_failures.iter().cloned());
+            visit.elapsed = visit.elapsed + host.fault_latency;
 
             // Script-driven navigation wins over meta refresh.
             if let Some(nav) = host.navigations.first() {
@@ -256,8 +345,27 @@ impl Browser {
                 if let Ok(u) = Url::parse(&target) {
                     let mut req = self.build_request(net, &u);
                     req.set_header("Referer", &current.to_string());
-                    let status = net.request(req).status;
-                    visit.subresources.push((u, status));
+                    req.attempt = attempt;
+                    match net.try_request(req) {
+                        Ok(resp) => {
+                            if let Some(kind) = resp.header(FAULT_HEADER) {
+                                visit
+                                    .transient_failures
+                                    .push(format!("subresource {u}: {kind}"));
+                            }
+                            visit.subresources.push((u, resp.status));
+                        }
+                        Err(err) => {
+                            // A failed subresource never aborts the page;
+                            // the note above lets a supervisor retry the
+                            // whole visit for a clean capture.
+                            visit.elapsed = visit.elapsed + err.latency;
+                            visit
+                                .transient_failures
+                                .push(format!("subresource {u}: {err}"));
+                            visit.subresources.push((u, 0));
+                        }
+                    }
                 }
             }
             let interactive = doc
@@ -491,6 +599,130 @@ mod tests {
         let v = Browser::new(CrawlerProfile::NotABot).visit(&net, "https://page.example/");
         assert_eq!(v.exfil.len(), 1);
         assert!(v.exfil[0].1.contains("Chrome"));
+    }
+
+    #[test]
+    fn transport_fault_yields_net_error_with_provenance() {
+        use cb_netsim::{FaultPlan, FaultProfile};
+        let net = net_with("flaky.example", |_: &HttpRequest, _: &NetContext<'_>| {
+            HttpResponse::html("<p>fine</p>")
+        });
+        net.set_fault_plan(FaultPlan::uniform(9, 0.0).with_host(
+            "flaky.example",
+            FaultProfile {
+                rate: 1.0,
+                kinds: vec![cb_netsim::FaultKind::ConnectionReset],
+                ..Default::default()
+            },
+        ));
+        let b = Browser::new(CrawlerProfile::NotABot);
+        let v = b.visit_attempt(&net, "https://flaky.example/", 0, DEFAULT_VISIT_BUDGET);
+        assert_eq!(
+            v.outcome,
+            VisitOutcome::NetError(cb_netsim::FaultKind::ConnectionReset)
+        );
+        assert_eq!(v.status, 0);
+        assert!(!v.transient_failures.is_empty());
+        assert!(v.elapsed > cb_sim::SimDuration::ZERO);
+        // A late-enough retry recovers the page exactly.
+        let v = b.visit_attempt(&net, "https://flaky.example/", 4, DEFAULT_VISIT_BUDGET);
+        assert_eq!(v.outcome, VisitOutcome::Loaded);
+        assert!(v.transient_failures.is_empty());
+    }
+
+    #[test]
+    fn truncated_body_is_its_own_outcome() {
+        use cb_netsim::{FaultPlan, FaultProfile};
+        let net = net_with("cut.example", |_: &HttpRequest, _: &NetContext<'_>| {
+            HttpResponse::html("<p>whole</p>")
+        });
+        net.set_fault_plan(FaultPlan::uniform(9, 0.0).with_host(
+            "cut.example",
+            FaultProfile {
+                rate: 1.0,
+                kinds: vec![cb_netsim::FaultKind::TruncatedBody],
+                ..Default::default()
+            },
+        ));
+        let v = Browser::new(CrawlerProfile::NotABot).visit(&net, "https://cut.example/");
+        assert_eq!(v.outcome, VisitOutcome::Truncated);
+        assert!(v
+            .transient_failures
+            .iter()
+            .any(|n| n.contains("truncated")));
+    }
+
+    #[test]
+    fn slow_first_byte_exhausts_a_small_budget() {
+        use cb_netsim::{FaultPlan, FaultProfile};
+        let net = net_with("slow.example", |_: &HttpRequest, _: &NetContext<'_>| {
+            HttpResponse::html("<p>late</p>")
+        });
+        net.set_fault_plan(FaultPlan::uniform(9, 0.0).with_host(
+            "slow.example",
+            FaultProfile {
+                rate: 1.0,
+                kinds: vec![cb_netsim::FaultKind::SlowFirstByte],
+                ..Default::default()
+            },
+        ));
+        let v = Browser::new(CrawlerProfile::NotABot).visit_attempt(
+            &net,
+            "https://slow.example/",
+            0,
+            cb_sim::SimDuration::seconds(3),
+        );
+        assert_eq!(v.outcome, VisitOutcome::Timeout);
+    }
+
+    #[test]
+    fn rate_limit_surfaces_retry_after() {
+        use cb_netsim::{FaultPlan, FaultProfile};
+        let net = net_with("busy.example", |_: &HttpRequest, _: &NetContext<'_>| {
+            HttpResponse::html("<p>open</p>")
+        });
+        net.set_fault_plan(FaultPlan::uniform(9, 0.0).with_host(
+            "busy.example",
+            FaultProfile {
+                rate: 1.0,
+                kinds: vec![cb_netsim::FaultKind::RateLimited],
+                ..Default::default()
+            },
+        ));
+        let v = Browser::new(CrawlerProfile::NotABot).visit(&net, "https://busy.example/");
+        assert_eq!(v.outcome, VisitOutcome::HttpError(429));
+        assert_eq!(v.retry_after, Some(5));
+        assert!(!v.transient_failures.is_empty());
+    }
+
+    #[test]
+    fn recovered_subresource_fault_is_noted_not_fatal() {
+        use cb_netsim::{FaultPlan, FaultProfile};
+        let net = Internet::new(SimTime::from_ymd(2024, 1, 1));
+        net.register_domain("page.example", "REG");
+        net.register_domain("cdn.example", "REG");
+        net.host("page.example", |_: &HttpRequest, _: &NetContext<'_>| {
+            HttpResponse::html(r#"<img src="https://cdn.example/a.png"><p>x</p>"#)
+        });
+        net.host("cdn.example", |_: &HttpRequest, _: &NetContext<'_>| {
+            HttpResponse::ok("image/png", vec![1])
+        });
+        net.set_fault_plan(FaultPlan::uniform(9, 0.0).with_host(
+            "cdn.example",
+            FaultProfile {
+                rate: 1.0,
+                kinds: vec![cb_netsim::FaultKind::DnsTimeout],
+                ..Default::default()
+            },
+        ));
+        let v = Browser::new(CrawlerProfile::NotABot).visit(&net, "https://page.example/");
+        assert_eq!(v.outcome, VisitOutcome::Loaded, "page itself still loads");
+        assert_eq!(v.subresources[0].1, 0);
+        assert!(
+            v.transient_failures.iter().any(|n| n.contains("subresource")),
+            "supervisor sees the evidence: {:?}",
+            v.transient_failures
+        );
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! for the engine to act on.
 
 use crate::fingerprint::{BrowserFingerprint, ATTESTATION_HEADER};
-use cb_netsim::{HttpRequest, Internet, Url};
+use cb_netsim::{HttpRequest, Internet, Url, FAULT_HEADER};
 use cb_script::{Host, ScriptError, Value};
+use cb_sim::SimDuration;
 
 /// Per-page script host.
 pub struct PageHost<'a> {
@@ -30,6 +31,13 @@ pub struct PageHost<'a> {
     pub debugger_hits: usize,
     /// Timer delays requested (ms).
     pub timer_delays: Vec<f64>,
+    /// Retry index of the enclosing visit, stamped on script fetches so
+    /// the fault injector treats them consistently with page loads.
+    pub attempt: u32,
+    /// Transient-fault provenance notes from script fetches.
+    pub transient_failures: Vec<String>,
+    /// Simulated time lost to faulted script fetches.
+    pub fault_latency: SimDuration,
     clock_ms: f64,
 }
 
@@ -48,6 +56,9 @@ impl<'a> PageHost<'a> {
             fetches: Vec::new(),
             debugger_hits: 0,
             timer_delays: Vec::new(),
+            attempt: 0,
+            transient_failures: Vec::new(),
+            fault_latency: SimDuration::ZERO,
             clock_ms: 1_000_000.0,
         }
     }
@@ -163,9 +174,22 @@ impl Host for PageHost<'_> {
                 );
                 req.client_ip = crate::engine::ip_for_class(self.net, self.fingerprint.ip_class);
                 req.tls = self.fingerprint.tls;
-                let resp = self.net.request(req);
-                self.fetches.push((url.to_string(), body, resp.status));
-                Ok(Value::Str(resp.body_text()))
+                req.attempt = self.attempt;
+                match self.net.try_request(req) {
+                    Ok(resp) => {
+                        if let Some(kind) = resp.header(FAULT_HEADER) {
+                            self.transient_failures.push(format!("fetch {url}: {kind}"));
+                        }
+                        self.fetches.push((url.to_string(), body, resp.status));
+                        Ok(Value::Str(resp.body_text()))
+                    }
+                    Err(err) => {
+                        self.fault_latency = self.fault_latency + err.latency;
+                        self.transient_failures.push(format!("fetch {url}: {err}"));
+                        self.fetches.push((url.to_string(), body, 0));
+                        Ok(Value::Str(String::new()))
+                    }
+                }
             }
             "atob" | "btoa" | "encodeURIComponent" | "parseInt" | "Number" | "String"
             | "isEmailValid" => {

@@ -24,6 +24,6 @@ pub mod fingerprint;
 pub mod hostimpl;
 pub mod profiles;
 
-pub use engine::{Browser, Visit, VisitOutcome};
+pub use engine::{Browser, Visit, VisitOutcome, DEFAULT_VISIT_BUDGET};
 pub use fingerprint::{BrowserFingerprint, ChallengeReport};
 pub use profiles::CrawlerProfile;

@@ -2,6 +2,7 @@
 //! paper, re-derived from scan records and public world data.
 
 pub mod cloaking;
+pub mod faults;
 pub mod figures;
 pub mod lexical;
 pub mod nontargeted;
@@ -10,4 +11,5 @@ pub mod table1;
 pub mod tables;
 pub mod volumes;
 
+pub use faults::{fault_sweep, FaultArm, FaultSweepReport};
 pub use report::{AnalysisReport, analyze};

@@ -41,4 +41,4 @@ pub mod pipeline;
 pub use classify::SpearClassifier;
 pub use extract::{extract_resources, ExtractedResource, ExtractionSource};
 pub use logging::ScanRecord;
-pub use pipeline::CrawlerBox;
+pub use pipeline::{CrawlerBox, ScanPolicy};

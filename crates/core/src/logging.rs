@@ -7,8 +7,22 @@ use cb_browser::engine::VisitOutcome;
 use cb_imagehash::HashPair;
 use cb_netsim::{QueryVolume, Url};
 use cb_phishgen::MessageClass;
-use cb_sim::SimTime;
+use cb_sim::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+
+/// One attempt in a supervised visit's history: which retry it was, what
+/// transient faults it observed, and how long the supervisor backed off
+/// before issuing it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttemptLog {
+    /// Zero-based attempt index.
+    pub attempt: u32,
+    /// Transient-fault provenance notes from this attempt.
+    pub failures: Vec<String>,
+    /// Backoff the supervisor waited before this attempt (zero for the
+    /// first attempt).
+    pub waited: SimDuration,
+}
 
 /// One crawled resource's log entry.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -50,6 +64,18 @@ pub struct VisitLog {
     pub banner: Option<String>,
     /// Whether the final page injected a hue-rotate filter.
     pub hue_rotated: bool,
+    /// Attempt history under the crawl supervisor (one entry per attempt;
+    /// a single entry with no failures is the common fault-free case).
+    #[serde(default)]
+    pub attempts: Vec<AttemptLog>,
+    /// Total simulated time the visit consumed across attempts, including
+    /// backoff waits.
+    #[serde(default)]
+    pub elapsed: SimDuration,
+    /// Structured error provenance when the supervised visit still failed
+    /// (retries exhausted, budget spent, or circuit breaker open).
+    #[serde(default)]
+    pub error: Option<String>,
 }
 
 impl VisitLog {
@@ -86,6 +112,10 @@ pub struct ScanRecord {
     pub blank_line_run: usize,
     /// The derived §V class.
     pub class: MessageClass,
+    /// Set when the scan itself degraded (e.g. a worker panic was isolated
+    /// by `scan_all`); the record is then a placeholder, not a crawl.
+    #[serde(default)]
+    pub error: Option<String>,
 }
 
 impl ScanRecord {
@@ -176,6 +206,9 @@ mod tests {
             dns_volume: None,
             banner: None,
             hue_rotated: false,
+            attempts: Vec::new(),
+            elapsed: SimDuration::ZERO,
+            error: None,
         }
     }
 
@@ -198,6 +231,7 @@ mod tests {
             body_bytes: 100,
             blank_line_run: 0,
             class: MessageClass::ErrorPage,
+            error: None,
         };
         assert!(record.phish_visit().is_none());
         record.visits[0].login_form = true;
@@ -218,6 +252,7 @@ mod tests {
             body_bytes: 10,
             blank_line_run: 0,
             class: MessageClass::NoResource,
+            error: None,
         };
         assert!(record.has_faulty_qr());
     }
@@ -243,6 +278,7 @@ mod tests {
             body_bytes: 321,
             blank_line_run: 2,
             class: MessageClass::ActivePhish,
+            error: None,
         };
         let mut buf = Vec::new();
         write_jsonl(&mut buf, std::slice::from_ref(&record)).unwrap();
@@ -251,6 +287,20 @@ mod tests {
         assert_eq!(back[0].message_id, 7);
         assert_eq!(back[0].class, MessageClass::ActivePhish);
         assert_eq!(back[0].extracted, record.extracted);
+    }
+
+    #[test]
+    fn legacy_logs_without_fault_fields_still_deserialize() {
+        let v = empty_visit("https://a.example/");
+        let mut json = serde_json::to_value(&v).unwrap();
+        let obj = json.as_object_mut().unwrap();
+        obj.remove("attempts");
+        obj.remove("elapsed");
+        obj.remove("error");
+        let back: VisitLog = serde_json::from_value(json).unwrap();
+        assert!(back.attempts.is_empty());
+        assert_eq!(back.elapsed, SimDuration::ZERO);
+        assert!(back.error.is_none());
     }
 
     #[test]

@@ -7,17 +7,178 @@
 
 use crate::classify::SpearClassifier;
 use crate::extract::extract_resources;
-use crate::logging::{ScanRecord, VisitLog};
+use crate::logging::{AttemptLog, ScanRecord, VisitLog};
 use cb_browser::engine::VisitOutcome;
-use cb_browser::{Browser, CrawlerProfile, Visit};
+use cb_browser::{Browser, CrawlerProfile, Visit, DEFAULT_VISIT_BUDGET};
 use cb_email::MimeEntity;
 use cb_imagehash::HashPair;
-use cb_netsim::Internet;
+use cb_netsim::{Internet, Url};
 use cb_phishgen::{MessageClass, ReportedMessage};
-use cb_sim::{SimDuration, SimTime};
+use cb_sim::{SeedFork, SimDuration, SimTime};
+use std::collections::HashMap;
 
-/// Crawl at most this many distinct URLs per message.
-const MAX_URLS_PER_MESSAGE: usize = 4;
+/// Seed for the supervisor's deterministic backoff jitter. Jitter is a pure
+/// function of `(url, attempt)`, so serial and parallel scans wait — and
+/// therefore observe — exactly the same things.
+const JITTER_SEED: u64 = 0xCB_5CAB;
+
+/// Knobs of the resilient crawl supervisor. Defaults preserve the
+/// pre-policy pipeline behaviour on a reliable network and add bounded
+/// recovery under fault injection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanPolicy {
+    /// Crawl at most this many distinct URLs per message.
+    pub max_urls_per_message: usize,
+    /// Retries after the first attempt of a visit that saw transient
+    /// faults. Zero disables supervision (the degradation baseline).
+    pub max_retries: u32,
+    /// First backoff delay; doubles every retry.
+    pub backoff_base: SimDuration,
+    /// Ceiling on a single backoff delay.
+    pub backoff_cap: SimDuration,
+    /// Simulated-time budget for one supervised visit, attempts and
+    /// backoff waits included.
+    pub visit_budget: SimDuration,
+    /// Consecutive failed visits to one host that trip its circuit
+    /// breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before half-opening for a
+    /// probe visit.
+    pub breaker_cooldown: SimDuration,
+}
+
+impl Default for ScanPolicy {
+    fn default() -> ScanPolicy {
+        ScanPolicy {
+            max_urls_per_message: 4,
+            max_retries: 3,
+            backoff_base: SimDuration::seconds(2),
+            backoff_cap: SimDuration::seconds(60),
+            visit_budget: DEFAULT_VISIT_BUDGET,
+            breaker_threshold: 3,
+            breaker_cooldown: SimDuration::seconds(60),
+        }
+    }
+}
+
+impl ScanPolicy {
+    /// Set the per-message URL ceiling.
+    pub fn with_max_urls(mut self, n: usize) -> ScanPolicy {
+        self.max_urls_per_message = n;
+        self
+    }
+
+    /// Set the retry ceiling (0 = no supervision).
+    pub fn with_max_retries(mut self, n: u32) -> ScanPolicy {
+        self.max_retries = n;
+        self
+    }
+
+    /// Set the backoff base and cap.
+    pub fn with_backoff(mut self, base: SimDuration, cap: SimDuration) -> ScanPolicy {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// Set the per-visit simulated-time budget.
+    pub fn with_visit_budget(mut self, budget: SimDuration) -> ScanPolicy {
+        self.visit_budget = budget;
+        self
+    }
+
+    /// Set the circuit-breaker trip threshold and cooldown.
+    pub fn with_breaker(mut self, threshold: u32, cooldown: SimDuration) -> ScanPolicy {
+        self.breaker_threshold = threshold;
+        self.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// The deterministic backoff before retry `attempt` (1-based): capped
+    /// exponential plus URL-keyed jitter, floored by any `Retry-After` the
+    /// server sent.
+    fn backoff(&self, url: &str, attempt: u32, retry_after: Option<u32>) -> SimDuration {
+        let doublings = i64::from(attempt.saturating_sub(1).min(16));
+        let exp = self.backoff_base * (1i64 << doublings);
+        let base = exp.min(self.backoff_cap);
+        let jitter_span = self.backoff_base.as_seconds().max(1);
+        let jitter = SeedFork::new(JITTER_SEED).seed(&format!("{url}#{attempt}"))
+            % (jitter_span as u64 + 1);
+        let delay = base + SimDuration::seconds(jitter as i64);
+        match retry_after {
+            Some(ra) => delay.max(SimDuration::seconds(i64::from(ra))),
+            None => delay,
+        }
+    }
+}
+
+/// Per-scan circuit-breaker bank: consecutive-failure counts and open/half-
+/// open state per host, on a scan-local simulated timeline. Scan-local
+/// state keeps `scan_all` deterministic — concurrent scans never share
+/// breaker history.
+struct BreakerBank<'p> {
+    policy: &'p ScanPolicy,
+    /// Simulated time this scan has consumed so far (visit latency plus
+    /// backoff waits) — the timeline cooldowns are measured on.
+    elapsed: SimDuration,
+    hosts: HashMap<String, HostBreaker>,
+}
+
+#[derive(Default)]
+struct HostBreaker {
+    consecutive: u32,
+    open_until: Option<SimDuration>,
+    half_open: bool,
+}
+
+impl<'p> BreakerBank<'p> {
+    fn new(policy: &'p ScanPolicy) -> BreakerBank<'p> {
+        BreakerBank {
+            policy,
+            elapsed: SimDuration::ZERO,
+            hosts: HashMap::new(),
+        }
+    }
+
+    /// Advance the scan-local timeline.
+    fn elapse(&mut self, d: SimDuration) {
+        self.elapsed = self.elapsed + d;
+    }
+
+    /// May we visit `host` now? An open breaker rejects until its cooldown
+    /// passes, then half-opens: one probe visit is allowed, and its result
+    /// decides whether the breaker closes or re-opens.
+    fn allow(&mut self, host: &str) -> bool {
+        let b = self.hosts.entry(host.to_string()).or_default();
+        match b.open_until {
+            Some(until) if self.elapsed < until => false,
+            Some(_) => {
+                b.open_until = None;
+                b.half_open = true;
+                true
+            }
+            None => true,
+        }
+    }
+
+    /// Record the outcome of a supervised visit to `host`.
+    fn record(&mut self, host: &str, ok: bool) {
+        let threshold = self.policy.breaker_threshold.max(1);
+        let cooldown = self.policy.breaker_cooldown;
+        let now = self.elapsed;
+        let b = self.hosts.entry(host.to_string()).or_default();
+        if ok {
+            b.consecutive = 0;
+            b.half_open = false;
+        } else {
+            b.consecutive += 1;
+            if b.half_open || b.consecutive >= threshold {
+                b.open_until = Some(now + cooldown);
+                b.half_open = false;
+            }
+        }
+    }
+}
 
 /// The analysis infrastructure.
 pub struct CrawlerBox<'a> {
@@ -30,6 +191,7 @@ pub struct CrawlerBox<'a> {
     /// beneficial"), implemented.
     fallbacks: Vec<Browser>,
     classifier: SpearClassifier,
+    policy: ScanPolicy,
     /// Worker threads for [`scan_all`](Self::scan_all).
     pub parallelism: usize,
 }
@@ -42,6 +204,7 @@ impl<'a> CrawlerBox<'a> {
             browser: Browser::new(CrawlerProfile::NotABot),
             fallbacks: Vec::new(),
             classifier: SpearClassifier::new(),
+            policy: ScanPolicy::default(),
             parallelism: 4,
         }
     }
@@ -50,6 +213,17 @@ impl<'a> CrawlerBox<'a> {
     pub fn with_profile(mut self, profile: CrawlerProfile) -> CrawlerBox<'a> {
         self.browser = Browser::new(profile);
         self
+    }
+
+    /// Replace the scan policy (retry/backoff/breaker/URL-ceiling knobs).
+    pub fn with_policy(mut self, policy: ScanPolicy) -> CrawlerBox<'a> {
+        self.policy = policy;
+        self
+    }
+
+    /// The active scan policy.
+    pub fn policy(&self) -> &ScanPolicy {
+        &self.policy
     }
 
     /// Add fallback crawler components, tried in order when the primary
@@ -81,13 +255,15 @@ impl<'a> CrawlerBox<'a> {
             None => (Vec::new(), false, 0, message.delivered_at),
         };
 
-        // Crawl distinct URLs (first occurrence order).
+        // Crawl distinct URLs (first occurrence order). Breaker state is
+        // scoped to this scan: concurrent scans share nothing, which keeps
+        // `scan_all` bit-identical to serial scanning.
         let mut urls: Vec<&str> = Vec::new();
         for r in &extracted {
             if !urls.contains(&r.url.as_str()) {
                 urls.push(&r.url);
             }
-            if urls.len() >= MAX_URLS_PER_MESSAGE {
+            if urls.len() >= self.policy.max_urls_per_message {
                 break;
             }
         }
@@ -95,9 +271,10 @@ impl<'a> CrawlerBox<'a> {
             .as_ref()
             .map(collect_text)
             .unwrap_or_default();
+        let mut breakers = BreakerBank::new(&self.policy);
         let visits: Vec<VisitLog> = urls
             .iter()
-            .map(|u| self.crawl_one(u, &full_text, delivered_at))
+            .map(|u| self.crawl_one(u, &full_text, delivered_at, &mut breakers))
             .collect();
 
         let class = derive_class(&extracted, &visits);
@@ -110,10 +287,21 @@ impl<'a> CrawlerBox<'a> {
             body_bytes: message.raw.len(),
             blank_line_run,
             class,
+            error: None,
         }
     }
 
-    /// Scan a batch in parallel, preserving order.
+    /// Scan one message with panic isolation: if anything inside the scan
+    /// panics, the panic is caught and a degraded [`ScanRecord`] with
+    /// `error` provenance is returned instead of unwinding the caller.
+    pub fn scan_caught(&self, message: &ReportedMessage) -> ScanRecord {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.scan(message)))
+            .unwrap_or_else(|payload| degraded_record(message, &panic_text(payload.as_ref())))
+    }
+
+    /// Scan a batch in parallel, preserving order. A panicking message
+    /// yields a degraded record (`error` set) without disturbing the rest
+    /// of the batch: the result always has exactly one record per message.
     pub fn scan_all(&self, messages: &[ReportedMessage]) -> Vec<ScanRecord> {
         if messages.is_empty() {
             return Vec::new();
@@ -122,17 +310,19 @@ impl<'a> CrawlerBox<'a> {
         let chunk = messages.len().div_ceil(workers);
         let mut out: Vec<Option<ScanRecord>> = Vec::new();
         out.resize_with(messages.len(), || None);
-        crossbeam::thread::scope(|scope| {
+        let _ = crossbeam::thread::scope(|scope| {
             for (slot, msgs) in out.chunks_mut(chunk).zip(messages.chunks(chunk)) {
                 scope.spawn(move |_| {
                     for (s, m) in slot.iter_mut().zip(msgs) {
-                        *s = Some(self.scan(m));
+                        *s = Some(self.scan_caught(m));
                     }
                 });
             }
-        })
-        .expect("scan workers do not panic");
-        out.into_iter().map(|r| r.expect("every slot filled")).collect()
+        });
+        out.into_iter()
+            .zip(messages)
+            .map(|(r, m)| r.unwrap_or_else(|| degraded_record(m, "scan worker died")))
+            .collect()
     }
 
     /// Crawl one URL, solving what custom code can solve (math challenges,
@@ -140,13 +330,19 @@ impl<'a> CrawlerBox<'a> {
     /// the primary crawler sees nothing malicious, fallback components get
     /// a turn — a kit cloaking against one crawler's tells may reveal to
     /// another.
-    fn crawl_one(&self, url: &str, message_text: &str, delivered_at: SimTime) -> VisitLog {
-        let log = self.crawl_with(&self.browser, url, message_text, delivered_at);
+    fn crawl_one(
+        &self,
+        url: &str,
+        message_text: &str,
+        delivered_at: SimTime,
+        breakers: &mut BreakerBank<'_>,
+    ) -> VisitLog {
+        let log = self.crawl_with(&self.browser, url, message_text, delivered_at, breakers);
         if log.login_form || log.outcome != cb_browser::engine::VisitOutcome::Loaded {
             return log;
         }
         for fallback in &self.fallbacks {
-            let retry = self.crawl_with(fallback, url, message_text, delivered_at);
+            let retry = self.crawl_with(fallback, url, message_text, delivered_at, breakers);
             if retry.login_form {
                 return retry;
             }
@@ -154,17 +350,98 @@ impl<'a> CrawlerBox<'a> {
         log
     }
 
+    /// The resilient crawl supervisor: run attempts of
+    /// [`CrawlerBox::crawl_gates`] until one completes without transient
+    /// faults, retries run out, or the visit budget is spent — backing off
+    /// exponentially (deterministic jitter, `Retry-After` honoured) between
+    /// attempts, and consulting the per-host circuit breaker first.
     fn crawl_with(
         &self,
         browser: &Browser,
         url: &str,
         message_text: &str,
         delivered_at: SimTime,
+        breakers: &mut BreakerBank<'_>,
     ) -> VisitLog {
-        let mut visit = browser.visit(self.world, url);
+        // An unparseable URL (possible with corrupted messages) degrades
+        // instead of reaching Browser::visit's validity panic.
+        let Ok(parsed_url) = Url::parse(url) else {
+            return invalid_url_log(url);
+        };
+        let host = parsed_url.host;
+        if !breakers.allow(&host) {
+            let mut log = invalid_url_log(url);
+            log.error = Some(format!("circuit breaker open for {host}"));
+            return log;
+        }
+
+        let mut attempts: Vec<AttemptLog> = Vec::new();
+        let mut total_elapsed = SimDuration::ZERO;
+        let mut waited = SimDuration::ZERO;
+        let mut attempt: u32 = 0;
+        loop {
+            let (visit, gates_solved) =
+                self.crawl_gates(browser, url, message_text, attempt);
+            total_elapsed = total_elapsed + visit.elapsed;
+            breakers.elapse(visit.elapsed);
+            attempts.push(AttemptLog {
+                attempt,
+                failures: visit.transient_failures.clone(),
+                waited,
+            });
+
+            let saw_faults = !visit.transient_failures.is_empty();
+            let out_of_retries = attempt >= self.policy.max_retries;
+            let out_of_budget = total_elapsed > self.policy.visit_budget;
+            if !saw_faults || out_of_retries || out_of_budget {
+                breakers.record(&host, !saw_faults);
+                let mut log = self.log_visit(&visit, gates_solved, delivered_at);
+                log.elapsed = total_elapsed;
+                if saw_faults {
+                    let last = visit
+                        .transient_failures
+                        .last()
+                        .cloned()
+                        .unwrap_or_default();
+                    log.error = Some(if out_of_budget {
+                        format!(
+                            "visit budget exhausted after {} attempts; last fault: {last}",
+                            attempts.len()
+                        )
+                    } else {
+                        format!(
+                            "transient faults after {} attempts; last fault: {last}",
+                            attempts.len()
+                        )
+                    });
+                }
+                log.attempts = attempts;
+                return log;
+            }
+
+            attempt += 1;
+            waited = self.policy.backoff(url, attempt, visit.retry_after);
+            total_elapsed = total_elapsed + waited;
+            breakers.elapse(waited);
+        }
+    }
+
+    /// One attempt at a URL: the visit itself plus up to two gate-solving
+    /// follow-up visits (all stamped with the same retry index). Transient
+    /// faults seen by superseded gate hops carry over into the returned
+    /// visit so the supervisor never loses evidence.
+    fn crawl_gates(
+        &self,
+        browser: &Browser,
+        url: &str,
+        message_text: &str,
+        attempt: u32,
+    ) -> (Visit, Vec<String>) {
+        let budget = self.policy.visit_budget;
+        let mut visit = browser.visit_attempt(self.world, url, attempt, budget);
         let mut gates_solved = Vec::new();
 
-        for _attempt in 0..2 {
+        for _gate in 0..2 {
             if visit.outcome != VisitOutcome::InteractionRequired {
                 break;
             }
@@ -182,13 +459,17 @@ impl<'a> CrawlerBox<'a> {
             match retry {
                 Some(retry_url) => {
                     gates_solved.push(kind);
-                    visit = browser.visit(self.world, &retry_url);
+                    let prior_failures = std::mem::take(&mut visit.transient_failures);
+                    let prior_elapsed = visit.elapsed;
+                    visit = browser.visit_attempt(self.world, &retry_url, attempt, budget);
+                    visit.transient_failures.splice(0..0, prior_failures);
+                    visit.elapsed = visit.elapsed + prior_elapsed;
                 }
                 None => break,
             }
         }
 
-        self.log_visit(&visit, gates_solved, delivered_at)
+        (visit, gates_solved)
     }
 
     fn log_visit(
@@ -254,7 +535,64 @@ impl<'a> CrawlerBox<'a> {
             dns_volume,
             banner,
             hue_rotated,
+            attempts: Vec::new(),
+            elapsed: visit.elapsed,
+            error: None,
         }
+    }
+}
+
+/// A placeholder log for a URL that was never visited (unparseable, or the
+/// host's circuit breaker was open).
+fn invalid_url_log(url: &str) -> VisitLog {
+    VisitLog {
+        requested_url: url.to_string(),
+        chain: Vec::new(),
+        outcome: VisitOutcome::Unreachable,
+        status: 0,
+        login_form: false,
+        screenshot_hash: None,
+        spear: None,
+        subresources: Vec::new(),
+        exfil: Vec::new(),
+        console_hijacked: false,
+        debugger_hits: 0,
+        gates_solved: Vec::new(),
+        domain_registered_at: None,
+        registrar: None,
+        cert_issued_at: None,
+        dns_volume: None,
+        banner: None,
+        hue_rotated: false,
+        attempts: Vec::new(),
+        elapsed: SimDuration::ZERO,
+        error: Some(format!("not visited: {url}")),
+    }
+}
+
+/// The degraded record `scan_all` emits for a message whose scan panicked.
+fn degraded_record(message: &ReportedMessage, reason: &str) -> ScanRecord {
+    ScanRecord {
+        message_id: message.id,
+        delivered_at: message.delivered_at,
+        auth_pass: false,
+        extracted: Vec::new(),
+        visits: Vec::new(),
+        body_bytes: message.raw.len(),
+        blank_line_run: 0,
+        class: MessageClass::NoResource,
+        error: Some(format!("scan panicked: {reason}")),
+    }
+}
+
+/// Human-readable text of a caught panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -361,7 +699,11 @@ fn blank_run(msg: &MimeEntity) -> usize {
     best
 }
 
-/// Parse the corpus `Date:` header format (`DD Mon YYYY HH:MM:SS +0000`).
+/// Parse the corpus `Date:` header format (`DD Mon YYYY HH:MM:SS +0000`),
+/// honouring non-UTC offsets: `14:05 +0200` is normalised to `12:05` UTC.
+/// An absent or malformed zone token is read as UTC — before this
+/// normalisation such dates silently mis-timed the §V-A timedelta
+/// analysis.
 fn parse_date(s: &str) -> Option<SimTime> {
     let mut parts = s.split_whitespace();
     let day: u32 = parts.next()?.parse().ok()?;
@@ -385,7 +727,25 @@ fn parse_date(s: &str) -> Option<SimTime> {
     let h: u32 = hms.next()?.parse().ok()?;
     let m: u32 = hms.next()?.parse().ok()?;
     let sec: u32 = hms.next()?.parse().ok()?;
-    Some(SimTime::from_ymd_hms(year, month, day, h, m, sec))
+    let local = SimTime::from_ymd_hms(year, month, day, h, m, sec);
+    Some(match parts.next().and_then(tz_offset) {
+        Some(offset) => local - offset,
+        None => local,
+    })
+}
+
+/// Parse a `+HHMM`/`-HHMM` zone token into its offset from UTC.
+fn tz_offset(token: &str) -> Option<SimDuration> {
+    let (sign, digits) = match token.strip_prefix('+') {
+        Some(d) => (1i64, d),
+        None => (-1i64, token.strip_prefix('-')?),
+    };
+    if digits.len() != 4 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let hh: i64 = digits[..2].parse().ok()?;
+    let mm: i64 = digits[2..].parse().ok()?;
+    Some(SimDuration::seconds(sign * (hh * 3600 + mm * 60)))
 }
 
 #[cfg(test)]
@@ -461,6 +821,130 @@ mod tests {
         let t = SimTime::from_ymd_hms(2024, 7, 9, 14, 5, 33);
         let s = cb_phishgen::messages::date_header(t);
         assert_eq!(parse_date(&s), Some(t));
+    }
+
+    #[test]
+    fn date_header_normalises_positive_offset() {
+        // 14:05:33 +0200 is 12:05:33 UTC.
+        assert_eq!(
+            parse_date("9 Jul 2024 14:05:33 +0200"),
+            Some(SimTime::from_ymd_hms(2024, 7, 9, 12, 5, 33))
+        );
+    }
+
+    #[test]
+    fn date_header_normalises_negative_offset() {
+        // 14:05:33 -0500 is 19:05:33 UTC.
+        assert_eq!(
+            parse_date("9 Jul 2024 14:05:33 -0500"),
+            Some(SimTime::from_ymd_hms(2024, 7, 9, 19, 5, 33))
+        );
+    }
+
+    #[test]
+    fn date_header_offset_round_trips_across_midnight() {
+        // 00:30 +0200 lands on the previous day in UTC.
+        assert_eq!(
+            parse_date("9 Jul 2024 00:30:00 +0200"),
+            Some(SimTime::from_ymd_hms(2024, 7, 8, 22, 30, 0))
+        );
+    }
+
+    #[test]
+    fn malformed_timezone_reads_as_utc() {
+        let utc = Some(SimTime::from_ymd_hms(2024, 7, 9, 14, 5, 33));
+        assert_eq!(parse_date("9 Jul 2024 14:05:33 GMT"), utc);
+        assert_eq!(parse_date("9 Jul 2024 14:05:33 +02"), utc);
+        assert_eq!(parse_date("9 Jul 2024 14:05:33"), utc);
+    }
+
+    #[test]
+    fn default_policy_preserves_seed_behaviour() {
+        let p = ScanPolicy::default();
+        assert_eq!(p.max_urls_per_message, 4);
+        assert!(p.max_retries > 0);
+        assert_eq!(
+            CrawlerBox::new(&corpus().world).policy(),
+            &ScanPolicy::default()
+        );
+    }
+
+    #[test]
+    fn policy_builders_set_knobs() {
+        let p = ScanPolicy::default()
+            .with_max_urls(2)
+            .with_max_retries(0)
+            .with_backoff(SimDuration::seconds(1), SimDuration::seconds(8))
+            .with_visit_budget(SimDuration::minutes(5))
+            .with_breaker(2, SimDuration::seconds(30));
+        assert_eq!(p.max_urls_per_message, 2);
+        assert_eq!(p.max_retries, 0);
+        assert_eq!(p.backoff_base, SimDuration::seconds(1));
+        assert_eq!(p.backoff_cap, SimDuration::seconds(8));
+        assert_eq!(p.visit_budget, SimDuration::minutes(5));
+        assert_eq!(p.breaker_threshold, 2);
+        assert_eq!(p.breaker_cooldown, SimDuration::seconds(30));
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_honours_retry_after() {
+        let p = ScanPolicy::default();
+        let url = "https://h.example/p";
+        let d1 = p.backoff(url, 1, None);
+        let d3 = p.backoff(url, 3, None);
+        assert!(d1 >= p.backoff_base);
+        assert!(d3 >= d1, "exponential growth: {d3:?} < {d1:?}");
+        let d_huge = p.backoff(url, 12, None);
+        assert!(
+            d_huge <= p.backoff_cap + p.backoff_base,
+            "cap plus jitter bounds the delay"
+        );
+        assert!(p.backoff(url, 1, Some(500)) >= SimDuration::seconds(500));
+        // Deterministic: same (url, attempt) -> same delay.
+        assert_eq!(p.backoff(url, 2, None), p.backoff(url, 2, None));
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_half_opens() {
+        let policy = ScanPolicy::default().with_breaker(3, SimDuration::seconds(60));
+        let mut bank = BreakerBank::new(&policy);
+        for _ in 0..3 {
+            assert!(bank.allow("bad.example"));
+            bank.record("bad.example", false);
+        }
+        assert!(!bank.allow("bad.example"), "tripped after 3 failures");
+        assert!(bank.allow("other.example"), "breakers are per-host");
+        // Cooldown passes -> half-open probe allowed.
+        bank.elapse(SimDuration::seconds(61));
+        assert!(bank.allow("bad.example"), "half-open after cooldown");
+        // A failing probe re-opens immediately.
+        bank.record("bad.example", false);
+        assert!(!bank.allow("bad.example"));
+        // Another cooldown, then a successful probe closes it for good.
+        bank.elapse(SimDuration::seconds(61));
+        assert!(bank.allow("bad.example"));
+        bank.record("bad.example", true);
+        assert!(bank.allow("bad.example"));
+    }
+
+    #[test]
+    fn scan_caught_isolates_panics() {
+        // An unparseable URL must degrade, not panic — and even if a panic
+        // does escape a scan, scan_caught converts it into a record.
+        let corpus = corpus();
+        let cbx = CrawlerBox::new(&corpus.world);
+        let record = cbx.scan_caught(&corpus.messages[0]);
+        assert!(record.error.is_none(), "healthy scans are unaffected");
+    }
+
+    #[test]
+    fn unparseable_extracted_url_degrades_not_panics() {
+        let corpus = corpus();
+        let cbx = CrawlerBox::new(&corpus.world);
+        let mut breakers = BreakerBank::new(&cbx.policy);
+        let log = cbx.crawl_one("http://", "", SimTime::EPOCH, &mut breakers);
+        assert_eq!(log.outcome, VisitOutcome::Unreachable);
+        assert!(log.error.is_some());
     }
 
     #[test]

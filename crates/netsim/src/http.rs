@@ -57,6 +57,12 @@ pub struct HttpRequest {
     pub client_ip: IpAddress,
     /// The client's TLS fingerprint.
     pub tls: TlsFingerprint,
+    /// Zero-based retry index, consulted by the fault injector (a flaky
+    /// URL stops faulting once `attempt` reaches its consecutive-failure
+    /// count). Not a wire header, so it never perturbs the header-order
+    /// fingerprint.
+    #[serde(default)]
+    pub attempt: u32,
 }
 
 impl HttpRequest {
@@ -80,6 +86,7 @@ impl HttpRequest {
             body: Vec::new(),
             client_ip: IpAddress(78 << 24 | 1),
             tls: TlsFingerprint::ChromeReal,
+            attempt: 0,
         }
     }
 

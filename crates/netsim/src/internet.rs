@@ -3,6 +3,7 @@
 
 use crate::ca::{Certificate, CertificateAuthority};
 use crate::dns::{DnsService, PassiveDnsLedger, QueryVolume};
+use crate::faults::{FaultPlan, NetError, FAULT_HEADER};
 use crate::http::{HttpRequest, HttpResponse};
 use crate::ip::{IpAddress, IpClass, IpSpace};
 use crate::url::DomainName;
@@ -51,6 +52,7 @@ pub struct Internet {
     passive_dns: RwLock<PassiveDnsLedger>,
     sites: RwLock<HashMap<DomainName, Arc<dyn SiteHandler>>>,
     banners: RwLock<HashMap<DomainName, String>>,
+    fault_plan: RwLock<Option<FaultPlan>>,
 }
 
 impl std::fmt::Debug for Internet {
@@ -75,7 +77,25 @@ impl Internet {
             passive_dns: RwLock::new(PassiveDnsLedger::new()),
             sites: RwLock::new(HashMap::new()),
             banners: RwLock::new(HashMap::new()),
+            fault_plan: RwLock::new(None),
         }
+    }
+
+    /// Install a transient-fault plan. Subsequent requests pass through the
+    /// injector before DNS resolution or handler dispatch, so faulted
+    /// requests leave no trace in the world.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.fault_plan.write() = Some(plan);
+    }
+
+    /// Remove the fault plan (the network becomes perfectly reliable again).
+    pub fn clear_fault_plan(&self) {
+        *self.fault_plan.write() = None;
+    }
+
+    /// `true` when a fault plan is installed.
+    pub fn fault_plan_active(&self) -> bool {
+        self.fault_plan.read().is_some()
     }
 
     /// The shared clock.
@@ -191,19 +211,41 @@ impl Internet {
     /// * unresolvable name → status **0** (the "NXDomain error, page
     ///   unreachable" class of §V)
     /// * resolvable but unhosted → 404
+    ///
+    /// Transport-level injected faults surface as a status-0 response
+    /// tagged with [`FAULT_HEADER`]; fault-aware clients should call
+    /// [`Internet::try_request`] instead.
     pub fn request(&self, req: HttpRequest) -> HttpResponse {
+        self.try_request(req).unwrap_or_else(|err| HttpResponse {
+            status: 0,
+            headers: vec![(FAULT_HEADER.to_string(), err.kind.label().to_string())],
+            body: err.to_string().into_bytes(),
+        })
+    }
+
+    /// Like [`Internet::request`], but transport-level injected faults
+    /// (DNS timeout, connection reset, TLS failure, first-byte stall) come
+    /// back as `Err(NetError)`. The fault decision happens **before** DNS
+    /// resolution, passive-DNS recording and handler dispatch — a faulted
+    /// request has no side effects, so a retry observes pristine state.
+    pub fn try_request(&self, req: HttpRequest) -> Result<HttpResponse, NetError> {
+        if let Some(plan) = self.fault_plan.read().as_ref() {
+            if let Some(fate) = plan.decide(&req) {
+                return fate;
+            }
+        }
         let domain = DomainName::new(&req.url.host);
         let now = self.now();
         if self.dns.read().resolve(domain.as_str()).is_err() {
-            return HttpResponse {
+            return Ok(HttpResponse {
                 status: 0,
                 headers: Vec::new(),
                 body: b"NXDOMAIN".to_vec(),
-            };
+            });
         }
         self.passive_dns.write().record(&domain, now, 1);
         let handler = self.sites.read().get(&domain).cloned();
-        match handler {
+        Ok(match handler {
             Some(h) => {
                 let ctx = NetContext {
                     now,
@@ -213,7 +255,7 @@ impl Internet {
                 h.handle(&req, &ctx)
             }
             None => HttpResponse::not_found(),
-        }
+        })
     }
 }
 
@@ -320,6 +362,64 @@ mod tests {
             net.first_certificate("planned.example").unwrap().issued_at,
             cert_time
         );
+    }
+
+    #[test]
+    fn faulted_requests_have_no_side_effects() {
+        use crate::faults::FaultPlan;
+        let net = Internet::new(SimTime::from_ymd(2024, 1, 1));
+        net.register_domain("flaky.example", "REG");
+        net.host("flaky.example", static_site("eventually"));
+        net.set_fault_plan(FaultPlan::uniform(11, 1.0));
+        assert!(net.fault_plan_active());
+        // Attempt 0 always faults at rate 1.0; whatever the outcome shape,
+        // the passive-DNS ledger must not have recorded the request.
+        let mut req = HttpRequest::get("https://flaky.example/page");
+        req.attempt = 0;
+        let faulted = match net.try_request(req) {
+            Err(_) => true,
+            Ok(resp) => resp.header(FAULT_HEADER).is_some(),
+        };
+        assert!(faulted, "rate-1.0 plan faults the first attempt");
+        assert_eq!(
+            net.dns_volume("flaky.example", net.now(), SimDuration::days(1)).total,
+            0,
+            "faulted request left a passive-DNS trace"
+        );
+        // A late-enough attempt gets through and is recorded.
+        let mut retry = HttpRequest::get("https://flaky.example/page");
+        retry.attempt = 8;
+        let resp = net.try_request(retry).expect("past max_consecutive");
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            net.dns_volume("flaky.example", net.now(), SimDuration::days(1)).total,
+            1
+        );
+        net.clear_fault_plan();
+        assert!(!net.fault_plan_active());
+        let resp = net.request(HttpRequest::get("https://flaky.example/page"));
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn request_maps_net_errors_to_tagged_status_zero() {
+        use crate::faults::FaultKind;
+        let net = Internet::new(SimTime::from_ymd(2024, 1, 1));
+        net.register_domain("reset.example", "REG");
+        net.host("reset.example", static_site("up"));
+        net.set_fault_plan(
+            FaultPlan::uniform(1, 0.0).with_host(
+                "reset.example",
+                crate::faults::FaultProfile {
+                    rate: 1.0,
+                    kinds: vec![FaultKind::ConnectionReset],
+                    ..Default::default()
+                },
+            ),
+        );
+        let resp = net.request(HttpRequest::get("https://reset.example/"));
+        assert_eq!(resp.status, 0);
+        assert_eq!(resp.header(FAULT_HEADER), Some("connection-reset"));
     }
 
     #[test]

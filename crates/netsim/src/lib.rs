@@ -36,6 +36,7 @@
 
 pub mod ca;
 pub mod dns;
+pub mod faults;
 pub mod http;
 pub mod ip;
 pub mod url;
@@ -45,6 +46,7 @@ mod internet;
 
 pub use ca::{Certificate, CertificateAuthority};
 pub use dns::{DnsService, PassiveDnsLedger, QueryVolume};
+pub use faults::{FaultKind, FaultPlan, FaultProfile, NetError, FAULT_HEADER, LATENCY_HEADER};
 pub use http::{HttpRequest, HttpResponse, TlsFingerprint};
 pub use internet::{Internet, NetContext, SiteHandler};
 pub use ip::{IpAddress, IpClass, IpSpace};

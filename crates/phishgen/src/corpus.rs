@@ -551,6 +551,21 @@ impl Corpus {
         // retrospective.
         world.advance_to_end();
 
+        // Transient-fault injection, when the spec asks for it. The plan
+        // seed is a label hash — it consumes nothing from the generation
+        // RNG stream, so faulted and fault-free corpora from the same seed
+        // are otherwise identical.
+        if spec.transient_fault_rate > 0.0 {
+            world.set_fault_plan(cb_netsim::FaultPlan::new(
+                fork.seed("fault-plan"),
+                cb_netsim::FaultProfile {
+                    rate: spec.transient_fault_rate,
+                    max_consecutive: spec.fault_max_consecutive.max(1),
+                    ..Default::default()
+                },
+            ));
+        }
+
         Corpus {
             spec: spec.clone(),
             world,

@@ -105,6 +105,22 @@ pub struct CorpusSpec {
     pub pdf_messages: usize,
     /// Messages with nested EML attachments carrying the URL.
     pub eml_messages: usize,
+
+    /// Fraction of URLs that transiently fault on their first attempts
+    /// (0.0 = the perfectly reliable network the seed assumed). When
+    /// positive, corpus generation installs a deterministic
+    /// `cb_netsim::FaultPlan` on the world after build.
+    #[serde(default)]
+    pub transient_fault_rate: f64,
+    /// Most consecutive attempts a flaky URL fails before recovering.
+    /// Keeping this at or below the crawl supervisor's retry ceiling
+    /// guarantees supervised scans converge to fault-free results.
+    #[serde(default = "default_fault_max_consecutive")]
+    pub fault_max_consecutive: u32,
+}
+
+fn default_fault_max_consecutive() -> u32 {
+    2
 }
 
 impl CorpusSpec {
@@ -173,6 +189,8 @@ impl CorpusSpec {
             image_url_messages: 60,
             pdf_messages: 80,
             eml_messages: 40,
+            transient_fault_rate: 0.0,
+            fault_max_consecutive: default_fault_max_consecutive(),
         }
     }
 
@@ -180,6 +198,14 @@ impl CorpusSpec {
     pub fn with_scale(mut self, scale: f64) -> CorpusSpec {
         assert!(scale > 0.0 && scale <= 1.0, "scale in (0, 1]");
         self.scale = scale;
+        self
+    }
+
+    /// Enable transient-fault injection at `rate` (fraction of URLs that
+    /// are flaky, in `[0, 1]`).
+    pub fn with_fault_rate(mut self, rate: f64) -> CorpusSpec {
+        assert!((0.0..=1.0).contains(&rate), "fault rate in [0, 1]");
+        self.transient_fault_rate = rate;
         self
     }
 
@@ -311,5 +337,19 @@ mod tests {
     #[should_panic(expected = "scale")]
     fn zero_scale_rejected() {
         CorpusSpec::paper().with_scale(0.0);
+    }
+
+    #[test]
+    fn fault_knobs_default_off() {
+        let s = CorpusSpec::paper();
+        assert_eq!(s.transient_fault_rate, 0.0);
+        assert_eq!(s.fault_max_consecutive, 2);
+        assert_eq!(s.with_fault_rate(0.2).transient_fault_rate, 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault rate")]
+    fn out_of_range_fault_rate_rejected() {
+        CorpusSpec::paper().with_fault_rate(1.5);
     }
 }

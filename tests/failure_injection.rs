@@ -168,6 +168,49 @@ fn scan_all_on_mixed_garbage_batch() {
 }
 
 #[test]
+fn panicking_site_handler_degrades_one_record_not_the_batch() {
+    // One poisoned message must never abort scan_all: the panic is caught
+    // per message and surfaces as a degraded record with error provenance,
+    // while every other message scans normally.
+    let net = Internet::new(SimTime::from_ymd(2024, 3, 1));
+    net.register_domain("fine.example", "REG");
+    net.host("fine.example", |_: &HttpRequest, _: &NetContext<'_>| {
+        HttpResponse::html("<p>all good</p>")
+    });
+    net.register_domain("boom.example", "REG");
+    net.host("boom.example", |_: &HttpRequest, _: &NetContext<'_>| {
+        panic!("handler exploded")
+    });
+
+    let mut batch = Vec::new();
+    for (i, body) in [
+        "see https://fine.example/a",
+        "see https://boom.example/kaboom",
+        "see https://fine.example/b",
+    ]
+    .iter()
+    .enumerate()
+    {
+        let mut b = MessageBuilder::new();
+        b.subject("mixed batch").text_body(body);
+        let mut m = message_from(b.build());
+        m.id = i;
+        batch.push(m);
+    }
+
+    let records = CrawlerBox::new(&net).scan_all(&batch);
+    assert_eq!(records.len(), 3, "every slot must be filled");
+    assert!(records[0].error.is_none());
+    assert!(records[2].error.is_none());
+    let err = records[1].error.as_deref().expect("poisoned record tagged");
+    assert!(err.contains("panic"), "provenance missing: {err}");
+    assert_eq!(records[1].message_id, 1);
+    // the clean neighbours crawled normally
+    assert_eq!(records[0].visits.len(), 1);
+    assert_eq!(records[2].visits.len(), 1);
+}
+
+#[test]
 fn gate_page_lying_about_its_kind_is_not_solved() {
     // A site that presents a math gate but never accepts the answer must
     // settle as interaction-required, not loop.

@@ -7,6 +7,16 @@ use cb_netsim::Url;
 use cb_qr::{decode_matrix, encode_bytes, EcLevel};
 use cb_stats::Histogram;
 use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A tiny shared corpus for pipeline fuzzing: generated once, scanned many
+/// times with mutated message bytes.
+fn fuzz_corpus() -> &'static cb_phishgen::Corpus {
+    static CORPUS: OnceLock<cb_phishgen::Corpus> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        cb_phishgen::Corpus::generate(&cb_phishgen::CorpusSpec::paper().with_scale(0.01), 13)
+    })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -192,6 +202,36 @@ proptest! {
         let _ = doc.walk().len();
         let _ = doc.visible_text();
         let _ = doc.anchor_urls();
+    }
+
+    #[test]
+    fn scan_pipeline_survives_mutated_raw_messages(
+        pick in any::<usize>(),
+        mutations in proptest::collection::vec((0usize..4096, any::<u8>()), 0..24),
+        truncate_to in proptest::option::of(0usize..4096),
+    ) {
+        // Byte-level fuzz over the first 4 KiB of real generated messages:
+        // neither MIME parsing nor a full CrawlerBox scan may panic, no
+        // matter how the wire bytes are flipped or cut short.
+        let corpus = fuzz_corpus();
+        let message = &corpus.messages[pick % corpus.messages.len()];
+        let mut bytes = message.raw.clone().into_bytes();
+        for (pos, value) in mutations {
+            if bytes.is_empty() {
+                break;
+            }
+            let window = bytes.len().min(4096);
+            bytes[pos % window] = value;
+        }
+        if let Some(t) = truncate_to {
+            bytes.truncate(t);
+        }
+        let raw = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = cb_email::MimeEntity::parse(&raw);
+        let mut mutated = message.clone();
+        mutated.raw = raw;
+        let record = crawlerbox::CrawlerBox::new(&corpus.world).scan(&mutated);
+        prop_assert_eq!(record.message_id, mutated.id);
     }
 
     #[test]
