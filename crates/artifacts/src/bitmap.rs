@@ -144,9 +144,51 @@ impl Bitmap {
         out
     }
 
+    /// All pixels, row-major. Borrow-only access for hot paths that would
+    /// otherwise allocate a per-call copy (binarization, hashing).
+    pub fn pixels(&self) -> &[Rgb] {
+        &self.pixels
+    }
+
     /// Luma values row-major, for hashing.
     pub fn luma_values(&self) -> Vec<u8> {
         self.pixels.iter().map(|p| p.luma()).collect()
+    }
+
+    /// 128-bit content fingerprint over dimensions and pixel data. Two
+    /// bitmaps fingerprint equal iff they are equal (modulo FNV collisions,
+    /// which at 128 bits are unreachable here) — the memoization key for
+    /// per-image decode results.
+    pub fn content_fingerprint(&self) -> u128 {
+        let dims = self
+            .width
+            .to_le_bytes()
+            .into_iter()
+            .chain(self.height.to_le_bytes());
+        let rgb = self.pixels.iter().flat_map(|p| [p.r, p.g, p.b]);
+        crate::fingerprint::fnv128_iter(dims.chain(rgb))
+    }
+
+    /// Run `f` over this image's thresholded ink mask (`luma < threshold`,
+    /// row-major). The mask is built in a thread-local scratch buffer
+    /// reused across calls, so repeated binarization (OCR scale probing, QR
+    /// detection) stops allocating per image. Nested calls from within `f`
+    /// fall back to a fresh buffer rather than aliasing the scratch.
+    pub fn with_ink_mask<R>(&self, threshold: u8, f: impl FnOnce(&[bool]) -> R) -> R {
+        use std::cell::RefCell;
+        thread_local! {
+            static INK_SCRATCH: RefCell<Vec<bool>> = const { RefCell::new(Vec::new()) };
+        }
+        INK_SCRATCH.with(|cell| {
+            // Take the buffer out of the cell: a nested with_ink_mask call
+            // then sees an empty scratch and allocates its own.
+            let mut mask = cell.take();
+            mask.clear();
+            mask.extend(self.pixels.iter().map(|p| p.luma() < threshold));
+            let out = f(&mask);
+            *cell.borrow_mut() = mask;
+            out
+        })
     }
 
     /// Nearest-neighbour resample to `w`×`h`.
@@ -391,6 +433,39 @@ mod serialization_tests {
     fn magic_is_sniffable() {
         let b = Bitmap::new(4, 4, Rgb::WHITE);
         assert_eq!(crate::magic::sniff(&b.to_bytes()), crate::magic::FileKind::CbxBitmap);
+    }
+
+    #[test]
+    fn content_fingerprint_tracks_content() {
+        let a = Bitmap::new(8, 4, Rgb::WHITE);
+        let mut b = Bitmap::new(8, 4, Rgb::WHITE);
+        assert_eq!(a.content_fingerprint(), b.content_fingerprint());
+        b.set(3, 1, Rgb::BLACK);
+        assert_ne!(a.content_fingerprint(), b.content_fingerprint());
+        // Same pixel count, different shape.
+        assert_ne!(
+            Bitmap::new(8, 4, Rgb::WHITE).content_fingerprint(),
+            Bitmap::new(4, 8, Rgb::WHITE).content_fingerprint()
+        );
+    }
+
+    #[test]
+    fn ink_mask_matches_luma_threshold_and_survives_nesting() {
+        let mut img = Bitmap::new(3, 2, Rgb::WHITE);
+        img.set(1, 0, Rgb::BLACK);
+        img.set(2, 1, Rgb::new(100, 100, 100));
+        let expected: Vec<bool> = img.luma_values().iter().map(|&l| l < 128).collect();
+        let got = img.with_ink_mask(128, |m| m.to_vec());
+        assert_eq!(got, expected);
+        // A nested call over a different image must not corrupt the outer
+        // mask.
+        let other = Bitmap::new(2, 2, Rgb::BLACK);
+        let (outer, inner) = img.with_ink_mask(128, |m| {
+            let inner = other.with_ink_mask(128, |n| n.to_vec());
+            (m.to_vec(), inner)
+        });
+        assert_eq!(outer, expected);
+        assert_eq!(inner, vec![true; 4]);
     }
 
     #[test]

@@ -21,8 +21,11 @@
 //!   annotations, serializer + parser + page rasterizer.
 //! * [`magic`] — file-signature sniffing, including HTA detection (the
 //!   paper's five ZIP→HTA download chains).
+//! * [`fingerprint`] — 128-bit content hashes keying the pipeline's
+//!   artifact-decode memoization.
 
 pub mod bitmap;
+pub mod fingerprint;
 pub mod font;
 pub mod magic;
 pub mod ocr;

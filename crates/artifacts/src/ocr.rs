@@ -22,15 +22,26 @@ const INK_THRESHOLD: u8 = 128;
 /// horizontal origin is found by locating the leftmost ink column of each
 /// candidate line band.
 pub fn recognize_lines(img: &Bitmap, scale: usize) -> Vec<String> {
+    img.with_ink_mask(INK_THRESHOLD, |ink| {
+        lines_in_mask(ink, img.width(), img.height(), scale)
+    })
+}
+
+/// Recognize all text and return it joined with newlines.
+pub fn recognize_text(img: &Bitmap, scale: usize) -> String {
+    recognize_lines(img, scale).join("\n")
+}
+
+/// Line recognition over an already-binarized mask — lets scale probing
+/// reuse one mask instead of re-binarizing the image per scale.
+fn lines_in_mask(ink: &[bool], width: usize, height: usize, scale: usize) -> Vec<String> {
     assert!(scale > 0, "scale must be nonzero");
-    let ink = binarize(img);
-    let h = img.height();
     let glyph_h = GLYPH_H * scale;
     let mut lines = Vec::new();
     let mut y = 0usize;
-    while y + glyph_h <= h {
+    while y + glyph_h <= height {
         // A candidate band must contain ink in its first row-of-glyph region.
-        if let Some(line) = recognize_band(&ink, img.width(), y, scale) {
+        if let Some(line) = recognize_band(ink, width, y, scale) {
             if !line.trim().is_empty() {
                 lines.push(line);
                 y += glyph_h; // skip past this band
@@ -40,15 +51,6 @@ pub fn recognize_lines(img: &Bitmap, scale: usize) -> Vec<String> {
         y += 1;
     }
     lines
-}
-
-/// Recognize all text and return it joined with newlines.
-pub fn recognize_text(img: &Bitmap, scale: usize) -> String {
-    recognize_lines(img, scale).join("\n")
-}
-
-fn binarize(img: &Bitmap) -> Vec<bool> {
-    img.luma_values().iter().map(|&l| l < INK_THRESHOLD).collect()
 }
 
 /// Attempt to read one text line whose glyph tops sit at row `y`.
@@ -119,15 +121,18 @@ fn match_glyph(ink: &[bool], width: usize, x: usize, y: usize, scale: usize) -> 
 }
 
 /// Convenience: recognize text at scales 1–3, returning the first non-empty
-/// result (the pipeline does not know the attacker's render scale).
+/// result (the pipeline does not know the attacker's render scale). The
+/// image is binarized once and the mask is shared across scale probes.
 pub fn recognize_any_scale(img: &Bitmap) -> String {
-    for scale in 1..=3 {
-        let t = recognize_text(img, scale);
-        if !t.is_empty() {
-            return t;
+    img.with_ink_mask(INK_THRESHOLD, |ink| {
+        for scale in 1..=3 {
+            let lines = lines_in_mask(ink, img.width(), img.height(), scale);
+            if !lines.is_empty() {
+                return lines.join("\n");
+            }
         }
-    }
-    String::new()
+        String::new()
+    })
 }
 
 #[cfg(test)]

@@ -45,28 +45,31 @@ pub fn draw_at(img: &mut Bitmap, matrix: &QrMatrix, x0: usize, y0: usize, module
 /// Returns the reconstructed [`QrMatrix`] (with its version inferred from
 /// the sampled size), or `None` if no plausible symbol is found.
 pub fn detect(img: &Bitmap) -> Option<QrMatrix> {
-    let dark = binarize(img);
-    let (w, h) = (img.width(), img.height());
+    // Binarize into the shared thread-local scratch mask (no per-image
+    // allocation; the OCR pass over the same image reuses the buffer).
+    img.with_ink_mask(128, |dark| {
+        let (w, h) = (img.width(), img.height());
 
-    // Find a finder pattern via horizontal 1:1:3:1:1 run-length scan.
-    let (cx, cy, module_px) = find_finder(&dark, w, h)?;
+        // Find a finder pattern via horizontal 1:1:3:1:1 run-length scan.
+        let (cx, cy, module_px) = find_finder(dark, w, h)?;
 
-    // The finder centre sits 3.5 modules in from the symbol corner.
-    let x0 = (cx as isize - (3.5 * module_px as f64) as isize).max(0) as usize;
-    let y0 = (cy as isize - (3.5 * module_px as f64) as isize).max(0) as usize;
+        // The finder centre sits 3.5 modules in from the symbol corner.
+        let x0 = (cx as isize - (3.5 * module_px as f64) as isize).max(0) as usize;
+        let y0 = (cy as isize - (3.5 * module_px as f64) as isize).max(0) as usize;
 
-    // Try every supported version: sample the grid and check the timing
-    // pattern for consistency.
-    for version in (1..=tables::MAX_VERSION).rev() {
-        let n = tables::symbol_size(version);
-        if x0 + n * module_px > w || y0 + n * module_px > h {
-            continue;
+        // Try every supported version: sample the grid and check the timing
+        // pattern for consistency.
+        for version in (1..=tables::MAX_VERSION).rev() {
+            let n = tables::symbol_size(version);
+            if x0 + n * module_px > w || y0 + n * module_px > h {
+                continue;
+            }
+            if let Some(m) = sample_grid(dark, w, x0, y0, module_px, version) {
+                return Some(m);
+            }
         }
-        if let Some(m) = sample_grid(&dark, w, x0, y0, module_px, version) {
-            return Some(m);
-        }
-    }
-    None
+        None
+    })
 }
 
 /// Render→detect convenience used in tests and the pipeline: decode the
@@ -74,10 +77,6 @@ pub fn detect(img: &Bitmap) -> Option<QrMatrix> {
 pub fn decode_from_image(img: &Bitmap) -> Option<Vec<u8>> {
     let m = detect(img)?;
     cb_qr::decode_matrix(&m).ok()
-}
-
-fn binarize(img: &Bitmap) -> Vec<bool> {
-    img.luma_values().iter().map(|&l| l < 128).collect()
 }
 
 /// Scan rows for the finder signature; returns (center_x, center_y,

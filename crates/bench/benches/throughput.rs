@@ -1,0 +1,154 @@
+//! Pipeline throughput baseline: serial vs static-chunk vs work-stealing
+//! scheduling, with the deterministic caches off and on, over a batch with
+//! deliberately skewed per-message cost (DESIGN.md §8).
+//!
+//! This is a plain-`main` bench (no criterion) so it can emit the machine-
+//! readable `BENCH_pipeline.json` consumed by CI. Run modes:
+//!
+//! ```text
+//! cargo bench --bench throughput                    # full run, 3 iters/arm
+//! cargo bench --bench throughput -- --smoke         # 1 iter/arm (CI)
+//! cargo bench --bench throughput -- --out out.json  # choose output path
+//! ```
+//!
+//! Besides timing, every arm's records are asserted byte-identical (via
+//! JSON serialization) to the serial cache-free reference — the bench
+//! doubles as a determinism check on exactly the batch shape the
+//! schedulers disagree about most.
+
+use cb_bench::{bench_corpus, skewed_batch};
+use crawlerbox::{CrawlerBox, Scheduler};
+use std::time::Instant;
+
+/// Heavy-message clone factor for the skewed batch.
+const HEAVY_COPIES: usize = 4;
+
+/// Worker threads for the parallel schedulers.
+const WORKERS: usize = 4;
+
+struct ArmResult {
+    scheduler: &'static str,
+    caches: bool,
+    iters: usize,
+    secs: f64,
+    msgs_per_sec: f64,
+}
+
+fn scheduler_name(s: Scheduler) -> &'static str {
+    match s {
+        Scheduler::Serial => "serial",
+        Scheduler::StaticChunk => "static_chunk",
+        Scheduler::WorkStealing => "work_stealing",
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let out_path = argv
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| argv.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+    let iters = if smoke { 1 } else { 3 };
+
+    let corpus = bench_corpus();
+    let batch = skewed_batch(&corpus, HEAVY_COPIES);
+    eprintln!(
+        "throughput bench: {} messages ({} corpus messages, heavy x{HEAVY_COPIES}), {iters} iter(s)/arm",
+        batch.len(),
+        corpus.messages.len(),
+    );
+
+    // Serial cache-free reference: the identity baseline for every arm.
+    let reference_json = {
+        let cbx = CrawlerBox::new(&corpus.world)
+            .with_scheduler(Scheduler::Serial)
+            .with_caching(false);
+        serde_json::to_string(&cbx.scan_all(&batch)).expect("serialize reference")
+    };
+
+    let arms = [
+        (Scheduler::Serial, false),
+        (Scheduler::StaticChunk, false),
+        (Scheduler::WorkStealing, false),
+        (Scheduler::Serial, true),
+        (Scheduler::StaticChunk, true),
+        (Scheduler::WorkStealing, true),
+    ];
+
+    let mut results: Vec<ArmResult> = Vec::new();
+    for &(scheduler, caches) in &arms {
+        let workers = if scheduler == Scheduler::Serial { 1 } else { WORKERS };
+        let mut secs = 0.0f64;
+        let mut first_json: Option<String> = None;
+        for _ in 0..iters {
+            // Fresh box per iteration: lifetime caches start cold, so every
+            // iteration measures the same work.
+            let mut cbx = CrawlerBox::new(&corpus.world)
+                .with_scheduler(scheduler)
+                .with_caching(caches);
+            cbx.parallelism = workers;
+            let started = Instant::now();
+            let records = cbx.scan_all(&batch);
+            secs += started.elapsed().as_secs_f64();
+            if first_json.is_none() {
+                first_json = Some(serde_json::to_string(&records).expect("serialize records"));
+            }
+        }
+        assert_eq!(
+            first_json.as_deref(),
+            Some(reference_json.as_str()),
+            "{} caches={caches} produced different records than serial cache-free",
+            scheduler_name(scheduler),
+        );
+        let msgs = (batch.len() * iters) as f64;
+        let r = ArmResult {
+            scheduler: scheduler_name(scheduler),
+            caches,
+            iters,
+            secs,
+            msgs_per_sec: if secs > 0.0 { msgs / secs } else { f64::INFINITY },
+        };
+        eprintln!(
+            "  {:>13} caches={:<5} {:8.3}s  {:9.1} msgs/sec",
+            r.scheduler, r.caches, r.secs, r.msgs_per_sec
+        );
+        results.push(r);
+    }
+
+    let rate = |scheduler: &str, caches: bool| {
+        results
+            .iter()
+            .find(|r| r.scheduler == scheduler && r.caches == caches)
+            .map(|r| r.msgs_per_sec)
+            .unwrap_or(f64::NAN)
+    };
+    let speedup = rate("work_stealing", true) / rate("static_chunk", false);
+    eprintln!("speedup (work_stealing+caches over static_chunk uncached): {speedup:.2}x");
+
+    let report = serde_json::json!({
+        "bench": "pipeline_throughput",
+        "mode": if smoke { "smoke" } else { "full" },
+        "workers": WORKERS,
+        "corpus": {
+            "scale": 0.02,
+            "seed": 2024,
+            "corpus_messages": corpus.messages.len(),
+            "batch_len": batch.len(),
+            "heavy_copies": HEAVY_COPIES,
+        },
+        "arms": results.iter().map(|r| serde_json::json!({
+            "scheduler": r.scheduler,
+            "caches": r.caches,
+            "iters": r.iters,
+            "secs": r.secs,
+            "msgs_per_sec": r.msgs_per_sec,
+        })).collect::<Vec<_>>(),
+        "speedup_stealing_cached_vs_chunked_uncached": speedup,
+        "identical_records": true,
+    });
+    std::fs::write(&out_path, format!("{report:#}\n")).expect("write bench report");
+    eprintln!("wrote {out_path}");
+}

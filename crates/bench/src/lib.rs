@@ -29,6 +29,33 @@ pub fn bench_records(corpus: &Corpus) -> Vec<ScanRecord> {
     CrawlerBox::new(&corpus.world).scan_all(&corpus.messages)
 }
 
+/// A batch with deliberately skewed per-message cost for scheduler benches:
+/// every artifact-carrying message (QR / image-OCR / PDF — the expensive
+/// decode paths) is cloned `heavy_copies` times and clustered at the front,
+/// followed by the cheap body-link and resource-free messages. Under static
+/// chunking the first worker owns nearly all the heavy messages; work
+/// stealing spreads them. Ids are renumbered to stay unique.
+pub fn skewed_batch(corpus: &Corpus, heavy_copies: usize) -> Vec<ReportedMessage> {
+    use cb_phishgen::messages::Carrier;
+    let is_heavy = |m: &ReportedMessage| {
+        matches!(
+            m.truth.carrier,
+            Carrier::QrCode { .. } | Carrier::ImageText | Carrier::PdfLink | Carrier::PdfText
+        )
+    };
+    let mut batch: Vec<ReportedMessage> = Vec::new();
+    for m in corpus.messages.iter().filter(|m| is_heavy(m)) {
+        for _ in 0..heavy_copies.max(1) {
+            batch.push(m.clone());
+        }
+    }
+    batch.extend(corpus.messages.iter().filter(|m| !is_heavy(m)).cloned());
+    for (i, m) in batch.iter_mut().enumerate() {
+        m.id = i;
+    }
+    batch
+}
+
 /// One message of each §V class from the corpus, for per-class pipeline
 /// benches.
 pub fn one_of_each_class(corpus: &Corpus) -> Vec<&ReportedMessage> {

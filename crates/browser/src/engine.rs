@@ -147,8 +147,9 @@ impl Browser {
         &self.fingerprint
     }
 
-    fn build_request(&self, net: &Internet, url: &Url) -> HttpRequest {
-        let mut req = HttpRequest::get(&url.to_string());
+    fn build_request(&self, url: &Url, attempt: u32) -> HttpRequest {
+        let target = url.to_string();
+        let mut req = HttpRequest::get(&target);
         req.set_header("Host", &url.host);
         req.set_header("User-Agent", &self.fingerprint.user_agent);
         req.set_header(
@@ -165,7 +166,13 @@ impl Browser {
             ATTESTATION_HEADER,
             &self.fingerprint.attestation().to_header_value(),
         );
-        req.client_ip = ip_for_class(net, self.fingerprint.ip_class);
+        // Deterministic egress address: a pure function of (class, target,
+        // attempt). Servers that echo the client address (httpbin-style
+        // exfil beacons) then see the same bytes no matter how many
+        // requests other scans issued first — which is what keeps
+        // work-stealing batch scans bit-identical to serial ones.
+        req.client_ip = self.fingerprint.ip_class.egress_ip(&target, attempt);
+        req.attempt = attempt;
         req.tls = self.fingerprint.tls;
         req
     }
@@ -219,8 +226,7 @@ impl Browser {
 
         let mut current = requested;
         for _hop in 0..MAX_HOPS {
-            let mut nav_req = self.build_request(net, &current);
-            nav_req.attempt = attempt;
+            let nav_req = self.build_request(&current, attempt);
             let resp = match net.try_request(nav_req) {
                 Ok(resp) => resp,
                 Err(err) => {
@@ -343,9 +349,8 @@ impl Browser {
             for res in doc.resource_urls() {
                 let target = resolve_url(&current, &res);
                 if let Ok(u) = Url::parse(&target) {
-                    let mut req = self.build_request(net, &u);
+                    let mut req = self.build_request(&u, attempt);
                     req.set_header("Referer", &current.to_string());
-                    req.attempt = attempt;
                     match net.try_request(req) {
                         Ok(resp) => {
                             if let Some(kind) = resp.header(FAULT_HEADER) {
@@ -396,7 +401,11 @@ impl Browser {
     }
 }
 
-/// An egress address of the given class on `net`.
+/// An egress address of the given class, freshly allocated from `net`'s
+/// address space. Visits no longer use this (they present deterministic
+/// per-request addresses via [`IpClass::egress_ip`], so concurrent scans
+/// stay bit-identical to serial ones); it remains for callers that want an
+/// allocation-ordered address.
 pub fn ip_for_class(net: &Internet, class: IpClass) -> cb_netsim::IpAddress {
     net.allocate_ip(class)
 }

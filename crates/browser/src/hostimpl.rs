@@ -172,7 +172,13 @@ impl Host for PageHost<'_> {
                     ATTESTATION_HEADER,
                     &self.fingerprint.attestation().to_header_value(),
                 );
-                req.client_ip = crate::engine::ip_for_class(self.net, self.fingerprint.ip_class);
+                // Same deterministic egress addressing as navigations: the
+                // address exfil endpoints echo back must not depend on how
+                // many requests other scans made first.
+                req.client_ip = self
+                    .fingerprint
+                    .ip_class
+                    .egress_ip(&url.to_string(), self.attempt);
                 req.tls = self.fingerprint.tls;
                 req.attempt = self.attempt;
                 match self.net.try_request(req) {

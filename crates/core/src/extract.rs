@@ -9,10 +9,13 @@
 //! > EML files are processed recursively."
 
 use cb_artifacts::magic::{self, FileKind};
-use cb_artifacts::{qrimage, Bitmap, PdfDocument, ZipArchive};
+use cb_artifacts::{fingerprint, qrimage, Bitmap, PdfDocument, ZipArchive};
 use cb_email::{MediaType, MimeEntity};
 use cb_qr::extract::{extract_url_anchored, extract_url_lenient, extract_url_strict};
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Recursion ceiling for nested containers (EML-in-ZIP-in-EML bombs).
 const MAX_DEPTH: usize = 6;
@@ -57,19 +60,123 @@ pub struct ExtractedResource {
     pub source: ExtractionSource,
 }
 
+/// The decode result of one image or PDF before container provenance is
+/// applied: `(url, base kind)`. QR kinds survive any container unchanged
+/// (the §V-C1 faulty flag must not be masked by nesting), the others are
+/// wrapped per call-site — which is what makes these values safe to share
+/// between a bare attachment and the same bytes inside a ZIP or EML.
+type BaseResource = (String, BaseKind);
+
+/// Container-independent provenance of a decoded resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BaseKind {
+    /// Clean QR payload (strict URL extraction succeeded).
+    QrClean,
+    /// Faulty QR payload (only lenient extraction recovered it).
+    QrFaulty,
+    /// OCR text over an image.
+    ImageOcr,
+    /// PDF `/Annots` URI link.
+    PdfAnnotation,
+    /// PDF text (direct, or via the page-screenshot OCR path).
+    PdfText,
+}
+
+/// Content-hash memoization of artifact decoding: QR detection, OCR and
+/// page rasterization over identical bytes happen once, then replay from
+/// the cache. Keys are 128-bit FNV content fingerprints; values are
+/// [`BaseResource`] lists — pure functions of the bytes alone, never of
+/// container, attempt or fault state, so cached and cache-free extraction
+/// are bit-identical (the purity invariant of DESIGN.md §8).
+#[derive(Debug, Default)]
+pub struct ArtifactMemo {
+    images: RwLock<HashMap<u128, Vec<BaseResource>>>,
+    pdfs: RwLock<HashMap<u128, Vec<BaseResource>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactMemo {
+    /// An empty memo.
+    pub fn new() -> ArtifactMemo {
+        ArtifactMemo::default()
+    }
+
+    /// `(hits, misses)` so far, over images and PDFs combined.
+    pub fn counts(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Run `use_base` over the decode result for `key`, computing and
+    /// storing it on a miss. Concurrent misses on one key may both compute
+    /// (the result is a pure function of the content, so both compute the
+    /// same value); the first insert wins.
+    fn with_cached(
+        &self,
+        map: &RwLock<HashMap<u128, Vec<BaseResource>>>,
+        key: u128,
+        compute: impl FnOnce() -> Vec<BaseResource>,
+        use_base: impl FnOnce(&[BaseResource]),
+    ) {
+        if let Some(base) = map.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            use_base(base);
+            return;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let base = compute();
+        use_base(&base);
+        map.write().entry(key).or_insert(base);
+    }
+}
+
 /// Extract every web resource from a parsed message.
 pub fn extract_resources(message: &MimeEntity) -> Vec<ExtractedResource> {
+    extract_resources_memo(message, None)
+}
+
+/// [`extract_resources`] with an optional artifact-decode memo shared
+/// across messages. `None` is the cache-free reference path; the output is
+/// identical either way.
+pub fn extract_resources_memo(
+    message: &MimeEntity,
+    memo: Option<&ArtifactMemo>,
+) -> Vec<ExtractedResource> {
     let mut out = Vec::new();
-    walk_entity(message, 0, None, &mut out);
+    walk_entity(message, 0, None, memo, &mut out);
     dedup(out)
 }
 
 fn dedup(resources: Vec<ExtractedResource>) -> Vec<ExtractedResource> {
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::HashSet::with_capacity(resources.len());
     resources
         .into_iter()
-        .filter(|r| seen.insert((r.url.clone(), r.source.clone())))
+        .filter(|r| seen.insert(resource_key(r)))
         .collect()
+}
+
+/// Dedup key: one 128-bit hash over the URL bytes plus a source tag,
+/// probed by value — no per-resource `(String, ExtractionSource)` clone
+/// just to test membership. `0xFF` separates url from tag; it can never
+/// appear inside the URL (not a valid UTF-8 byte).
+fn resource_key(r: &ExtractedResource) -> u128 {
+    let tag: u8 = match r.source {
+        ExtractionSource::BodyText => 0,
+        ExtractionSource::HtmlHref => 1,
+        ExtractionSource::HtmlScriptRedirect => 2,
+        ExtractionSource::QrCode { faulty: false } => 3,
+        ExtractionSource::QrCode { faulty: true } => 4,
+        ExtractionSource::ImageOcr => 5,
+        ExtractionSource::PdfAnnotation => 6,
+        ExtractionSource::PdfText => 7,
+        ExtractionSource::ZipMember => 8,
+        ExtractionSource::NestedEml => 9,
+        ExtractionSource::HtmlAttachment => 10,
+    };
+    fingerprint::fnv128_iter(r.url.bytes().chain([0xFF, tag]))
 }
 
 /// Wrap a source in its container provenance when recursing. QR sources
@@ -90,6 +197,7 @@ fn walk_entity(
     entity: &MimeEntity,
     depth: usize,
     container: Option<&ExtractionSource>,
+    memo: Option<&ArtifactMemo>,
     out: &mut Vec<ExtractedResource>,
 ) {
     if depth > MAX_DEPTH {
@@ -111,12 +219,12 @@ fn walk_entity(
                     extract_from_html(&text, is_attachment, container, out);
                 }
             }
-            MediaType::Image => extract_from_image_bytes(bytes, container, out),
-            MediaType::Pdf => extract_from_pdf(bytes, container, out),
-            MediaType::Zip => extract_from_zip(bytes, depth, out),
-            MediaType::Eml => extract_from_eml(bytes, depth, out),
+            MediaType::Image => extract_from_image_bytes(bytes, container, memo, out),
+            MediaType::Pdf => extract_from_pdf(bytes, container, memo, out),
+            MediaType::Zip => extract_from_zip(bytes, depth, memo, out),
+            MediaType::Eml => extract_from_eml(bytes, depth, memo, out),
             MediaType::OctetStream | MediaType::Other => {
-                extract_by_signature(bytes, depth, container, out)
+                extract_by_signature(bytes, depth, container, memo, out)
             }
             MediaType::Multipart => unreachable!("leaves() yields no containers"),
         }
@@ -199,17 +307,71 @@ fn extract_from_html(
     }
 }
 
-fn extract_from_image_bytes(
-    bytes: &[u8],
+/// Decode one image into container-independent base resources: QR first,
+/// then OCR — the §IV-B image path, minus provenance wrapping.
+fn image_base(img: &Bitmap) -> Vec<BaseResource> {
+    let mut base = Vec::new();
+    if let Some(payload) = qrimage::decode_from_image(img) {
+        let strict = extract_url_strict(&payload);
+        let lenient = extract_url_lenient(&payload);
+        match (strict, lenient) {
+            (Some(url), _) => base.push((url, BaseKind::QrClean)),
+            (None, Some(url)) => base.push((url, BaseKind::QrFaulty)),
+            (None, None) => {}
+        }
+    }
+    let text = cb_artifacts::ocr::recognize_any_scale(img);
+    if !text.is_empty() {
+        // OCR output is case-folded; URLs survive lowercasing.
+        let mut found = Vec::new();
+        extract_from_text(&text.to_lowercase(), None, &mut found);
+        for r in found {
+            base.push((r.url, BaseKind::ImageOcr));
+        }
+    }
+    base
+}
+
+/// Apply call-site provenance to decoded base resources and emit them.
+fn realize(
+    base: &[BaseResource],
     container: Option<&ExtractionSource>,
     out: &mut Vec<ExtractedResource>,
 ) {
-    let Some(img) = Bitmap::from_bytes(bytes) else {
+    for (url, kind) in base {
+        let source = match kind {
+            BaseKind::QrClean => ExtractionSource::QrCode { faulty: false },
+            BaseKind::QrFaulty => ExtractionSource::QrCode { faulty: true },
+            BaseKind::ImageOcr => wrap(ExtractionSource::ImageOcr, container),
+            BaseKind::PdfAnnotation => wrap(ExtractionSource::PdfAnnotation, container),
+            BaseKind::PdfText => wrap(ExtractionSource::PdfText, container),
+        };
+        out.push(ExtractedResource {
+            url: url.clone(),
+            source,
+        });
+    }
+}
+
+fn extract_from_image_bytes(
+    bytes: &[u8],
+    container: Option<&ExtractionSource>,
+    memo: Option<&ArtifactMemo>,
+    out: &mut Vec<ExtractedResource>,
+) {
+    let decode = || {
         // Foreign raster formats (real PNG/JPEG) carry no decodable pixels
         // in the simulation.
-        return;
+        Bitmap::from_bytes(bytes)
+            .map(|img| image_base(&img))
+            .unwrap_or_default()
     };
-    extract_from_image(&img, container, out);
+    match memo {
+        Some(m) => m.with_cached(&m.images, fingerprint::fnv128(bytes), decode, |base| {
+            realize(base, container, out)
+        }),
+        None => realize(&decode(), container, out),
+    }
 }
 
 /// The image path: QR detection then OCR (§IV-B).
@@ -218,83 +380,82 @@ pub fn extract_from_image(
     container: Option<&ExtractionSource>,
     out: &mut Vec<ExtractedResource>,
 ) {
-    if let Some(payload) = qrimage::decode_from_image(img) {
-        let strict = extract_url_strict(&payload);
-        let lenient = extract_url_lenient(&payload);
-        match (strict, lenient) {
-            (Some(url), _) => out.push(ExtractedResource {
-                source: wrap(ExtractionSource::QrCode { faulty: false }, container),
-                url,
-            }),
-            (None, Some(url)) => out.push(ExtractedResource {
-                source: wrap(ExtractionSource::QrCode { faulty: true }, container),
-                url,
-            }),
-            (None, None) => {}
+    realize(&image_base(img), container, out);
+}
+
+/// Decode one PDF into container-independent base resources: link
+/// annotations, direct text, then each page screenshot through the image
+/// path (where OCR reads as [`BaseKind::PdfText`] and QR provenance
+/// survives).
+fn pdf_base(bytes: &[u8]) -> Vec<BaseResource> {
+    let Ok(doc) = PdfDocument::parse(bytes) else {
+        return Vec::new();
+    };
+    let mut base = Vec::new();
+    // (1) embedded and text-based URLs (PDF text is faithful — no case
+    // folding, unlike the OCR path)
+    for uri in doc.link_uris() {
+        if uri.starts_with("http") {
+            base.push((uri.to_string(), BaseKind::PdfAnnotation));
         }
     }
-    let text = cb_artifacts::ocr::recognize_any_scale(img);
-    if !text.is_empty() {
-        // OCR output is case-folded; URLs survive lowercasing.
-        let mut found = Vec::new();
-        extract_from_text(&text.to_lowercase(), container, &mut found);
-        for mut r in found {
-            r.source = wrap(ExtractionSource::ImageOcr, container);
-            out.push(r);
+    let mut text_found = Vec::new();
+    extract_from_text(&doc.all_text(), None, &mut text_found);
+    for r in text_found {
+        base.push((r.url, BaseKind::PdfText));
+    }
+    // (2) screenshot of each page through the image path
+    for page in &doc.pages {
+        let shot = page.rasterize(cb_artifacts::pdf::PAGE_WIDTH, cb_artifacts::pdf::PAGE_HEIGHT);
+        for (url, kind) in image_base(&shot) {
+            let kind = match kind {
+                BaseKind::QrClean | BaseKind::QrFaulty => kind,
+                _ => BaseKind::PdfText,
+            };
+            base.push((url, kind));
         }
     }
+    base
 }
 
 fn extract_from_pdf(
     bytes: &[u8],
     container: Option<&ExtractionSource>,
+    memo: Option<&ArtifactMemo>,
     out: &mut Vec<ExtractedResource>,
 ) {
-    let Ok(doc) = PdfDocument::parse(bytes) else {
-        return;
-    };
-    // (1) embedded and text-based URLs (PDF text is faithful — no case
-    // folding, unlike the OCR path)
-    for uri in doc.link_uris() {
-        if uri.starts_with("http") {
-            out.push(ExtractedResource {
-                source: wrap(ExtractionSource::PdfAnnotation, container),
-                url: uri.to_string(),
-            });
-        }
-    }
-    let mut text_found = Vec::new();
-    extract_from_text(&doc.all_text(), container, &mut text_found);
-    for mut r in text_found {
-        r.source = wrap(ExtractionSource::PdfText, container);
-        out.push(r);
-    }
-    // (2) screenshot of each page through the image path; QR codes found
-    // there keep their QrCode{faulty} provenance, OCR text reads as PdfText
-    for page in &doc.pages {
-        let shot = page.rasterize(cb_artifacts::pdf::PAGE_WIDTH, cb_artifacts::pdf::PAGE_HEIGHT);
-        let mut page_found = Vec::new();
-        extract_from_image(&shot, container, &mut page_found);
-        for mut r in page_found {
-            if !matches!(r.source, ExtractionSource::QrCode { .. }) {
-                r.source = wrap(ExtractionSource::PdfText, container);
-            }
-            out.push(r);
-        }
+    match memo {
+        Some(m) => m.with_cached(
+            &m.pdfs,
+            fingerprint::fnv128(bytes),
+            || pdf_base(bytes),
+            |base| realize(base, container, out),
+        ),
+        None => realize(&pdf_base(bytes), container, out),
     }
 }
 
-fn extract_from_zip(bytes: &[u8], depth: usize, out: &mut Vec<ExtractedResource>) {
+fn extract_from_zip(
+    bytes: &[u8],
+    depth: usize,
+    memo: Option<&ArtifactMemo>,
+    out: &mut Vec<ExtractedResource>,
+) {
     let Ok(zip) = ZipArchive::parse(bytes) else {
         return;
     };
     let zip_source = ExtractionSource::ZipMember;
     for entry in zip.entries() {
-        extract_by_signature(&entry.data, depth + 1, Some(&zip_source), out);
+        extract_by_signature(&entry.data, depth + 1, Some(&zip_source), memo, out);
     }
 }
 
-fn extract_from_eml(bytes: &[u8], depth: usize, out: &mut Vec<ExtractedResource>) {
+fn extract_from_eml(
+    bytes: &[u8],
+    depth: usize,
+    memo: Option<&ArtifactMemo>,
+    out: &mut Vec<ExtractedResource>,
+) {
     let Ok(text) = std::str::from_utf8(bytes) else {
         return;
     };
@@ -302,7 +463,7 @@ fn extract_from_eml(bytes: &[u8], depth: usize, out: &mut Vec<ExtractedResource>
         return;
     };
     let eml_source = ExtractionSource::NestedEml;
-    walk_entity(&inner, depth + 1, Some(&eml_source), out);
+    walk_entity(&inner, depth + 1, Some(&eml_source), memo, out);
 }
 
 /// Dispatch unlabeled bytes by magic number (§IV-B octet-stream handling).
@@ -310,16 +471,17 @@ fn extract_by_signature(
     bytes: &[u8],
     depth: usize,
     container: Option<&ExtractionSource>,
+    memo: Option<&ArtifactMemo>,
     out: &mut Vec<ExtractedResource>,
 ) {
     if depth > MAX_DEPTH {
         return;
     }
     match magic::sniff(bytes) {
-        FileKind::Zip => extract_from_zip(bytes, depth, out),
-        FileKind::Pdf => extract_from_pdf(bytes, container, out),
-        FileKind::CbxBitmap => extract_from_image_bytes(bytes, container, out),
-        FileKind::Eml => extract_from_eml(bytes, depth, out),
+        FileKind::Zip => extract_from_zip(bytes, depth, memo, out),
+        FileKind::Pdf => extract_from_pdf(bytes, container, memo, out),
+        FileKind::CbxBitmap => extract_from_image_bytes(bytes, container, memo, out),
+        FileKind::Eml => extract_from_eml(bytes, depth, memo, out),
         FileKind::Html => {
             if let Ok(text) = std::str::from_utf8(bytes) {
                 // HTA droppers are HTML by signature; CrawlerBox refuses to
@@ -496,8 +658,59 @@ mod tests {
             bytes = z.to_bytes();
         }
         let mut out = Vec::new();
-        extract_by_signature(&bytes, 0, None, &mut out);
+        extract_by_signature(&bytes, 0, None, None, &mut out);
         // must terminate without finding the too-deep URL
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn memoized_extraction_is_identical_and_hits_on_reuse() {
+        let memo = ArtifactMemo::new();
+        let carriers = [
+            Carrier::QrCode { faulty: false },
+            Carrier::QrCode { faulty: true },
+            Carrier::ImageText,
+            Carrier::PdfLink,
+            Carrier::PdfText,
+            Carrier::ZipHta,
+            Carrier::NestedEml,
+        ];
+        for (i, carrier) in carriers.iter().enumerate() {
+            let mut rng = SeedFork::new(7).rng("memo");
+            let raw = build_message(
+                &mut rng,
+                *carrier,
+                Some(&format!("https://evil-m.example/tok{i}00z")),
+                "v@corp.example",
+                SimTime::from_ymd(2024, 4, 2),
+                false,
+                None,
+                9,
+            );
+            let msg = MimeEntity::parse(&raw).unwrap();
+            let plain = extract_resources(&msg);
+            let first = extract_resources_memo(&msg, Some(&memo));
+            let replay = extract_resources_memo(&msg, Some(&memo));
+            assert_eq!(plain, first, "{carrier:?}: memoized differs from plain");
+            assert_eq!(first, replay, "{carrier:?}: replay differs from first");
+        }
+        let (hits, misses) = memo.counts();
+        assert!(misses > 0, "artifact carriers must populate the memo");
+        assert!(hits >= misses, "second passes must replay from cache");
+    }
+
+    #[test]
+    fn resource_keys_separate_url_and_source() {
+        let a = ExtractedResource {
+            url: "https://a.example/".into(),
+            source: ExtractionSource::QrCode { faulty: false },
+        };
+        let mut b = a.clone();
+        b.source = ExtractionSource::QrCode { faulty: true };
+        assert_ne!(resource_key(&a), resource_key(&b));
+        let mut c = a.clone();
+        c.url = "https://a.example/x".into();
+        assert_ne!(resource_key(&a), resource_key(&c));
+        assert_eq!(resource_key(&a), resource_key(&a.clone()));
     }
 }

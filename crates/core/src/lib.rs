@@ -39,6 +39,8 @@ pub mod logging;
 pub mod pipeline;
 
 pub use classify::SpearClassifier;
-pub use extract::{extract_resources, ExtractedResource, ExtractionSource};
-pub use logging::ScanRecord;
-pub use pipeline::{CrawlerBox, ScanPolicy};
+pub use extract::{
+    extract_resources, extract_resources_memo, ArtifactMemo, ExtractedResource, ExtractionSource,
+};
+pub use logging::{ScanRecord, ScanStats};
+pub use pipeline::{CrawlerBox, ScanPolicy, Scheduler};

@@ -93,6 +93,52 @@ impl VisitLog {
     }
 }
 
+/// Scheduler and cache instrumentation accumulated by a
+/// [`CrawlerBox`](crate::pipeline::CrawlerBox) across its scans:
+/// work-stealing steal
+/// counts and hit/miss counts of the enrichment, artifact-decode and
+/// screenshot caches. Counters are observability only — they never feed
+/// back into scan results, which stay bit-identical with caches on or off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanStats {
+    /// Messages scanned through `scan_all` batches.
+    pub messages: u64,
+    /// Batch indices a worker pulled from outside its static fair-share
+    /// range (always 0 under the serial and static-chunk schedulers).
+    pub steals: u64,
+    /// Host-enrichment cache hits (per-scan WHOIS/CT/passive-DNS/banner
+    /// bundles served from memory).
+    pub enrich_hits: u64,
+    /// Host-enrichment cache misses (bundles fetched from the registries).
+    pub enrich_misses: u64,
+    /// Artifact-decode cache hits (image/PDF decodes replayed by content
+    /// hash).
+    pub artifact_hits: u64,
+    /// Artifact-decode cache misses (decodes computed and stored).
+    pub artifact_misses: u64,
+    /// Screenshot cache hits (pHash/dHash + spear classification replayed).
+    pub screenshot_hits: u64,
+    /// Screenshot cache misses.
+    pub screenshot_misses: u64,
+}
+
+impl std::fmt::Display for ScanStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "messages {} steals {} | enrich {}/{} artifact {}/{} screenshot {}/{} (hits/misses)",
+            self.messages,
+            self.steals,
+            self.enrich_hits,
+            self.enrich_misses,
+            self.artifact_hits,
+            self.artifact_misses,
+            self.screenshot_hits,
+            self.screenshot_misses,
+        )
+    }
+}
+
 /// The complete scan record of one reported message.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScanRecord {
@@ -301,6 +347,22 @@ mod tests {
         assert!(back.attempts.is_empty());
         assert_eq!(back.elapsed, SimDuration::ZERO);
         assert!(back.error.is_none());
+    }
+
+    #[test]
+    fn scan_stats_serialize_and_display() {
+        let stats = ScanStats {
+            messages: 4,
+            steals: 1,
+            enrich_hits: 2,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(json.contains("\"steals\":1"), "{json}");
+        let back: ScanStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+        let shown = stats.to_string();
+        assert!(shown.contains("steals 1"), "{shown}");
     }
 
     #[test]

@@ -5,17 +5,20 @@
 //! designed with a modular architecture, allowing for interchangeable use
 //! of the crawling component") — [`CrawlerBox::with_profile`] swaps it.
 
-use crate::classify::SpearClassifier;
-use crate::extract::extract_resources;
-use crate::logging::{AttemptLog, ScanRecord, VisitLog};
+use crate::classify::{SpearClassifier, SpearMatch};
+use crate::extract::{extract_resources_memo, ArtifactMemo};
+use crate::logging::{AttemptLog, ScanRecord, ScanStats, VisitLog};
 use cb_browser::engine::VisitOutcome;
 use cb_browser::{Browser, CrawlerProfile, Visit, DEFAULT_VISIT_BUDGET};
 use cb_email::MimeEntity;
 use cb_imagehash::HashPair;
-use cb_netsim::{Internet, Url};
+use cb_netsim::{HostEnrichment, Internet, Url};
 use cb_phishgen::{MessageClass, ReportedMessage};
 use cb_sim::{SeedFork, SimDuration, SimTime};
+use parking_lot::{Mutex, RwLock};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Seed for the supervisor's deterministic backoff jitter. Jitter is a pure
 /// function of `(url, attempt)`, so serial and parallel scans wait — and
@@ -112,6 +115,46 @@ impl ScanPolicy {
     }
 }
 
+/// How [`CrawlerBox::scan_all`] distributes a batch over worker threads.
+///
+/// All three schedulers produce bit-identical records in message order;
+/// they differ only in wall-clock behaviour on skewed batches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Scheduler {
+    /// One thread scans the whole batch in order (the baseline).
+    Serial,
+    /// Pre-partition the batch into `parallelism` contiguous chunks, one
+    /// per worker. Simple, but a chunk of slow messages idles every other
+    /// worker once its own chunk drains (the pre-PR behaviour).
+    StaticChunk,
+    /// Workers pull the next unclaimed message index from a shared atomic
+    /// counter, one message at a time, so a run of slow messages spreads
+    /// over all workers instead of serialising on one.
+    #[default]
+    WorkStealing,
+}
+
+/// Scan-local mutable state threaded through one message's crawls: the
+/// circuit-breaker bank plus the per-scan host-enrichment cache. Both are
+/// scoped to a single [`CrawlerBox::scan`] call, so concurrent scans share
+/// nothing and `scan_all` stays bit-identical to serial scanning.
+struct ScanCtx<'p> {
+    breakers: BreakerBank<'p>,
+    /// Host → enrichment bundle, filled on first lookup. Sound because the
+    /// registries are immutable during a scan and every enrichment lookup
+    /// in one scan uses the same `(delivered_at, window)` arguments.
+    enrich: HashMap<String, HostEnrichment>,
+}
+
+impl<'p> ScanCtx<'p> {
+    fn new(policy: &'p ScanPolicy) -> ScanCtx<'p> {
+        ScanCtx {
+            breakers: BreakerBank::new(policy),
+            enrich: HashMap::new(),
+        }
+    }
+}
+
 /// Per-scan circuit-breaker bank: consecutive-failure counts and open/half-
 /// open state per host, on a scan-local simulated timeline. Scan-local
 /// state keeps `scan_all` deterministic — concurrent scans never share
@@ -180,6 +223,22 @@ impl<'p> BreakerBank<'p> {
     }
 }
 
+/// A cached screenshot analysis: the perceptual/crypto hash pair plus the
+/// raw spear-classifier verdict (before the login-form filter, which
+/// depends on the page rather than the pixels).
+type ShotAnalysis = (HashPair, Option<SpearMatch>);
+
+/// Scheduler and cache instrumentation counters, all monotonic.
+#[derive(Debug, Default)]
+struct Counters {
+    messages: AtomicU64,
+    steals: AtomicU64,
+    enrich_hits: AtomicU64,
+    enrich_misses: AtomicU64,
+    shot_hits: AtomicU64,
+    shot_misses: AtomicU64,
+}
+
 /// The analysis infrastructure.
 pub struct CrawlerBox<'a> {
     world: &'a Internet,
@@ -194,6 +253,17 @@ pub struct CrawlerBox<'a> {
     policy: ScanPolicy,
     /// Worker threads for [`scan_all`](Self::scan_all).
     pub parallelism: usize,
+    scheduler: Scheduler,
+    /// Master switch for the deterministic memoization caches (artifact
+    /// decode, screenshot analysis, per-scan host enrichment).
+    caching: bool,
+    /// Content-keyed artifact-decode cache, shared across the box's whole
+    /// lifetime (values depend only on artifact bytes).
+    artifacts: ArtifactMemo,
+    /// Screenshot-content-fingerprint → analysis cache. Values depend only
+    /// on pixels, so the cache is batch-wide like the artifact memo.
+    shots: RwLock<HashMap<u128, ShotAnalysis>>,
+    counters: Counters,
 }
 
 impl<'a> CrawlerBox<'a> {
@@ -206,6 +276,49 @@ impl<'a> CrawlerBox<'a> {
             classifier: SpearClassifier::new(),
             policy: ScanPolicy::default(),
             parallelism: 4,
+            scheduler: Scheduler::default(),
+            caching: true,
+            artifacts: ArtifactMemo::new(),
+            shots: RwLock::new(HashMap::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Choose how [`scan_all`](Self::scan_all) distributes work.
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> CrawlerBox<'a> {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Enable or disable the deterministic memoization caches. Records are
+    /// bit-identical either way; only throughput changes.
+    pub fn with_caching(mut self, on: bool) -> CrawlerBox<'a> {
+        self.caching = on;
+        self
+    }
+
+    /// The active batch scheduler.
+    pub fn scheduler(&self) -> Scheduler {
+        self.scheduler
+    }
+
+    /// Whether the deterministic caches are enabled.
+    pub fn caching_enabled(&self) -> bool {
+        self.caching
+    }
+
+    /// Scheduler and cache counters accumulated over this box's lifetime.
+    pub fn stats(&self) -> ScanStats {
+        let (artifact_hits, artifact_misses) = self.artifacts.counts();
+        ScanStats {
+            messages: self.counters.messages.load(Ordering::Relaxed),
+            steals: self.counters.steals.load(Ordering::Relaxed),
+            enrich_hits: self.counters.enrich_hits.load(Ordering::Relaxed),
+            enrich_misses: self.counters.enrich_misses.load(Ordering::Relaxed),
+            artifact_hits,
+            artifact_misses,
+            screenshot_hits: self.counters.shot_hits.load(Ordering::Relaxed),
+            screenshot_misses: self.counters.shot_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -241,9 +354,10 @@ impl<'a> CrawlerBox<'a> {
     /// Scan one reported message end to end.
     pub fn scan(&self, message: &ReportedMessage) -> ScanRecord {
         let parsed = MimeEntity::parse(&message.raw).ok();
+        let memo = if self.caching { Some(&self.artifacts) } else { None };
         let (extracted, auth_pass, blank_line_run, delivered_at) = match &parsed {
             Some(msg) => (
-                extract_resources(msg),
+                extract_resources_memo(msg, memo),
                 msg.header("Authentication-Results")
                     .map(|v| v.contains("spf=pass") && v.contains("dkim=pass") && v.contains("dmarc=pass"))
                     .unwrap_or(false),
@@ -255,8 +369,9 @@ impl<'a> CrawlerBox<'a> {
             None => (Vec::new(), false, 0, message.delivered_at),
         };
 
-        // Crawl distinct URLs (first occurrence order). Breaker state is
-        // scoped to this scan: concurrent scans share nothing, which keeps
+        // Crawl distinct URLs (first occurrence order). Breaker and
+        // enrichment-cache state is scoped to this scan: concurrent scans
+        // share nothing mutable with attempt-dependent inputs, which keeps
         // `scan_all` bit-identical to serial scanning.
         let mut urls: Vec<&str> = Vec::new();
         for r in &extracted {
@@ -271,10 +386,10 @@ impl<'a> CrawlerBox<'a> {
             .as_ref()
             .map(collect_text)
             .unwrap_or_default();
-        let mut breakers = BreakerBank::new(&self.policy);
+        let mut ctx = ScanCtx::new(&self.policy);
         let visits: Vec<VisitLog> = urls
             .iter()
-            .map(|u| self.crawl_one(u, &full_text, delivered_at, &mut breakers))
+            .map(|u| self.crawl_one(u, &full_text, delivered_at, &mut ctx))
             .collect();
 
         let class = derive_class(&extracted, &visits);
@@ -301,12 +416,26 @@ impl<'a> CrawlerBox<'a> {
 
     /// Scan a batch in parallel, preserving order. A panicking message
     /// yields a degraded record (`error` set) without disturbing the rest
-    /// of the batch: the result always has exactly one record per message.
+    /// of the batch: the result always has exactly one record per message,
+    /// and every record is bit-identical across schedulers and cache
+    /// settings.
     pub fn scan_all(&self, messages: &[ReportedMessage]) -> Vec<ScanRecord> {
         if messages.is_empty() {
             return Vec::new();
         }
+        self.counters
+            .messages
+            .fetch_add(messages.len() as u64, Ordering::Relaxed);
         let workers = self.parallelism.max(1).min(messages.len());
+        match self.scheduler {
+            Scheduler::Serial => messages.iter().map(|m| self.scan_caught(m)).collect(),
+            Scheduler::StaticChunk => self.scan_static(messages, workers),
+            Scheduler::WorkStealing => self.scan_stealing(messages, workers),
+        }
+    }
+
+    /// Static chunking: each worker owns one contiguous slice of the batch.
+    fn scan_static(&self, messages: &[ReportedMessage], workers: usize) -> Vec<ScanRecord> {
         let chunk = messages.len().div_ceil(workers);
         let mut out: Vec<Option<ScanRecord>> = Vec::new();
         out.resize_with(messages.len(), || None);
@@ -325,6 +454,41 @@ impl<'a> CrawlerBox<'a> {
             .collect()
     }
 
+    /// Work stealing: workers claim message indices one at a time from a
+    /// shared atomic counter. Order is preserved by writing each record
+    /// into a pre-sized slot vector at its message index; a scan claimed
+    /// beyond a worker's fair (static-chunk) share counts as a steal.
+    fn scan_stealing(&self, messages: &[ReportedMessage], workers: usize) -> Vec<ScanRecord> {
+        let fair_chunk = messages.len().div_ceil(workers);
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Mutex<Option<ScanRecord>>> = Vec::new();
+        slots.resize_with(messages.len(), || Mutex::new(None));
+        let _ = crossbeam::thread::scope(|scope| {
+            for w in 0..workers {
+                let next = &next;
+                let slots = &slots;
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= messages.len() {
+                        break;
+                    }
+                    if i / fair_chunk != w {
+                        self.counters.steals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    *slots[i].lock() = Some(self.scan_caught(&messages[i]));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .zip(messages)
+            .map(|(s, m)| {
+                s.into_inner()
+                    .unwrap_or_else(|| degraded_record(m, "scan worker died"))
+            })
+            .collect()
+    }
+
     /// Crawl one URL, solving what custom code can solve (math challenges,
     /// and OTP gates when the code is present in the message text). When
     /// the primary crawler sees nothing malicious, fallback components get
@@ -335,14 +499,14 @@ impl<'a> CrawlerBox<'a> {
         url: &str,
         message_text: &str,
         delivered_at: SimTime,
-        breakers: &mut BreakerBank<'_>,
+        ctx: &mut ScanCtx<'_>,
     ) -> VisitLog {
-        let log = self.crawl_with(&self.browser, url, message_text, delivered_at, breakers);
+        let log = self.crawl_with(&self.browser, url, message_text, delivered_at, ctx);
         if log.login_form || log.outcome != cb_browser::engine::VisitOutcome::Loaded {
             return log;
         }
         for fallback in &self.fallbacks {
-            let retry = self.crawl_with(fallback, url, message_text, delivered_at, breakers);
+            let retry = self.crawl_with(fallback, url, message_text, delivered_at, ctx);
             if retry.login_form {
                 return retry;
             }
@@ -361,7 +525,7 @@ impl<'a> CrawlerBox<'a> {
         url: &str,
         message_text: &str,
         delivered_at: SimTime,
-        breakers: &mut BreakerBank<'_>,
+        ctx: &mut ScanCtx<'_>,
     ) -> VisitLog {
         // An unparseable URL (possible with corrupted messages) degrades
         // instead of reaching Browser::visit's validity panic.
@@ -369,7 +533,7 @@ impl<'a> CrawlerBox<'a> {
             return invalid_url_log(url);
         };
         let host = parsed_url.host;
-        if !breakers.allow(&host) {
+        if !ctx.breakers.allow(&host) {
             let mut log = invalid_url_log(url);
             log.error = Some(format!("circuit breaker open for {host}"));
             return log;
@@ -383,7 +547,7 @@ impl<'a> CrawlerBox<'a> {
             let (visit, gates_solved) =
                 self.crawl_gates(browser, url, message_text, attempt);
             total_elapsed = total_elapsed + visit.elapsed;
-            breakers.elapse(visit.elapsed);
+            ctx.breakers.elapse(visit.elapsed);
             attempts.push(AttemptLog {
                 attempt,
                 failures: visit.transient_failures.clone(),
@@ -394,8 +558,8 @@ impl<'a> CrawlerBox<'a> {
             let out_of_retries = attempt >= self.policy.max_retries;
             let out_of_budget = total_elapsed > self.policy.visit_budget;
             if !saw_faults || out_of_retries || out_of_budget {
-                breakers.record(&host, !saw_faults);
-                let mut log = self.log_visit(&visit, gates_solved, delivered_at);
+                ctx.breakers.record(&host, !saw_faults);
+                let mut log = self.log_visit(&visit, gates_solved, delivered_at, ctx);
                 log.elapsed = total_elapsed;
                 if saw_faults {
                     let last = visit
@@ -422,7 +586,7 @@ impl<'a> CrawlerBox<'a> {
             attempt += 1;
             waited = self.policy.backoff(url, attempt, visit.retry_after);
             total_elapsed = total_elapsed + waited;
-            breakers.elapse(waited);
+            ctx.breakers.elapse(waited);
         }
     }
 
@@ -477,13 +641,38 @@ impl<'a> CrawlerBox<'a> {
         visit: &Visit,
         gates_solved: Vec<String>,
         delivered_at: SimTime,
+        ctx: &mut ScanCtx<'_>,
     ) -> VisitLog {
-        let screenshot_hash = visit.screenshot.as_ref().map(HashPair::of);
-        let spear = visit
-            .screenshot
-            .as_ref()
-            .and_then(|s| self.classifier.classify(s))
-            .filter(|_| visit.shows_login_form());
+        // Screenshot analysis depends only on the pixels, so it memoizes on
+        // the bitmap's content fingerprint. The login-form filter depends
+        // on the visited page, not the pixels, and stays outside the cache.
+        let (screenshot_hash, spear) = match visit.screenshot.as_ref() {
+            None => (None, None),
+            Some(shot) => {
+                let analysis = if self.caching {
+                    let key = shot.content_fingerprint();
+                    let cached = self.shots.read().get(&key).copied();
+                    match cached {
+                        Some(a) => {
+                            self.counters.shot_hits.fetch_add(1, Ordering::Relaxed);
+                            a
+                        }
+                        None => {
+                            self.counters.shot_misses.fetch_add(1, Ordering::Relaxed);
+                            let a = (HashPair::of(shot), self.classifier.classify(shot));
+                            self.shots.write().insert(key, a);
+                            a
+                        }
+                    }
+                } else {
+                    (HashPair::of(shot), self.classifier.classify(shot))
+                };
+                (
+                    Some(analysis.0),
+                    analysis.1.filter(|_| visit.shows_login_form()),
+                )
+            }
+        };
         let hue_rotated = visit
             .document
             .as_ref()
@@ -498,15 +687,32 @@ impl<'a> CrawlerBox<'a> {
             })
             .unwrap_or(false);
 
+        // Host enrichment is pure in `(host, delivered_at, window)`;
+        // `delivered_at` and the window are fixed for the whole scan, so
+        // the per-scan cache keys on host alone.
         let landing_host = visit.final_url().host.clone();
-        let whois = self.world.whois(&landing_host);
-        let cert = self.world.first_certificate(&landing_host);
-        let dns_volume = Some(self.world.dns_volume(
-            &landing_host,
-            delivered_at,
-            SimDuration::days(30),
-        ));
-        let banner = self.world.banner(&landing_host);
+        let window = SimDuration::days(30);
+        let enrichment = if self.caching {
+            match ctx.enrich.entry(landing_host) {
+                Entry::Occupied(o) => {
+                    self.counters.enrich_hits.fetch_add(1, Ordering::Relaxed);
+                    o.get().clone()
+                }
+                Entry::Vacant(v) => {
+                    self.counters.enrich_misses.fetch_add(1, Ordering::Relaxed);
+                    let e = self.world.enrich(v.key(), delivered_at, window);
+                    v.insert(e).clone()
+                }
+            }
+        } else {
+            self.world.enrich(&landing_host, delivered_at, window)
+        };
+        let HostEnrichment {
+            whois,
+            first_certificate: cert,
+            dns_volume,
+            banner,
+        } = enrichment;
 
         VisitLog {
             requested_url: visit.requested_url.to_string(),
@@ -532,7 +738,7 @@ impl<'a> CrawlerBox<'a> {
             domain_registered_at: whois.as_ref().map(|w| w.registered_at),
             registrar: whois.map(|w| w.registrar),
             cert_issued_at: cert.map(|c| c.issued_at),
-            dns_volume,
+            dns_volume: Some(dns_volume),
             banner,
             hue_rotated,
             attempts: Vec::new(),
@@ -941,10 +1147,106 @@ mod tests {
     fn unparseable_extracted_url_degrades_not_panics() {
         let corpus = corpus();
         let cbx = CrawlerBox::new(&corpus.world);
-        let mut breakers = BreakerBank::new(&cbx.policy);
-        let log = cbx.crawl_one("http://", "", SimTime::EPOCH, &mut breakers);
+        let mut ctx = ScanCtx::new(&cbx.policy);
+        let log = cbx.crawl_one("http://", "", SimTime::EPOCH, &mut ctx);
         assert_eq!(log.outcome, VisitOutcome::Unreachable);
         assert!(log.error.is_some());
+    }
+
+    #[test]
+    fn scheduler_and_caching_builders_set_knobs() {
+        let corpus = corpus();
+        let cbx = CrawlerBox::new(&corpus.world);
+        assert_eq!(cbx.scheduler(), Scheduler::WorkStealing, "default");
+        assert!(cbx.caching_enabled(), "caches default on");
+        let cbx = cbx
+            .with_scheduler(Scheduler::StaticChunk)
+            .with_caching(false);
+        assert_eq!(cbx.scheduler(), Scheduler::StaticChunk);
+        assert!(!cbx.caching_enabled());
+    }
+
+    #[test]
+    fn every_scheduler_and_cache_setting_is_bit_identical() {
+        let corpus = corpus();
+        let subset = &corpus.messages[..24.min(corpus.messages.len())];
+        let reference: Vec<ScanRecord> = {
+            let cbx = CrawlerBox::new(&corpus.world)
+                .with_scheduler(Scheduler::Serial)
+                .with_caching(false);
+            subset.iter().map(|m| cbx.scan(m)).collect()
+        };
+        let reference_json = serde_json::to_string(&reference).unwrap();
+        for scheduler in [
+            Scheduler::Serial,
+            Scheduler::StaticChunk,
+            Scheduler::WorkStealing,
+        ] {
+            for caching in [false, true] {
+                let cbx = CrawlerBox::new(&corpus.world)
+                    .with_scheduler(scheduler)
+                    .with_caching(caching);
+                let records = cbx.scan_all(subset);
+                assert_eq!(
+                    serde_json::to_string(&records).unwrap(),
+                    reference_json,
+                    "{scheduler:?} caching={caching} diverged from serial cache-free"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_messages_and_cache_traffic() {
+        let corpus = corpus();
+        let subset = &corpus.messages[..12.min(corpus.messages.len())];
+        let cbx = CrawlerBox::new(&corpus.world);
+        let _ = cbx.scan_all(subset);
+        let stats = cbx.stats();
+        assert_eq!(stats.messages, subset.len() as u64);
+        assert!(
+            stats.enrich_hits + stats.enrich_misses > 0,
+            "scans with visits must touch the enrichment cache: {stats}"
+        );
+        // Cache-off boxes report no cache traffic at all.
+        let off = CrawlerBox::new(&corpus.world)
+            .with_scheduler(Scheduler::Serial)
+            .with_caching(false);
+        let _ = off.scan_all(subset);
+        let s = off.stats();
+        assert_eq!(s.steals, 0, "serial scheduler never steals");
+        assert_eq!(
+            (
+                s.enrich_hits,
+                s.enrich_misses,
+                s.artifact_hits,
+                s.artifact_misses,
+                s.screenshot_hits,
+                s.screenshot_misses
+            ),
+            (0, 0, 0, 0, 0, 0),
+            "caching off bypasses every cache: {s}"
+        );
+    }
+
+    #[test]
+    fn repeated_identical_screenshots_hit_the_shot_cache() {
+        let corpus = corpus();
+        let cbx = CrawlerBox::new(&corpus.world);
+        let msg = &corpus.messages[0];
+        let first = cbx.scan(msg);
+        let again = cbx.scan(msg);
+        assert_eq!(
+            serde_json::to_string(&first).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
+        let stats = cbx.stats();
+        if stats.screenshot_misses > 0 {
+            assert!(
+                stats.screenshot_hits >= stats.screenshot_misses,
+                "second scan of the same message must replay cached shots: {stats}"
+            );
+        }
     }
 
     #[test]

@@ -42,6 +42,24 @@ where
     }
 }
 
+/// The §IV-C enrichment bundle for one host: everything the logging phase
+/// looks up about a landing domain, fetched in one call so callers can
+/// memoize it per scan. Every field is a pure function of the registries at
+/// lookup time — crawling never mutates WHOIS, CT or banner state, and the
+/// passive-DNS window ends at delivery time, before any crawl-time traffic
+/// is recorded (the study clock sits past every delivery instant).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HostEnrichment {
+    /// WHOIS record of the host's domain, if registered.
+    pub whois: Option<WhoisRecord>,
+    /// First CT-log certificate for the host, if any was issued.
+    pub first_certificate: Option<Certificate>,
+    /// Passive-DNS query volume over the requested window.
+    pub dns_volume: QueryVolume,
+    /// Shodan-style service banner, if published.
+    pub banner: Option<String>,
+}
+
 /// The simulated internet.
 pub struct Internet {
     clock: Arc<Clock>,
@@ -205,6 +223,21 @@ impl Internet {
             .volume(&DomainName::new(domain), end, window)
     }
 
+    /// The full enrichment bundle for `host`: WHOIS + first CT certificate
+    /// + passive-DNS volume over `window` ending at `end` + service banner,
+    /// exactly as the logging phase issues them individually. One call
+    /// takes (and releases) each registry lock once, and the returned value
+    /// is self-contained — safe to memoize by host for any fixed
+    /// `(end, window)`.
+    pub fn enrich(&self, host: &str, end: SimTime, window: SimDuration) -> HostEnrichment {
+        HostEnrichment {
+            whois: self.whois(host),
+            first_certificate: self.first_certificate(host),
+            dns_volume: self.dns_volume(host, end, window),
+            banner: self.banner(host),
+        }
+    }
+
     /// Issue a request: resolve DNS (recorded in the passive ledger),
     /// dispatch to the hosted site.
     ///
@@ -362,6 +395,29 @@ mod tests {
             net.first_certificate("planned.example").unwrap().issued_at,
             cert_time
         );
+    }
+
+    #[test]
+    fn enrich_bundles_the_individual_lookups() {
+        let net = Internet::new(SimTime::from_ymd(2024, 1, 1));
+        let reg_time = SimTime::from_ymd(2023, 12, 8);
+        net.register_domain_at("bundle.example", "REGRU-RU", reg_time);
+        net.issue_certificate_at("bundle.example", SimTime::from_ymd(2023, 12, 24));
+        net.set_banner("bundle.example", "nginx/1.24.0");
+        net.record_dns_traffic("bundle.example", SimTime::from_ymd(2023, 12, 30), 7);
+        let end = SimTime::from_ymd(2024, 1, 1);
+        let window = SimDuration::days(30);
+        let e = net.enrich("bundle.example", end, window);
+        assert_eq!(e.whois, net.whois("bundle.example"));
+        assert_eq!(e.first_certificate, net.first_certificate("bundle.example"));
+        assert_eq!(e.dns_volume, net.dns_volume("bundle.example", end, window));
+        assert_eq!(e.banner.as_deref(), Some("nginx/1.24.0"));
+        assert_eq!(e.dns_volume.total, 7);
+        // An unknown host enriches to an all-empty bundle, not an error.
+        let empty = net.enrich("ghost.example", end, window);
+        assert!(empty.whois.is_none() && empty.first_certificate.is_none());
+        assert!(empty.banner.is_none());
+        assert_eq!(empty.dns_volume.total, 0);
     }
 
     #[test]

@@ -50,13 +50,32 @@ impl IpClass {
     }
 
     /// Class prefix (top octet) in the simulated space.
-    fn prefix(self) -> u32 {
+    pub fn prefix(self) -> u32 {
         match self {
             IpClass::Datacenter => 10,
             IpClass::VpnProxy => 45,
             IpClass::Residential => 78,
             IpClass::MobileCarrier => 100,
         }
+    }
+
+    /// A deterministic egress address of this class for one request: a pure
+    /// function of `(class, key, attempt)`, where `key` is the request
+    /// target (URL). Unlike [`IpSpace::allocate`], which hands out
+    /// addresses in arrival order, the address a crawl presents here does
+    /// not depend on how many requests ran before it — the property that
+    /// keeps concurrent batch scans bit-identical to serial ones even when
+    /// servers echo the client address back into response bodies.
+    pub fn egress_ip(self, key: &str, attempt: u32) -> IpAddress {
+        // FNV-1a over the key and attempt; low 24 bits become the host
+        // part, the class prefix stays in the top octet so
+        // [`IpSpace::classify`] round-trips.
+        let mut h: u32 = 0x811c_9dc5;
+        for b in key.bytes().chain(attempt.to_be_bytes()) {
+            h ^= u32::from(b);
+            h = h.wrapping_mul(0x0100_0193);
+        }
+        IpAddress((self.prefix() << 24) | (h & 0x00FF_FFFF) | 1)
     }
 }
 
@@ -152,5 +171,26 @@ mod tests {
     #[test]
     fn unknown_prefix_reads_as_datacenter() {
         assert_eq!(IpSpace::classify(IpAddress(0xC0A8_0001)), IpClass::Datacenter);
+    }
+
+    #[test]
+    fn egress_ip_is_pure_and_round_trips_class() {
+        for class in [
+            IpClass::Datacenter,
+            IpClass::VpnProxy,
+            IpClass::Residential,
+            IpClass::MobileCarrier,
+        ] {
+            let a = class.egress_ip("https://kit.example/land", 0);
+            let b = class.egress_ip("https://kit.example/land", 0);
+            assert_eq!(a, b, "pure function of (class, key, attempt)");
+            assert_eq!(IpSpace::classify(a), class, "{a}");
+        }
+        // Different keys and attempts vary the host part.
+        let base = IpClass::Residential.egress_ip("https://kit.example/a", 0);
+        assert_ne!(base, IpClass::Residential.egress_ip("https://kit.example/b", 0));
+        assert_ne!(base, IpClass::Residential.egress_ip("https://kit.example/a", 1));
+        // Never the network address of the prefix.
+        assert_ne!(base.0 & 0x00FF_FFFF, 0);
     }
 }

@@ -48,7 +48,7 @@ pub use ca::{Certificate, CertificateAuthority};
 pub use dns::{DnsService, PassiveDnsLedger, QueryVolume};
 pub use faults::{FaultKind, FaultPlan, FaultProfile, NetError, FAULT_HEADER, LATENCY_HEADER};
 pub use http::{HttpRequest, HttpResponse, TlsFingerprint};
-pub use internet::{Internet, NetContext, SiteHandler};
+pub use internet::{HostEnrichment, Internet, NetContext, SiteHandler};
 pub use ip::{IpAddress, IpClass, IpSpace};
 pub use url::{DomainName, Url};
 pub use whois::{DomainRegistry, WhoisRecord};

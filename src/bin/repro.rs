@@ -3,13 +3,17 @@
 //!
 //! ```text
 //! repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl]
+//!       [--scheduler serial|chunked|stealing] [--no-cache]
 //!
 //! EXPERIMENT: all (default) | table1 | ablation | table2 | figure2 |
 //!             figure3 | classmix | spear | volumes | lexical | cloaking |
 //!             ttest | funnel | faults
-//! --scale F:  corpus scale, default 1.0 (the paper's 5,181 messages)
-//! --seed N:   corpus seed, default 2024
-//! --json:     dump the full AnalysisReport as JSON to stdout
+//! --scale F:      corpus scale, default 1.0 (the paper's 5,181 messages)
+//! --seed N:       corpus seed, default 2024
+//! --json:         dump the full AnalysisReport as JSON to stdout
+//! --scheduler S:  batch scheduler (default stealing); records are
+//!                 identical across schedulers — only throughput changes
+//! --no-cache:     disable the deterministic memoization caches
 //!
 //! `faults` runs the three-arm transient-fault sweep (baseline /
 //! supervised / retry-less) at a 20% fault rate instead of the normal
@@ -18,7 +22,7 @@
 
 use cb_phishgen::{Corpus, CorpusSpec};
 use crawlerbox::analysis::{analyze, fault_sweep, AnalysisReport};
-use crawlerbox::CrawlerBox;
+use crawlerbox::{CrawlerBox, Scheduler};
 
 struct Args {
     experiment: String,
@@ -26,12 +30,14 @@ struct Args {
     seed: u64,
     json: bool,
     log: Option<String>,
+    scheduler: Scheduler,
+    caching: bool,
 }
 
 fn usage_exit(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
-        "usage: repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl]"
+        "usage: repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl] [--scheduler serial|chunked|stealing] [--no-cache]"
     );
     std::process::exit(2);
 }
@@ -43,6 +49,8 @@ fn parse_args() -> Args {
         seed: 2024,
         json: false,
         log: None,
+        scheduler: Scheduler::default(),
+        caching: true,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
@@ -60,6 +68,15 @@ fn parse_args() -> Args {
                 };
             }
             "--json" => args.json = true,
+            "--scheduler" => {
+                args.scheduler = match iter.next().as_deref() {
+                    Some("serial") => Scheduler::Serial,
+                    Some("chunked") => Scheduler::StaticChunk,
+                    Some("stealing") => Scheduler::WorkStealing,
+                    _ => usage_exit("--scheduler needs serial|chunked|stealing"),
+                };
+            }
+            "--no-cache" => args.caching = false,
             "--log" => {
                 args.log = match iter.next() {
                     Some(p) => Some(p),
@@ -163,11 +180,14 @@ fn main() {
         "scanning {} reported messages with CrawlerBox/NotABot ...",
         corpus.messages.len()
     );
-    let mut cbx = CrawlerBox::new(&corpus.world);
+    let mut cbx = CrawlerBox::new(&corpus.world)
+        .with_scheduler(args.scheduler)
+        .with_caching(args.caching);
     cbx.parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
     let records = cbx.scan_all(&corpus.messages);
+    eprintln!("scan stats: {}", cbx.stats());
     if let Some(path) = &args.log {
         match std::fs::File::create(path) {
             Ok(file) => {

@@ -211,6 +211,62 @@ fn panicking_site_handler_degrades_one_record_not_the_batch() {
 }
 
 #[test]
+fn work_stealing_degrades_panicking_message_identically_to_serial() {
+    // Regression for the work-stealing scheduler: a panicking message in
+    // the middle of the batch must still yield exactly one record per
+    // message, in message order, and every record — including the degraded
+    // one — must be byte-identical to a serial-scheduler run.
+    use crawlerbox::Scheduler;
+
+    let net = Internet::new(SimTime::from_ymd(2024, 3, 1));
+    net.register_domain("fine.example", "REG");
+    net.host("fine.example", |_: &HttpRequest, _: &NetContext<'_>| {
+        HttpResponse::html("<p>all good</p>")
+    });
+    net.register_domain("boom.example", "REG");
+    net.host("boom.example", |_: &HttpRequest, _: &NetContext<'_>| {
+        panic!("handler exploded")
+    });
+
+    let mut batch = Vec::new();
+    for (i, body) in [
+        "see https://fine.example/a",
+        "see https://boom.example/kaboom",
+        "see https://fine.example/b",
+        "see https://fine.example/c",
+        "see https://boom.example/again",
+    ]
+    .iter()
+    .enumerate()
+    {
+        let mut b = MessageBuilder::new();
+        b.subject("stealing batch").text_body(body);
+        let mut m = message_from(b.build());
+        m.id = i;
+        batch.push(m);
+    }
+
+    let serial = CrawlerBox::new(&net)
+        .with_scheduler(Scheduler::Serial)
+        .scan_all(&batch);
+    let stealing = CrawlerBox::new(&net)
+        .with_scheduler(Scheduler::WorkStealing)
+        .scan_all(&batch);
+
+    assert_eq!(stealing.len(), batch.len(), "one record per message");
+    for (i, r) in stealing.iter().enumerate() {
+        assert_eq!(r.message_id, i, "records stay in message order");
+    }
+    assert!(stealing[1].error.as_deref().unwrap_or("").contains("panic"));
+    assert!(stealing[4].error.as_deref().unwrap_or("").contains("panic"));
+    assert_eq!(
+        serde_json::to_string(&stealing).unwrap(),
+        serde_json::to_string(&serial).unwrap(),
+        "work stealing must be bit-identical to serial, degraded records included"
+    );
+}
+
+#[test]
 fn gate_page_lying_about_its_kind_is_not_solved() {
     // A site that presents a math gate but never accepts the answer must
     // settle as interaction-required, not loop.

@@ -248,3 +248,44 @@ proptest! {
         prop_assert!((a.median + shift - b.median).abs() < 1e-6);
     }
 }
+
+proptest! {
+    // Few cases: each one generates and double-scans a fresh corpus.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn cached_stealing_scan_is_byte_identical_to_serial_uncached(
+        corpus_seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+        fault_rate in prop_oneof![Just(0.0), Just(0.1), Just(0.2), Just(0.3)],
+    ) {
+        // The tentpole determinism invariant: over random corpora and fault
+        // rates (up to 30% transient faults), a work-stealing scan with
+        // every cache enabled produces byte-identical records to a serial
+        // cache-free scan of the same batch.
+        use crawlerbox::{CrawlerBox, Scheduler};
+        let corpus = cb_phishgen::Corpus::generate(
+            &cb_phishgen::CorpusSpec::paper().with_scale(0.01),
+            corpus_seed,
+        );
+        corpus
+            .world
+            .set_fault_plan(cb_netsim::FaultPlan::uniform(fault_seed, fault_rate));
+        let subset = &corpus.messages[..corpus.messages.len().min(16)];
+
+        let serial = CrawlerBox::new(&corpus.world)
+            .with_scheduler(Scheduler::Serial)
+            .with_caching(false)
+            .scan_all(subset);
+        let stealing = CrawlerBox::new(&corpus.world)
+            .with_scheduler(Scheduler::WorkStealing)
+            .with_caching(true)
+            .scan_all(subset);
+
+        prop_assert_eq!(
+            serde_json::to_string(&stealing).unwrap(),
+            serde_json::to_string(&serial).unwrap()
+        );
+    }
+}
+
