@@ -17,7 +17,7 @@
 //! schedulers disagree about most.
 
 use cb_bench::{bench_corpus, skewed_batch};
-use crawlerbox::{CrawlerBox, Scheduler};
+use crawlerbox::{CrawlerBox, ScanRecord, Scheduler};
 use std::time::Instant;
 
 /// Heavy-message clone factor for the skewed batch.
@@ -32,6 +32,20 @@ struct ArmResult {
     iters: usize,
     secs: f64,
     msgs_per_sec: f64,
+}
+
+/// A memory-vs-throughput arm of the streaming pipeline: same batch, driven
+/// through `scan_stream` at a fixed admission-window capacity, with the
+/// residency gauges recorded alongside the rate.
+struct StreamArm {
+    scheduler: &'static str,
+    capacity: usize,
+    iters: usize,
+    secs: f64,
+    msgs_per_sec: f64,
+    peak_in_flight: u64,
+    peak_bytes_retained: u64,
+    residency_bound: u64,
 }
 
 fn scheduler_name(s: Scheduler) -> &'static str {
@@ -128,6 +142,81 @@ fn main() {
     let speedup = rate("work_stealing", true) / rate("static_chunk", false);
     eprintln!("speedup (work_stealing+caches over static_chunk uncached): {speedup:.2}x");
 
+    // Streaming arms: the same batch through `scan_stream` (caches on) at
+    // different window capacities. Each arm asserts record identity against
+    // the serial cache-free reference AND that residency stayed within
+    // capacity + workers — the bench doubles as the bounded-memory check.
+    let stream_arms = [
+        (Scheduler::Serial, 32usize),
+        (Scheduler::StaticChunk, 32),
+        (Scheduler::WorkStealing, 4),
+        (Scheduler::WorkStealing, 32),
+    ];
+    let mut stream_results: Vec<StreamArm> = Vec::new();
+    for &(scheduler, capacity) in &stream_arms {
+        let workers = if scheduler == Scheduler::Serial { 1 } else { WORKERS };
+        let bound = (capacity + workers) as u64;
+        let mut secs = 0.0f64;
+        let mut first_json: Option<String> = None;
+        let mut peak_in_flight = 0u64;
+        let mut peak_bytes_retained = 0u64;
+        for _ in 0..iters {
+            let mut cbx = CrawlerBox::new(&corpus.world)
+                .with_scheduler(scheduler)
+                .with_caching(true)
+                .with_stream_capacity(capacity);
+            cbx.parallelism = workers;
+            let mut records: Vec<ScanRecord> = Vec::with_capacity(batch.len());
+            let started = Instant::now();
+            cbx.scan_stream(batch.iter().cloned(), &mut records);
+            secs += started.elapsed().as_secs_f64();
+            let stats = cbx.stats();
+            assert!(
+                stats.peak_in_flight <= bound,
+                "{} capacity={capacity}: peak in-flight {} exceeds bound {bound}",
+                scheduler_name(scheduler),
+                stats.peak_in_flight,
+            );
+            peak_in_flight = peak_in_flight.max(stats.peak_in_flight);
+            peak_bytes_retained = peak_bytes_retained.max(stats.peak_bytes_retained);
+            if first_json.is_none() {
+                first_json = Some(serde_json::to_string(&records).expect("serialize records"));
+            }
+        }
+        assert_eq!(
+            first_json.as_deref(),
+            Some(reference_json.as_str()),
+            "stream {} capacity={capacity} produced different records than serial cache-free",
+            scheduler_name(scheduler),
+        );
+        let msgs = (batch.len() * iters) as f64;
+        let r = StreamArm {
+            scheduler: scheduler_name(scheduler),
+            capacity,
+            iters,
+            secs,
+            msgs_per_sec: if secs > 0.0 { msgs / secs } else { f64::INFINITY },
+            peak_in_flight,
+            peak_bytes_retained,
+            residency_bound: bound,
+        };
+        eprintln!(
+            "  stream {:>13} cap={:<4} {:8.3}s  {:9.1} msgs/sec  peak in-flight {}/{} bytes {}",
+            r.scheduler, r.capacity, r.secs, r.msgs_per_sec, r.peak_in_flight, r.residency_bound,
+            r.peak_bytes_retained,
+        );
+        stream_results.push(r);
+    }
+    let stream_rate = |scheduler: &str, capacity: usize| {
+        stream_results
+            .iter()
+            .find(|r| r.scheduler == scheduler && r.capacity == capacity)
+            .map(|r| r.msgs_per_sec)
+            .unwrap_or(f64::NAN)
+    };
+    let streaming_ratio = stream_rate("work_stealing", 32) / rate("work_stealing", true);
+    eprintln!("streaming/batch throughput ratio (work_stealing, caches on): {streaming_ratio:.2}x");
+
     let report = serde_json::json!({
         "bench": "pipeline_throughput",
         "mode": if smoke { "smoke" } else { "full" },
@@ -146,7 +235,18 @@ fn main() {
             "secs": r.secs,
             "msgs_per_sec": r.msgs_per_sec,
         })).collect::<Vec<_>>(),
+        "stream_arms": stream_results.iter().map(|r| serde_json::json!({
+            "scheduler": r.scheduler,
+            "capacity": r.capacity,
+            "iters": r.iters,
+            "secs": r.secs,
+            "msgs_per_sec": r.msgs_per_sec,
+            "peak_in_flight": r.peak_in_flight,
+            "peak_bytes_retained": r.peak_bytes_retained,
+            "residency_bound": r.residency_bound,
+        })).collect::<Vec<_>>(),
         "speedup_stealing_cached_vs_chunked_uncached": speedup,
+        "streaming_vs_batch_stealing_ratio": streaming_ratio,
         "identical_records": true,
     });
     std::fs::write(&out_path, format!("{report:#}\n")).expect("write bench report");

@@ -37,6 +37,7 @@ pub mod classify;
 pub mod extract;
 pub mod logging;
 pub mod pipeline;
+pub mod sink;
 
 pub use classify::SpearClassifier;
 pub use extract::{
@@ -44,3 +45,4 @@ pub use extract::{
 };
 pub use logging::{ScanRecord, ScanStats};
 pub use pipeline::{CrawlerBox, ScanPolicy, Scheduler};
+pub use sink::{ClassMixSink, CountingSink, RecordSink, TruthLedger};

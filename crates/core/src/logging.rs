@@ -120,13 +120,44 @@ pub struct ScanStats {
     pub screenshot_hits: u64,
     /// Screenshot cache misses.
     pub screenshot_misses: u64,
+    /// Peak number of messages admitted to a streaming scan but not yet
+    /// delivered to the sink. Bounded by `stream_capacity + workers`, which
+    /// is what makes `scan_stream` O(window) rather than O(corpus) in
+    /// memory. Zero for batch-only boxes (and for legacy serialized stats).
+    #[serde(default)]
+    pub peak_in_flight: u64,
+    /// Peak number of finished records parked in the streaming reorder
+    /// buffer waiting for an earlier message's scan to complete. Bounded by
+    /// `peak_in_flight`; high values mean one slow message stalled in-order
+    /// delivery.
+    #[serde(default)]
+    pub peak_reorder: u64,
+    /// Peak raw message bytes resident in the streaming window (counted
+    /// from admission until the record's in-order delivery).
+    #[serde(default)]
+    pub peak_bytes_retained: u64,
+}
+
+impl ScanStats {
+    /// Aggregate hit rate over all three deterministic caches (enrichment,
+    /// artifact decode, screenshot analysis), in `[0, 1]`. Zero when no
+    /// cache was consulted (e.g. caching disabled).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.enrich_hits + self.artifact_hits + self.screenshot_hits;
+        let total = hits + self.enrich_misses + self.artifact_misses + self.screenshot_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
 }
 
 impl std::fmt::Display for ScanStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "messages {} steals {} | enrich {}/{} artifact {}/{} screenshot {}/{} (hits/misses)",
+            "messages {} steals {} | enrich {}/{} artifact {}/{} screenshot {}/{} (hits/misses) | peak in-flight {} reorder {} bytes {}",
             self.messages,
             self.steals,
             self.enrich_hits,
@@ -135,6 +166,9 @@ impl std::fmt::Display for ScanStats {
             self.artifact_misses,
             self.screenshot_hits,
             self.screenshot_misses,
+            self.peak_in_flight,
+            self.peak_reorder,
+            self.peak_bytes_retained,
         )
     }
 }
@@ -363,6 +397,41 @@ mod tests {
         assert_eq!(back, stats);
         let shown = stats.to_string();
         assert!(shown.contains("steals 1"), "{shown}");
+    }
+
+    #[test]
+    fn legacy_stats_without_streaming_gauges_still_deserialize() {
+        let stats = ScanStats {
+            messages: 9,
+            peak_in_flight: 5,
+            ..Default::default()
+        };
+        let mut json = serde_json::to_value(stats).unwrap();
+        let obj = json.as_object_mut().unwrap();
+        obj.remove("peak_in_flight");
+        obj.remove("peak_reorder");
+        obj.remove("peak_bytes_retained");
+        let back: ScanStats = serde_json::from_value(json).unwrap();
+        assert_eq!(back.messages, 9);
+        assert_eq!(back.peak_in_flight, 0);
+        assert_eq!(back.peak_reorder, 0);
+        assert_eq!(back.peak_bytes_retained, 0);
+    }
+
+    #[test]
+    fn cache_hit_rate_aggregates_all_caches() {
+        let stats = ScanStats {
+            enrich_hits: 3,
+            enrich_misses: 1,
+            artifact_hits: 2,
+            artifact_misses: 1,
+            screenshot_hits: 1,
+            screenshot_misses: 0,
+            ..Default::default()
+        };
+        let rate = stats.cache_hit_rate();
+        assert!((rate - 6.0 / 8.0).abs() < 1e-12, "{rate}");
+        assert_eq!(ScanStats::default().cache_hit_rate(), 0.0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use crate::classify::{SpearClassifier, SpearMatch};
 use crate::extract::{extract_resources_memo, ArtifactMemo};
 use crate::logging::{AttemptLog, ScanRecord, ScanStats, VisitLog};
+use crate::sink::RecordSink;
 use cb_browser::engine::VisitOutcome;
 use cb_browser::{Browser, CrawlerProfile, Visit, DEFAULT_VISIT_BUDGET};
 use cb_email::MimeEntity;
@@ -228,7 +229,9 @@ impl<'p> BreakerBank<'p> {
 /// depends on the page rather than the pixels).
 type ShotAnalysis = (HashPair, Option<SpearMatch>);
 
-/// Scheduler and cache instrumentation counters, all monotonic.
+/// Scheduler and cache instrumentation counters. The `peak_*` gauges and
+/// hit/miss counters are monotonic; `in_flight` and `bytes_retained` are
+/// live levels that return to zero when a stream drains.
 #[derive(Debug, Default)]
 struct Counters {
     messages: AtomicU64,
@@ -237,6 +240,16 @@ struct Counters {
     enrich_misses: AtomicU64,
     shot_hits: AtomicU64,
     shot_misses: AtomicU64,
+    /// Messages admitted to a streaming scan and not yet delivered.
+    in_flight: AtomicU64,
+    /// High-water mark of `in_flight`.
+    peak_in_flight: AtomicU64,
+    /// Raw message bytes currently resident in the streaming window.
+    bytes_retained: AtomicU64,
+    /// High-water mark of `bytes_retained`.
+    peak_bytes_retained: AtomicU64,
+    /// High-water mark of the streaming reorder buffer's depth.
+    peak_reorder: AtomicU64,
 }
 
 /// The analysis infrastructure.
@@ -263,6 +276,10 @@ pub struct CrawlerBox<'a> {
     /// Screenshot-content-fingerprint → analysis cache. Values depend only
     /// on pixels, so the cache is batch-wide like the artifact memo.
     shots: RwLock<HashMap<u128, ShotAnalysis>>,
+    /// Bound of the streaming input channel: how many admitted messages may
+    /// queue ahead of the workers in [`scan_stream`](Self::scan_stream).
+    /// Total streaming residency is `stream_capacity + parallelism`.
+    stream_capacity: usize,
     counters: Counters,
 }
 
@@ -280,8 +297,22 @@ impl<'a> CrawlerBox<'a> {
             caching: true,
             artifacts: ArtifactMemo::new(),
             shots: RwLock::new(HashMap::new()),
+            stream_capacity: 32,
             counters: Counters::default(),
         }
+    }
+
+    /// Set the streaming admission-window bound (clamped to ≥ 1). Smaller
+    /// values trade throughput for memory; the default of 32 keeps all
+    /// workers fed on skewed batches.
+    pub fn with_stream_capacity(mut self, capacity: usize) -> CrawlerBox<'a> {
+        self.stream_capacity = capacity.max(1);
+        self
+    }
+
+    /// The streaming admission-window bound.
+    pub fn stream_capacity(&self) -> usize {
+        self.stream_capacity
     }
 
     /// Choose how [`scan_all`](Self::scan_all) distributes work.
@@ -319,6 +350,9 @@ impl<'a> CrawlerBox<'a> {
             artifact_misses,
             screenshot_hits: self.counters.shot_hits.load(Ordering::Relaxed),
             screenshot_misses: self.counters.shot_misses.load(Ordering::Relaxed),
+            peak_in_flight: self.counters.peak_in_flight.load(Ordering::Relaxed),
+            peak_reorder: self.counters.peak_reorder.load(Ordering::Relaxed),
+            peak_bytes_retained: self.counters.peak_bytes_retained.load(Ordering::Relaxed),
         }
     }
 
@@ -487,6 +521,204 @@ impl<'a> CrawlerBox<'a> {
                     .unwrap_or_else(|| degraded_record(m, "scan worker died"))
             })
             .collect()
+    }
+
+    /// Scan a lazily produced message stream with bounded memory, delivering
+    /// records to `sink` in message order. Returns the number of records
+    /// delivered.
+    ///
+    /// This is the streaming counterpart of [`scan_all`](Self::scan_all):
+    /// the same scheduler choice, the same per-record bytes (records are
+    /// bit-identical to a batch scan of the same messages), but peak
+    /// residency is bounded by `stream_capacity + parallelism` messages
+    /// instead of O(corpus). The bound is enforced by an admission window —
+    /// a token semaphore the producer must acquire per message and the
+    /// collector releases on each in-order delivery — so a slow scan
+    /// backpressures the producer instead of letting queues (or the reorder
+    /// buffer) grow without limit. An order-preserving reorder buffer
+    /// between workers and sink restores message order; a panicking message
+    /// still yields exactly one degraded record, exactly as in batch mode.
+    ///
+    /// The sink runs on the calling thread and needs no thread-safety; the
+    /// message iterator is moved to a producer thread and must be `Send`.
+    pub fn scan_stream<I, S>(&self, messages: I, sink: &mut S) -> usize
+    where
+        I: IntoIterator<Item = ReportedMessage>,
+        I::IntoIter: Send,
+        S: RecordSink,
+    {
+        match self.scheduler {
+            // Serial streaming is the inline pipeline: one message resident
+            // at a time, delivered as soon as it is scanned.
+            Scheduler::Serial => {
+                let mut delivered = 0usize;
+                for message in messages {
+                    let bytes = message.raw.len() as u64;
+                    self.counters.messages.fetch_add(1, Ordering::Relaxed);
+                    self.note_admitted(bytes);
+                    let record = self.scan_caught(&message);
+                    drop(message);
+                    sink.accept(record);
+                    self.note_delivered(bytes);
+                    delivered += 1;
+                }
+                delivered
+            }
+            Scheduler::StaticChunk | Scheduler::WorkStealing => {
+                self.scan_stream_parallel(messages.into_iter(), sink)
+            }
+        }
+    }
+
+    /// The parallel streaming pipeline: producer thread → bounded input
+    /// channel(s) → scheduler workers → bounded output channel → reorder
+    /// buffer → sink, with a token semaphore bounding total residency.
+    ///
+    /// Deadlock freedom: the window holds `capacity + workers` tokens, the
+    /// output channel is sized to the whole window, and the collector
+    /// always drains it — so workers never block on a full output channel
+    /// forever, and the producer's token wait is always resolved by the
+    /// next in-order delivery.
+    fn scan_stream_parallel<I, S>(&self, messages: I, sink: &mut S) -> usize
+    where
+        I: Iterator<Item = ReportedMessage> + Send,
+        S: RecordSink,
+    {
+        let workers = self.parallelism.max(1);
+        let capacity = self.stream_capacity.max(1);
+        let window = capacity + workers;
+
+        // Token semaphore: `window` units, one consumed per admission, one
+        // released per in-order delivery. `try_send` on release: once the
+        // producer stops taking tokens the channel may fill, which is fine.
+        let (token_tx, token_rx) = crossbeam::channel::bounded::<()>(window);
+        for _ in 0..window {
+            token_tx.send(()).expect("fresh token channel has room");
+        }
+        let (out_tx, out_rx) = crossbeam::channel::bounded::<(usize, u64, ScanRecord)>(window);
+
+        let mut delivered = 0usize;
+        let _ = crossbeam::thread::scope(|scope| {
+            match self.scheduler {
+                // Work stealing: one shared MPMC input channel; whichever
+                // worker is free takes the next message. (The batch-mode
+                // steal counter stays untouched: with a shared queue there
+                // is no fair-share range to steal from.)
+                Scheduler::WorkStealing => {
+                    let (in_tx, in_rx) =
+                        crossbeam::channel::bounded::<(usize, ReportedMessage)>(capacity);
+                    for _ in 0..workers {
+                        let in_rx = in_rx.clone();
+                        let out_tx = out_tx.clone();
+                        scope.spawn(move |_| {
+                            for (idx, message) in in_rx.iter() {
+                                let record = self.scan_caught(&message);
+                                let bytes = message.raw.len() as u64;
+                                drop(message);
+                                if out_tx.send((idx, bytes, record)).is_err() {
+                                    break;
+                                }
+                            }
+                        });
+                    }
+                    drop(in_rx);
+                    let token_rx = token_rx.clone();
+                    scope.spawn(move |_| {
+                        for (idx, message) in messages.enumerate() {
+                            if token_rx.recv().is_err() {
+                                break;
+                            }
+                            self.counters.messages.fetch_add(1, Ordering::Relaxed);
+                            self.note_admitted(message.raw.len() as u64);
+                            if in_tx.send((idx, message)).is_err() {
+                                break;
+                            }
+                        }
+                        // `in_tx` drops here; workers drain and exit.
+                    });
+                }
+                // Static chunking becomes round-robin in streaming form:
+                // message `i` is pinned to worker `i % workers`, preserving
+                // the scheduler's characteristic head-of-line blocking when
+                // one worker's queue backs up on a slow message.
+                Scheduler::StaticChunk => {
+                    let per_worker = capacity.div_ceil(workers).max(1);
+                    let mut queues = Vec::with_capacity(workers);
+                    for _ in 0..workers {
+                        let (tx, rx) =
+                            crossbeam::channel::bounded::<(usize, ReportedMessage)>(per_worker);
+                        let out_tx = out_tx.clone();
+                        scope.spawn(move |_| {
+                            for (idx, message) in rx.iter() {
+                                let record = self.scan_caught(&message);
+                                let bytes = message.raw.len() as u64;
+                                drop(message);
+                                if out_tx.send((idx, bytes, record)).is_err() {
+                                    break;
+                                }
+                            }
+                        });
+                        queues.push(tx);
+                    }
+                    let token_rx = token_rx.clone();
+                    scope.spawn(move |_| {
+                        for (idx, message) in messages.enumerate() {
+                            if token_rx.recv().is_err() {
+                                break;
+                            }
+                            self.counters.messages.fetch_add(1, Ordering::Relaxed);
+                            self.note_admitted(message.raw.len() as u64);
+                            if queues[idx % workers].send((idx, message)).is_err() {
+                                break;
+                            }
+                        }
+                        // `queues` drop here; workers drain and exit.
+                    });
+                }
+                Scheduler::Serial => unreachable!("serial streaming is handled inline"),
+            }
+            drop(out_tx);
+
+            // Collector, on the calling thread: park out-of-order records,
+            // deliver in message order, release one admission token per
+            // delivery. Ends when every worker has dropped its `out_tx`.
+            let mut reorder: std::collections::BTreeMap<usize, (u64, ScanRecord)> =
+                std::collections::BTreeMap::new();
+            let mut next = 0usize;
+            for (idx, bytes, record) in out_rx.iter() {
+                reorder.insert(idx, (bytes, record));
+                self.note_reorder_depth(reorder.len() as u64);
+                while let Some((b, r)) = reorder.remove(&next) {
+                    sink.accept(r);
+                    self.note_delivered(b);
+                    let _ = token_tx.try_send(());
+                    next += 1;
+                    delivered += 1;
+                }
+            }
+        });
+        delivered
+    }
+
+    /// Note one message entering the streaming window.
+    fn note_admitted(&self, bytes: u64) {
+        let now = self.counters.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.counters.peak_in_flight.fetch_max(now, Ordering::Relaxed);
+        let retained = self.counters.bytes_retained.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.counters
+            .peak_bytes_retained
+            .fetch_max(retained, Ordering::Relaxed);
+    }
+
+    /// Note one record leaving the streaming window (in-order delivery).
+    fn note_delivered(&self, bytes: u64) {
+        self.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.counters.bytes_retained.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Track the reorder buffer's high-water mark.
+    fn note_reorder_depth(&self, depth: u64) {
+        self.counters.peak_reorder.fetch_max(depth, Ordering::Relaxed);
     }
 
     /// Crawl one URL, solving what custom code can solve (math challenges,
@@ -1194,6 +1426,56 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn scan_stream_matches_scan_all_and_bounds_residency() {
+        let corpus = corpus();
+        let subset: Vec<cb_phishgen::ReportedMessage> =
+            corpus.messages[..24.min(corpus.messages.len())].to_vec();
+        let batch_json = {
+            let cbx = CrawlerBox::new(&corpus.world)
+                .with_scheduler(Scheduler::Serial)
+                .with_caching(false);
+            serde_json::to_string(&cbx.scan_all(&subset)).unwrap()
+        };
+        for scheduler in [
+            Scheduler::Serial,
+            Scheduler::StaticChunk,
+            Scheduler::WorkStealing,
+        ] {
+            let cbx = CrawlerBox::new(&corpus.world)
+                .with_scheduler(scheduler)
+                .with_stream_capacity(4);
+            let mut out: Vec<ScanRecord> = Vec::new();
+            let n = cbx.scan_stream(subset.iter().cloned(), &mut out);
+            assert_eq!(n, subset.len());
+            assert_eq!(
+                serde_json::to_string(&out).unwrap(),
+                batch_json,
+                "{scheduler:?} streaming diverged from batch"
+            );
+            let stats = cbx.stats();
+            let bound = (cbx.stream_capacity() + cbx.parallelism) as u64;
+            assert!(
+                (1..=bound).contains(&stats.peak_in_flight),
+                "{scheduler:?} peak in-flight {} outside 1..={bound}",
+                stats.peak_in_flight
+            );
+            assert!(
+                stats.peak_reorder <= bound,
+                "{scheduler:?} reorder depth {} exceeds window {bound}",
+                stats.peak_reorder
+            );
+            assert_eq!(stats.messages, subset.len() as u64);
+        }
+    }
+
+    #[test]
+    fn stream_capacity_builder_clamps_to_one() {
+        let corpus = corpus();
+        let cbx = CrawlerBox::new(&corpus.world).with_stream_capacity(0);
+        assert_eq!(cbx.stream_capacity(), 1);
     }
 
     #[test]

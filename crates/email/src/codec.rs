@@ -32,40 +32,44 @@ impl fmt::Display for Base64Error {
 impl std::error::Error for Base64Error {}
 
 /// Encode `data` as Base64 with no line wrapping.
+///
+/// The output is accumulated as raw ASCII bytes and converted to `String`
+/// once at the end — the alphabet and padding are pure ASCII, so the final
+/// UTF-8 check is a single linear validation instead of per-char encoding.
 pub fn base64_encode(data: &[u8]) -> String {
-    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    let mut out = Vec::with_capacity(data.len().div_ceil(3) * 4);
     for chunk in data.chunks(3) {
         let b0 = chunk[0] as u32;
         let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
         let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
         let triple = (b0 << 16) | (b1 << 8) | b2;
-        out.push(B64_ALPHABET[(triple >> 18) as usize & 63] as char);
-        out.push(B64_ALPHABET[(triple >> 12) as usize & 63] as char);
+        out.push(B64_ALPHABET[(triple >> 18) as usize & 63]);
+        out.push(B64_ALPHABET[(triple >> 12) as usize & 63]);
         out.push(if chunk.len() > 1 {
-            B64_ALPHABET[(triple >> 6) as usize & 63] as char
+            B64_ALPHABET[(triple >> 6) as usize & 63]
         } else {
-            '='
+            b'='
         });
         out.push(if chunk.len() > 2 {
-            B64_ALPHABET[triple as usize & 63] as char
+            B64_ALPHABET[triple as usize & 63]
         } else {
-            '='
+            b'='
         });
     }
-    out
+    String::from_utf8(out).expect("base64 output is ASCII")
 }
 
 /// Encode as Base64 wrapped to 76-character lines (the MIME convention).
 pub fn base64_encode_wrapped(data: &[u8]) -> String {
     let flat = base64_encode(data);
-    let mut out = String::with_capacity(flat.len() + flat.len() / 76 * 2);
-    for (i, c) in flat.chars().enumerate() {
-        if i > 0 && i % 76 == 0 {
-            out.push_str("\r\n");
+    let mut out = Vec::with_capacity(flat.len() + flat.len().div_ceil(76) * 2);
+    for (i, line) in flat.as_bytes().chunks(76).enumerate() {
+        if i > 0 {
+            out.extend_from_slice(b"\r\n");
         }
-        out.push(c);
+        out.extend_from_slice(line);
     }
-    out
+    String::from_utf8(out).expect("wrapped base64 output is ASCII")
 }
 
 fn b64_value(b: u8) -> Option<u8> {
@@ -136,15 +140,20 @@ pub fn base64_decode(text: &str) -> Result<Vec<u8>, Base64Error> {
 
 /// Encode text as Quoted-Printable (RFC 2045 §6.7), wrapping at 76 columns
 /// with soft line breaks.
+///
+/// Output is built as ASCII bytes with table-driven hex escapes (no
+/// per-escape `format!` allocations) and converted to `String` once.
 pub fn quoted_printable_encode(data: &[u8]) -> String {
-    let mut out = String::new();
+    const HEX: &[u8; 16] = b"0123456789ABCDEF";
+    let esc = |b: u8| [b'=', HEX[(b >> 4) as usize], HEX[(b & 0xf) as usize]];
+    let mut out = Vec::with_capacity(data.len() + data.len() / 8);
     let mut col = 0usize;
-    let push = |s: &str, col: &mut usize, out: &mut String| {
+    let push = |s: &[u8], col: &mut usize, out: &mut Vec<u8>| {
         if *col + s.len() > 75 {
-            out.push_str("=\r\n");
+            out.extend_from_slice(b"=\r\n");
             *col = 0;
         }
-        out.push_str(s);
+        out.extend_from_slice(s);
         *col += s.len();
     };
     let mut i = 0;
@@ -152,32 +161,32 @@ pub fn quoted_printable_encode(data: &[u8]) -> String {
         let b = data[i];
         match b {
             b'\r' if data.get(i + 1) == Some(&b'\n') => {
-                out.push_str("\r\n");
+                out.extend_from_slice(b"\r\n");
                 col = 0;
                 i += 2;
                 continue;
             }
             b'\n' => {
-                out.push_str("\r\n");
+                out.extend_from_slice(b"\r\n");
                 col = 0;
             }
-            b'=' => push(&format!("={:02X}", b), &mut col, &mut out),
+            b'=' => push(&esc(b), &mut col, &mut out),
             b' ' | b'\t' => {
                 // Trailing whitespace before a line break must be encoded;
                 // we conservatively encode whitespace at end of input or line.
                 let at_line_end = matches!(data.get(i + 1), None | Some(b'\r') | Some(b'\n'));
                 if at_line_end {
-                    push(&format!("={:02X}", b), &mut col, &mut out);
+                    push(&esc(b), &mut col, &mut out);
                 } else {
-                    push(std::str::from_utf8(&[b]).unwrap(), &mut col, &mut out);
+                    push(&[b], &mut col, &mut out);
                 }
             }
-            0x21..=0x7e => push(std::str::from_utf8(&[b]).unwrap(), &mut col, &mut out),
-            _ => push(&format!("={:02X}", b), &mut col, &mut out),
+            0x21..=0x7e => push(&[b], &mut col, &mut out),
+            _ => push(&esc(b), &mut col, &mut out),
         }
         i += 1;
     }
-    out
+    String::from_utf8(out).expect("quoted-printable output is ASCII")
 }
 
 /// Decode Quoted-Printable text. Invalid escape sequences are passed through

@@ -10,6 +10,7 @@ use cb_netsim::{HttpRequest, HttpResponse, Internet, NetContext};
 use cb_phishkit::brand::LegitSite;
 use cb_phishkit::{Brand, C2Server, PhishingSite};
 use cb_sim::{SimDuration, SimTime};
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -114,7 +115,34 @@ fn apportion(total: usize, weights: &[usize; 10]) -> [usize; 10] {
 
 impl Corpus {
     /// Generate the corpus at `spec` with deterministic `seed`.
+    ///
+    /// This is exactly [`Corpus::stream`] collected into a `Vec` — the
+    /// eager and lazy generators share one synthesis path, so their
+    /// messages are bit-identical by construction.
     pub fn generate(spec: &CorpusSpec, seed: u64) -> Corpus {
+        let (mut corpus, stream) = Corpus::stream(spec, seed);
+        corpus.messages = stream.collect();
+        corpus
+    }
+
+    /// Build the world eagerly but yield the reported messages lazily.
+    ///
+    /// The returned [`Corpus`] has everything deployed (domains, sites,
+    /// C2s, DNS history — that part is O(campaigns), not O(messages)) and
+    /// an **empty** `messages` vector; the companion [`MessageStream`]
+    /// synthesizes each [`ReportedMessage`] on demand with the same RNG
+    /// discipline as the eager generator, so `stream(..).1.collect()` is
+    /// bit-identical to the `messages` of [`Corpus::generate`]. Peak
+    /// memory for the message payloads is whatever the consumer retains —
+    /// a streaming scan pipeline can hold a bounded window instead of the
+    /// whole corpus.
+    ///
+    /// Victim-check C2 registrations happen as each message is yielded
+    /// (exactly like the eager path); a message's own victim is always
+    /// registered before the message is returned, so scanning message *i*
+    /// before message *j* is generated observes the same world state as a
+    /// scan after full generation.
+    pub fn stream(spec: &CorpusSpec, seed: u64) -> (Corpus, MessageStream) {
         let fork = cb_sim::SeedFork::new(seed);
         let world = Internet::new(timeline::world_epoch());
 
@@ -392,21 +420,18 @@ impl Corpus {
             });
         }
 
-        // --- synthesize messages --------------------------------------------
+        // --- plan message slots ---------------------------------------------
         // Carrier quotas over the active messages.
         let qr_quota = spec.scaled(spec.qr_messages);
-        let faulty_quota = spec.scaled(spec.faulty_qr_messages).min(qr_quota);
-        let image_quota = spec.scaled(spec.image_url_messages);
-        let pdf_quota = spec.scaled(spec.pdf_messages);
-        let eml_quota = spec.scaled(spec.eml_messages);
-        let html_quota = spec.scaled(spec.html_attachment_messages);
-        let noise_quota = spec.scaled(spec.noise_padded_messages);
-
-        let mut messages = Vec::new();
-        let mut id = 0usize;
-        let mut victim_no = 0usize;
-        let mut active_emitted = 0usize;
-        let mut noise_emitted = 0usize;
+        let quotas = CarrierQuotas {
+            qr: qr_quota,
+            faulty: spec.scaled(spec.faulty_qr_messages).min(qr_quota),
+            image: spec.scaled(spec.image_url_messages),
+            pdf: spec.scaled(spec.pdf_messages),
+            eml: spec.scaled(spec.eml_messages),
+            html: spec.scaled(spec.html_attachment_messages),
+            noise: spec.scaled(spec.noise_padded_messages),
+        };
 
         // Per-campaign message emission order: campaigns grouped by month.
         let mut campaigns_by_month: Vec<Vec<usize>> = vec![Vec::new(); 10];
@@ -414,13 +439,28 @@ impl Corpus {
             campaigns_by_month[m].push(ci);
         }
 
+        // The slot plan is the eager loop's pre-shuffle state: one entry per
+        // message, in deterministic construction order. Everything that
+        // depends on the RNG (the per-month shuffle, delivery instants, the
+        // MIME bodies) is deferred to the stream so the draws happen in
+        // exactly the order the eager generator made them.
+        let mut months = Vec::with_capacity(10);
+        let mut remaining = 0usize;
         for m in 0..10 {
             let (year, month) = timeline::months_2024()[m];
-            let mut slots: Vec<(MessageClass, Option<usize>, Option<usize>)> = Vec::new();
-            // active slots: (class, campaign, msg_idx_within_campaign)
+            let mut slots: Vec<Slot> = Vec::new();
             for &ci in &campaigns_by_month[m] {
-                for k in 0..campaigns[ci].message_count {
-                    slots.push((MessageClass::ActivePhish, Some(ci), Some(k)));
+                let c = &campaigns[ci];
+                for k in 0..c.message_count {
+                    slots.push(Slot {
+                        class: MessageClass::ActivePhish,
+                        campaign: Some(ci),
+                        url_base: Some(c.url_for_message(k).to_string()),
+                        spear: c.spear,
+                        victim_db_check: c.cloak.client.victim_db_check,
+                        otp_gate: c.cloak.client.otp_gate,
+                        victim_check: c.victim_check,
+                    });
                 }
             }
             for (class, count) in [
@@ -430,125 +470,17 @@ impl Corpus {
                 (MessageClass::Download, per_month_download[m]),
             ] {
                 for _ in 0..count {
-                    slots.push((class, None, None));
+                    slots.push(Slot::bare(class));
                 }
             }
-            slots.shuffle(&mut msg_rng);
-
-            for (class, campaign_idx, msg_idx) in slots {
-                let delivered = timeline::delivery_instant(&mut msg_rng, year, month);
-                let victim = format!("victim-{victim_no}@corp.example");
-                victim_no += 1;
-
-                let (carrier, url, spear, noise) = match class {
-                    MessageClass::NoResource => (Carrier::None, None, false, false),
-                    MessageClass::ErrorPage => {
-                        let u = error_urls[id % error_urls.len().max(1)].clone();
-                        (Carrier::BodyLink, Some(u), false, false)
-                    }
-                    MessageClass::InteractionRequired => {
-                        let u = interaction_urls[id % interaction_urls.len().max(1)].clone();
-                        (Carrier::BodyLink, Some(u), false, false)
-                    }
-                    MessageClass::Download => (
-                        Carrier::BodyLink,
-                        Some(format!("https://file-drop.example/archive-{id}.zip")),
-                        false,
-                        false,
-                    ),
-                    MessageClass::ActivePhish => {
-                        let ci = campaign_idx.expect("active slot has campaign");
-                        let k = msg_idx.expect("active slot has index");
-                        let c = &campaigns[ci];
-                        let mut url = c.url_for_message(k).to_string();
-                        if c.cloak.client.victim_db_check {
-                            url.push_str(&format!("?victim={victim}"));
-                        }
-                        // carrier by running quota
-                        let carrier = if active_emitted < qr_quota {
-                            Carrier::QrCode {
-                                faulty: active_emitted < faulty_quota,
-                            }
-                        } else if active_emitted < qr_quota + image_quota {
-                            Carrier::ImageText
-                        } else if active_emitted < qr_quota + image_quota + pdf_quota {
-                            if active_emitted.is_multiple_of(3) {
-                                Carrier::PdfText
-                            } else {
-                                Carrier::PdfLink
-                            }
-                        } else if active_emitted < qr_quota + image_quota + pdf_quota + eml_quota
-                        {
-                            Carrier::NestedEml
-                        } else if !c.spear
-                            && active_emitted
-                                < qr_quota + image_quota + pdf_quota + eml_quota + html_quota
-                        {
-                            Carrier::HtmlAttachment
-                        } else {
-                            Carrier::BodyLink
-                        };
-                        active_emitted += 1;
-                        let noise = matches!(carrier, Carrier::BodyLink)
-                            && noise_emitted < noise_quota
-                            && {
-                                noise_emitted += 1;
-                                true
-                            };
-                        (carrier, Some(url), c.spear, noise)
-                    }
-                };
-
-                // Victim-check campaigns know their targets.
-                if let Some(ci) = campaign_idx {
-                    match campaigns[ci].victim_check {
-                        Some(VictimCheckScript::A) => {
-                            c2_alpha.add_victim(&victim);
-                        }
-                        Some(VictimCheckScript::B) => {
-                            c2_beta.add_victim(&victim);
-                        }
-                        None => {}
-                    }
-                }
-
-                let otp = campaign_idx.and_then(|ci| {
-                    campaigns[ci]
-                        .cloak
-                        .client
-                        .otp_gate
-                        .then_some(cb_phishkit::site::DEFAULT_OTP_CODE)
-                });
-                let raw = build_message(
-                    &mut msg_rng,
-                    carrier,
-                    url.as_deref(),
-                    &victim,
-                    delivered,
-                    noise,
-                    otp,
-                    id as u64,
-                );
-                messages.push(ReportedMessage {
-                    id,
-                    raw,
-                    delivered_at: delivered,
-                    victim,
-                    truth: GroundTruth {
-                        class,
-                        campaign: campaign_idx,
-                        carrier,
-                        spear,
-                        noise_padded: noise,
-                        url,
-                    },
-                });
-                id += 1;
-            }
+            remaining += slots.len();
+            months.push(MonthPlan { year, month, slots });
         }
 
         // The world's clock advances to the end of the window: analysis is
-        // retrospective.
+        // retrospective. Message synthesis never reads the clock, so
+        // advancing before the stream is drained is observationally
+        // identical to advancing after eager generation.
         world.advance_to_end();
 
         // Transient-fault injection, when the spec asks for it. The plan
@@ -566,19 +498,279 @@ impl Corpus {
             ));
         }
 
-        Corpus {
+        let stream = MessageStream {
+            months: months.into_iter(),
+            current: None,
+            msg_rng,
+            error_urls,
+            interaction_urls,
+            quotas,
+            c2_alpha: c2_alpha.clone(),
+            c2_beta: c2_beta.clone(),
+            id: 0,
+            victim_no: 0,
+            active_emitted: 0,
+            noise_emitted: 0,
+            remaining,
+        };
+
+        let corpus = Corpus {
             spec: spec.clone(),
             world,
             campaigns,
             sites,
             legit_sites,
-            messages,
+            messages: Vec::new(),
             c2_alpha,
             c2_beta,
             c2_shared,
+        };
+        (corpus, stream)
+    }
+}
+
+/// Running carrier quotas over the active messages (§IV shapes).
+#[derive(Debug, Clone, Copy)]
+struct CarrierQuotas {
+    qr: usize,
+    faulty: usize,
+    image: usize,
+    pdf: usize,
+    eml: usize,
+    html: usize,
+    noise: usize,
+}
+
+/// One planned message: everything knowable before the RNG-dependent parts
+/// (shuffle position, delivery instant, MIME body) are drawn.
+#[derive(Debug, Clone)]
+struct Slot {
+    class: MessageClass,
+    campaign: Option<usize>,
+    /// The campaign landing URL for active slots (victim token appended at
+    /// emission time when the kit runs a victim-DB check).
+    url_base: Option<String>,
+    spear: bool,
+    victim_db_check: bool,
+    otp_gate: bool,
+    victim_check: Option<VictimCheckScript>,
+}
+
+impl Slot {
+    fn bare(class: MessageClass) -> Slot {
+        Slot {
+            class,
+            campaign: None,
+            url_base: None,
+            spear: false,
+            victim_db_check: false,
+            otp_gate: false,
+            victim_check: None,
         }
     }
 }
+
+/// One month's planned slots, pre-shuffle.
+#[derive(Debug)]
+struct MonthPlan {
+    year: i64,
+    month: u32,
+    slots: Vec<Slot>,
+}
+
+/// In-flight state for the month currently being emitted.
+#[derive(Debug)]
+struct CurrentMonth {
+    year: i64,
+    month: u32,
+    slots: std::vec::IntoIter<Slot>,
+}
+
+/// Lazy message generator returned by [`Corpus::stream`].
+///
+/// Yields the corpus's [`ReportedMessage`]s one at a time, in delivery
+/// order, consuming the `"messages"` RNG stream with exactly the same
+/// sequence of draws as the eager generator: each month's slots are
+/// shuffled when the month is entered, then each slot draws its delivery
+/// instant and builds its MIME body. The stream is `Send`, so a producer
+/// thread can feed a bounded scan pipeline while the consumer holds only a
+/// fixed window of messages in memory.
+pub struct MessageStream {
+    months: std::vec::IntoIter<MonthPlan>,
+    current: Option<CurrentMonth>,
+    msg_rng: StdRng,
+    error_urls: Vec<String>,
+    interaction_urls: Vec<String>,
+    quotas: CarrierQuotas,
+    c2_alpha: C2Server,
+    c2_beta: C2Server,
+    id: usize,
+    victim_no: usize,
+    active_emitted: usize,
+    noise_emitted: usize,
+    remaining: usize,
+}
+
+impl std::fmt::Debug for MessageStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MessageStream")
+            .field("emitted", &self.id)
+            .field("remaining", &self.remaining)
+            .finish()
+    }
+}
+
+impl MessageStream {
+    /// Synthesize the message for one slot, replicating the eager loop body.
+    fn emit(&mut self, slot: Slot, year: i64, month: u32) -> ReportedMessage {
+        let Slot {
+            class,
+            campaign,
+            url_base,
+            spear: slot_spear,
+            victim_db_check,
+            otp_gate,
+            victim_check,
+        } = slot;
+
+        let delivered = timeline::delivery_instant(&mut self.msg_rng, year, month);
+        let victim = format!("victim-{}@corp.example", self.victim_no);
+        self.victim_no += 1;
+        let id = self.id;
+        let q = self.quotas;
+
+        let (carrier, url, spear, noise) = match class {
+            MessageClass::NoResource => (Carrier::None, None, false, false),
+            MessageClass::ErrorPage => {
+                let u = self.error_urls[id % self.error_urls.len().max(1)].clone();
+                (Carrier::BodyLink, Some(u), false, false)
+            }
+            MessageClass::InteractionRequired => {
+                let u = self.interaction_urls[id % self.interaction_urls.len().max(1)].clone();
+                (Carrier::BodyLink, Some(u), false, false)
+            }
+            MessageClass::Download => (
+                Carrier::BodyLink,
+                Some(format!("https://file-drop.example/archive-{id}.zip")),
+                false,
+                false,
+            ),
+            MessageClass::ActivePhish => {
+                let mut url = url_base.expect("active slot has url");
+                if victim_db_check {
+                    url.push_str(&format!("?victim={victim}"));
+                }
+                // carrier by running quota
+                let carrier = if self.active_emitted < q.qr {
+                    Carrier::QrCode {
+                        faulty: self.active_emitted < q.faulty,
+                    }
+                } else if self.active_emitted < q.qr + q.image {
+                    Carrier::ImageText
+                } else if self.active_emitted < q.qr + q.image + q.pdf {
+                    if self.active_emitted.is_multiple_of(3) {
+                        Carrier::PdfText
+                    } else {
+                        Carrier::PdfLink
+                    }
+                } else if self.active_emitted < q.qr + q.image + q.pdf + q.eml {
+                    Carrier::NestedEml
+                } else if !slot_spear
+                    && self.active_emitted < q.qr + q.image + q.pdf + q.eml + q.html
+                {
+                    Carrier::HtmlAttachment
+                } else {
+                    Carrier::BodyLink
+                };
+                self.active_emitted += 1;
+                let noise = matches!(carrier, Carrier::BodyLink)
+                    && self.noise_emitted < q.noise
+                    && {
+                        self.noise_emitted += 1;
+                        true
+                    };
+                (carrier, Some(url), slot_spear, noise)
+            }
+        };
+
+        // Victim-check campaigns know their targets. Registration happens
+        // before the message is yielded, so a streaming scanner always sees
+        // the same C2 state for message *i* as a batch scanner would.
+        match victim_check {
+            Some(VictimCheckScript::A) => {
+                self.c2_alpha.add_victim(&victim);
+            }
+            Some(VictimCheckScript::B) => {
+                self.c2_beta.add_victim(&victim);
+            }
+            None => {}
+        }
+
+        let otp = otp_gate.then_some(cb_phishkit::site::DEFAULT_OTP_CODE);
+        let raw = build_message(
+            &mut self.msg_rng,
+            carrier,
+            url.as_deref(),
+            &victim,
+            delivered,
+            noise,
+            otp,
+            id as u64,
+        );
+        self.id += 1;
+        self.remaining -= 1;
+        ReportedMessage {
+            id,
+            raw,
+            delivered_at: delivered,
+            victim,
+            truth: GroundTruth {
+                class,
+                campaign,
+                carrier,
+                spear,
+                noise_padded: noise,
+                url,
+            },
+        }
+    }
+}
+
+impl Iterator for MessageStream {
+    type Item = ReportedMessage;
+
+    fn next(&mut self) -> Option<ReportedMessage> {
+        loop {
+            if self.current.is_none() {
+                let plan = self.months.next()?;
+                let mut slots = plan.slots;
+                // The eager generator shuffled each month's slots just
+                // before emitting them; drawing here keeps the RNG call
+                // sequence identical.
+                slots.shuffle(&mut self.msg_rng);
+                self.current = Some(CurrentMonth {
+                    year: plan.year,
+                    month: plan.month,
+                    slots: slots.into_iter(),
+                });
+            }
+            let cur = self.current.as_mut().expect("just installed");
+            let (year, month) = (cur.year, cur.month);
+            match cur.slots.next() {
+                Some(slot) => return Some(self.emit(slot, year, month)),
+                None => {
+                    self.current = None;
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for MessageStream {}
 
 /// Extension to advance the world's clock past the study window.
 trait AdvanceToEnd {
@@ -696,6 +888,52 @@ mod tests {
         }
         let scaled = timeline::scaled_monthly(&c.spec);
         assert_eq!(per_month, scaled);
+    }
+
+    #[test]
+    fn stream_is_bit_identical_to_generate_and_lazy() {
+        let spec = CorpusSpec::paper().with_scale(0.02);
+        let eager = Corpus::generate(&spec, 7);
+        let (lazy, stream) = Corpus::stream(&spec, 7);
+        assert!(lazy.messages.is_empty(), "stream leaves messages unmaterialized");
+        assert_eq!(stream.len(), eager.messages.len());
+        let mut emitted = 0usize;
+        for (n, msg) in stream.enumerate() {
+            let e = &eager.messages[n];
+            assert_eq!(msg.id, e.id);
+            assert_eq!(msg.raw, e.raw);
+            assert_eq!(msg.delivered_at, e.delivered_at);
+            assert_eq!(msg.victim, e.victim);
+            assert_eq!(msg.truth, e.truth);
+            emitted = n + 1;
+        }
+        assert_eq!(emitted, eager.messages.len());
+
+        // The exact-size hint tracks consumption one message at a time.
+        let (_, mut partial) = Corpus::stream(&spec, 7);
+        let total = partial.len();
+        let first = partial.next().expect("nonempty corpus");
+        assert_eq!(first.id, 0);
+        assert_eq!(partial.len(), total - 1);
+    }
+
+    #[test]
+    fn stream_registers_victims_before_yield() {
+        let spec = CorpusSpec::paper().with_scale(0.2);
+        let (lazy, stream) = Corpus::stream(&spec, 13);
+        for msg in stream {
+            if let Some(ci) = msg.truth.campaign {
+                if lazy.campaigns[ci].victim_check == Some(VictimCheckScript::A) {
+                    // The C2 must already answer "yes" for this victim even
+                    // though later messages are not generated yet.
+                    let resp = lazy.world.request(cb_netsim::HttpRequest::post(
+                        "https://c2-alpha.example/check-victim",
+                        msg.victim.as_bytes(),
+                    ));
+                    assert_eq!(resp.body_text(), "yes");
+                }
+            }
+        }
     }
 
     #[test]

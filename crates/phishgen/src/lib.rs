@@ -34,6 +34,6 @@ pub mod messages;
 pub mod spec;
 pub mod timeline;
 
-pub use corpus::{Corpus, GroundTruth, MessageClass, ReportedMessage};
+pub use corpus::{Corpus, GroundTruth, MessageClass, MessageStream, ReportedMessage};
 pub use funnel::FunnelReport;
 pub use spec::CorpusSpec;

@@ -29,10 +29,12 @@
 pub mod describe;
 pub mod histogram;
 pub mod special;
+pub mod streaming;
 pub mod ttest;
 
 pub use describe::Describe;
 pub use histogram::Histogram;
+pub use streaming::{Moments, P2Quantile};
 pub use ttest::{paired_t_test, TTestResult};
 
 /// Hamming distance between two 64-bit hashes (used by the image-hash crate

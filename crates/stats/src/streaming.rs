@@ -1,0 +1,410 @@
+//! Incremental, bounded-memory statistics for streaming pipelines.
+//!
+//! [`Describe`](crate::describe::Describe) needs the whole sample in
+//! memory; a streaming scan can't afford that. [`Moments`] maintains the
+//! first four central moments online (Welford's update generalized to
+//! higher moments, after Pébay), yielding the same mean / sample-stddev /
+//! skewness / excess-kurtosis definitions as `Describe` in O(1) space.
+//! [`P2Quantile`] estimates a quantile online with five markers (the P²
+//! algorithm of Jain & Chlamtac) — exact up to five observations, an
+//! interpolated estimate after.
+
+use serde::{Deserialize, Serialize};
+
+/// Online mean, spread and shape: one [`push`](Moments::push) per
+/// observation, O(1) memory, numerically stable single-pass updates.
+///
+/// Accessor semantics match [`Describe`](crate::describe::Describe):
+/// sample standard deviation (n − 1), population third/fourth standardized
+/// moments, Fisher excess kurtosis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    /// Σ(x−mean)², Σ(x−mean)³, Σ(x−mean)⁴ — power sums, not yet divided.
+    m2: f64,
+    m3: f64,
+    m4: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Moments {
+    /// An empty accumulator.
+    pub fn new() -> Moments {
+        Moments::default()
+    }
+
+    /// Fold one observation in.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite values, mirroring `Describe::of`.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "sample contains non-finite values");
+        if self.n == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        let n0 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n0;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Smallest observation, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Sample standard deviation (n − 1 denominator; 0 for n < 2).
+    pub fn stddev(&self) -> f64 {
+        if self.n > 1 {
+            (self.m2 / (self.n as f64 - 1.0)).sqrt()
+        } else {
+            0.0
+        }
+    }
+
+    /// Skewness (third standardized moment, population definition; 0 for a
+    /// spread-free sample).
+    pub fn skewness(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let m2 = self.m2 / n;
+        if m2 > 0.0 {
+            (self.m3 / n) / m2.powf(1.5)
+        } else {
+            0.0
+        }
+    }
+
+    /// Excess kurtosis (Fisher definition: normal = 0; 0 for a spread-free
+    /// sample).
+    pub fn kurtosis_excess(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let m2 = self.m2 / n;
+        if m2 > 0.0 {
+            (self.m4 / n) / (m2 * m2) - 3.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Streaming quantile estimator: the P² algorithm (Jain & Chlamtac, 1985).
+///
+/// Five markers track the running quantile without storing the sample.
+/// Exact while n ≤ 5; afterwards the middle marker follows the target
+/// quantile with piecewise-parabolic interpolation. Accuracy is ample for
+/// headline medians (the paper reports medians of fat-tailed hour
+/// distributions at whole-hour granularity).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights.
+    q: [f64; 5],
+    /// Actual marker positions (1-based ranks).
+    pos: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Per-observation increments of the desired positions.
+    rate: [f64; 5],
+    count: u64,
+    /// The first five observations, kept until the markers initialize.
+    warmup: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// An estimator for quantile `p` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 1]` or non-finite.
+    pub fn new(p: f64) -> P2Quantile {
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "quantile p out of range"
+        );
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            pos: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            rate: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            warmup: Vec::with_capacity(5),
+        }
+    }
+
+    /// A median estimator (`p = 0.5`).
+    pub fn median() -> P2Quantile {
+        P2Quantile::new(0.5)
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Fold one observation in.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite values.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "sample contains non-finite values");
+        self.count += 1;
+        if self.count <= 5 {
+            self.warmup.push(x);
+            if self.count == 5 {
+                self.warmup
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                for (slot, &v) in self.q.iter_mut().zip(self.warmup.iter()) {
+                    *slot = v;
+                }
+            }
+            return;
+        }
+
+        // Locate the cell, extending the extremes when x falls outside.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            // q[k] <= x < q[k+1] for some k in 0..=3.
+            (0..4)
+                .rev()
+                .find(|&i| self.q[i] <= x)
+                .expect("q[0] <= x inside the marker span")
+        };
+
+        for p in &mut self.pos[(k + 1)..] {
+            *p += 1.0;
+        }
+        for (d, r) in self.desired.iter_mut().zip(self.rate) {
+            *d += r;
+        }
+
+        // Adjust the three interior markers toward their desired ranks.
+        for i in 1..4 {
+            let diff = self.desired[i] - self.pos[i];
+            let ahead = self.pos[i + 1] - self.pos[i];
+            let behind = self.pos[i - 1] - self.pos[i];
+            if (diff >= 1.0 && ahead > 1.0) || (diff <= -1.0 && behind < -1.0) {
+                let d = diff.signum();
+                let parabolic = self.q[i]
+                    + d / (self.pos[i + 1] - self.pos[i - 1])
+                        * ((self.pos[i] - self.pos[i - 1] + d) * (self.q[i + 1] - self.q[i])
+                            / (self.pos[i + 1] - self.pos[i])
+                            + (self.pos[i + 1] - self.pos[i] - d) * (self.q[i] - self.q[i - 1])
+                                / (self.pos[i] - self.pos[i - 1]));
+                self.q[i] = if self.q[i - 1] < parabolic && parabolic < self.q[i + 1] {
+                    parabolic
+                } else {
+                    // Parabolic prediction left the bracket: fall back to
+                    // linear interpolation toward the neighbour.
+                    let j = if d > 0.0 { i + 1 } else { i - 1 };
+                    self.q[i] + d * (self.q[j] - self.q[i]) / (self.pos[j] - self.pos[i])
+                };
+                self.pos[i] += d;
+            }
+        }
+    }
+
+    /// The current estimate, `None` when nothing was pushed. Exact (linear
+    /// interpolation over the sorted sample) for n ≤ 5.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count <= 5 {
+            let mut v = self.warmup.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let rank = self.p * (v.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            return Some(v[lo] * (1.0 - frac) + v[hi] * frac);
+        }
+        Some(self.q[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe::{median, Describe};
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    /// Deterministic pseudo-uniform sequence in [0, 1).
+    fn lcg_stream(n: usize) -> Vec<f64> {
+        let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn moments_match_describe_exactly_enough() {
+        let sample = lcg_stream(5000);
+        let batch = Describe::of(&sample);
+        let mut m = Moments::new();
+        for &x in &sample {
+            m.push(x);
+        }
+        assert_eq!(m.count(), sample.len() as u64);
+        close(m.mean(), batch.mean, 1e-9);
+        close(m.stddev(), batch.stddev, 1e-9);
+        close(m.skewness(), batch.skewness, 1e-6);
+        close(m.kurtosis_excess(), batch.kurtosis_excess, 1e-6);
+        assert_eq!(m.min(), Some(batch.min));
+        assert_eq!(m.max(), Some(batch.max));
+    }
+
+    #[test]
+    fn moments_on_fat_tailed_sample() {
+        let mut xs = vec![1.0; 95];
+        xs.extend_from_slice(&[50.0, 60.0, 70.0, 80.0, 90.0]);
+        let batch = Describe::of(&xs);
+        let mut m = Moments::new();
+        for &x in &xs {
+            m.push(x);
+        }
+        close(m.kurtosis_excess(), batch.kurtosis_excess, 1e-8);
+        close(m.skewness(), batch.skewness, 1e-8);
+    }
+
+    #[test]
+    fn moments_edge_cases() {
+        let empty = Moments::new();
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.max(), None);
+        assert_eq!(empty.stddev(), 0.0);
+        assert_eq!(empty.skewness(), 0.0);
+        assert_eq!(empty.kurtosis_excess(), 0.0);
+
+        let mut constant = Moments::new();
+        for _ in 0..10 {
+            constant.push(7.0);
+        }
+        assert_eq!(constant.mean(), 7.0);
+        assert_eq!(constant.stddev(), 0.0);
+        assert_eq!(constant.skewness(), 0.0);
+        assert_eq!(constant.kurtosis_excess(), 0.0);
+
+        let mut single = Moments::new();
+        single.push(3.0);
+        assert_eq!(single.stddev(), 0.0);
+        assert_eq!(single.min(), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn moments_reject_non_finite() {
+        Moments::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn p2_median_is_exact_for_small_samples() {
+        let mut est = P2Quantile::median();
+        assert_eq!(est.estimate(), None);
+        for &x in &[9.0, 1.0, 5.0] {
+            est.push(x);
+        }
+        assert_eq!(est.estimate(), Some(5.0));
+        est.push(3.0);
+        // Sorted: 1,3,5,9 -> median 4.
+        assert_eq!(est.estimate(), Some(4.0));
+    }
+
+    #[test]
+    fn p2_median_tracks_uniform_stream() {
+        let sample = lcg_stream(20_000);
+        let mut est = P2Quantile::median();
+        for &x in &sample {
+            est.push(x);
+        }
+        let exact = median(&sample);
+        let approx = est.estimate().unwrap();
+        close(approx, exact, 0.02);
+        assert_eq!(est.count(), sample.len() as u64);
+    }
+
+    #[test]
+    fn p2_upper_quantile_orders_above_median() {
+        let sample = lcg_stream(10_000);
+        let mut med = P2Quantile::median();
+        let mut p90 = P2Quantile::new(0.9);
+        for &x in &sample {
+            med.push(x);
+            p90.push(x);
+        }
+        let m = med.estimate().unwrap();
+        let hi = p90.estimate().unwrap();
+        assert!(hi > m, "p90 {hi} must exceed median {m}");
+        close(hi, 0.9, 0.03);
+    }
+
+    #[test]
+    fn p2_survives_fat_tails_and_duplicates() {
+        // Mostly identical values with rare huge outliers — the shape of
+        // the paper's timedelta distributions (and a classic P² stressor).
+        let mut est = P2Quantile::median();
+        for i in 0..1000 {
+            let x = if i % 100 == 99 { 5000.0 } else { 2.0 };
+            est.push(x);
+        }
+        let e = est.estimate().unwrap();
+        assert!((2.0..100.0).contains(&e), "median estimate {e} off target");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn p2_rejects_bad_quantile() {
+        P2Quantile::new(1.5);
+    }
+}

@@ -118,7 +118,7 @@ impl Document {
         self.elements("script")
             .iter()
             .filter(|n| n.attr("src").is_none())
-            .map(|n| n.text_content())
+            .map(|n| n.text_content().into_owned())
             .filter(|s| !s.trim().is_empty())
             .collect()
     }

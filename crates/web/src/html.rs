@@ -2,6 +2,7 @@
 //! elements (`<script>`, `<style>`), comments, void elements, and the
 //! tag-soup leniency real phishing pages demand.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 /// A DOM node.
@@ -42,12 +43,24 @@ impl Node {
     }
 
     /// Concatenated descendant text.
-    pub fn text_content(&self) -> String {
+    ///
+    /// Borrows when no concatenation is needed (a text node, or an element
+    /// with at most one text-bearing child) — the dominant DOM shape, so
+    /// most calls allocate nothing.
+    pub fn text_content(&self) -> Cow<'_, str> {
         match self {
-            Node::Text(t) => t.clone(),
-            Node::Element { children, .. } => {
-                children.iter().map(Node::text_content).collect::<Vec<_>>().join("")
-            }
+            Node::Text(t) => Cow::Borrowed(t),
+            Node::Element { children, .. } => match children.len() {
+                0 => Cow::Borrowed(""),
+                1 => children[0].text_content(),
+                _ => {
+                    let mut out = String::new();
+                    for c in children {
+                        out.push_str(&c.text_content());
+                    }
+                    Cow::Owned(out)
+                }
+            },
         }
     }
 }
@@ -137,7 +150,7 @@ impl<'a> HtmlParser<'a> {
             // (the max() handles a lone '<' at end of input)
             self.pos += text.len();
             if !text.trim().is_empty() {
-                nodes.push(Node::Text(decode_entities(text)));
+                nodes.push(Node::Text(decode_entities(text).into_owned()));
             }
         }
     }
@@ -287,19 +300,28 @@ impl<'a> HtmlParser<'a> {
             } else {
                 String::new()
             };
-            attrs.insert(name, decode_entities(&value));
+            attrs.insert(name, decode_entities(&value).into_owned());
         }
     }
 }
 
 /// Decode the handful of entities that matter for URL and text extraction.
-pub fn decode_entities(s: &str) -> String {
-    s.replace("&amp;", "&")
-        .replace("&lt;", "<")
-        .replace("&gt;", ">")
-        .replace("&quot;", "\"")
-        .replace("&#39;", "'")
-        .replace("&nbsp;", " ")
+///
+/// Borrows the input untouched when it contains no `&` — the overwhelmingly
+/// common case for attribute values and text runs — so the parser's hot
+/// path allocates only when a transformation actually happens.
+pub fn decode_entities(s: &str) -> Cow<'_, str> {
+    if !s.contains('&') {
+        return Cow::Borrowed(s);
+    }
+    Cow::Owned(
+        s.replace("&amp;", "&")
+            .replace("&lt;", "<")
+            .replace("&gt;", ">")
+            .replace("&quot;", "\"")
+            .replace("&#39;", "'")
+            .replace("&nbsp;", " "),
+    )
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 //! ```text
 //! repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl]
 //!       [--scheduler serial|chunked|stealing] [--no-cache]
+//!       [--stream] [--stream-capacity N]
 //!
 //! EXPERIMENT: all (default) | table1 | ablation | table2 | figure2 |
 //!             figure3 | classmix | spear | volumes | lexical | cloaking |
@@ -14,6 +15,13 @@
 //! --scheduler S:  batch scheduler (default stealing); records are
 //!                 identical across schedulers — only throughput changes
 //! --no-cache:     disable the deterministic memoization caches
+//! --stream:       bounded-memory mode: generate messages lazily and scan
+//!                 them through the streaming pipeline, holding at most
+//!                 stream-capacity + workers messages in memory. Reports
+//!                 the §V class mix, the ground-truth agreement rate and
+//!                 streaming body-size statistics (incompatible with
+//!                 experiment sections other than all/classmix).
+//! --stream-capacity N: streaming admission-window bound (default 32)
 //!
 //! `faults` runs the three-arm transient-fault sweep (baseline /
 //! supervised / retry-less) at a 20% fault rate instead of the normal
@@ -21,8 +29,9 @@
 //! ```
 
 use cb_phishgen::{Corpus, CorpusSpec};
+use cb_stats::{Moments, P2Quantile};
 use crawlerbox::analysis::{analyze, fault_sweep, AnalysisReport};
-use crawlerbox::{CrawlerBox, Scheduler};
+use crawlerbox::{ClassMixSink, CrawlerBox, RecordSink, ScanRecord, Scheduler, TruthLedger};
 
 struct Args {
     experiment: String,
@@ -32,12 +41,14 @@ struct Args {
     log: Option<String>,
     scheduler: Scheduler,
     caching: bool,
+    stream: bool,
+    stream_capacity: usize,
 }
 
 fn usage_exit(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
-        "usage: repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl] [--scheduler serial|chunked|stealing] [--no-cache]"
+        "usage: repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl] [--scheduler serial|chunked|stealing] [--no-cache] [--stream] [--stream-capacity N]"
     );
     std::process::exit(2);
 }
@@ -51,6 +62,8 @@ fn parse_args() -> Args {
         log: None,
         scheduler: Scheduler::default(),
         caching: true,
+        stream: false,
+        stream_capacity: 32,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
@@ -77,6 +90,13 @@ fn parse_args() -> Args {
                 };
             }
             "--no-cache" => args.caching = false,
+            "--stream" => args.stream = true,
+            "--stream-capacity" => {
+                args.stream_capacity = match iter.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => usage_exit("--stream-capacity needs an integer >= 1"),
+                };
+            }
             "--log" => {
                 args.log = match iter.next() {
                     Some(p) => Some(p),
@@ -150,6 +170,124 @@ fn section(report: &AnalysisReport, which: &str) -> String {
 /// point: 20% of URLs flaky).
 const FAULT_SWEEP_RATE: f64 = 0.2;
 
+/// Incremental sink for `--stream`: class-mix + agreement counters plus
+/// online body-size statistics, with optional per-record JSONL logging.
+/// Nothing here retains records, so residency stays bounded by the
+/// pipeline window.
+struct StreamSummary<W: std::io::Write> {
+    mix: ClassMixSink,
+    body_bytes: Moments,
+    body_median: P2Quantile,
+    log: Option<W>,
+}
+
+impl<W: std::io::Write> RecordSink for StreamSummary<W> {
+    fn accept(&mut self, record: ScanRecord) {
+        if let Some(w) = &mut self.log {
+            let written = serde_json::to_writer(&mut *w, &record)
+                .map_err(std::io::Error::from)
+                .and_then(|()| w.write_all(b"\n"));
+            if let Err(e) = written {
+                eprintln!("error: writing crawl log: {e}");
+                std::process::exit(2);
+            }
+        }
+        let bytes = record.body_bytes as f64;
+        self.body_bytes.push(bytes);
+        self.body_median.push(bytes);
+        self.mix.accept(record);
+    }
+}
+
+/// The `--stream` flow: lazy corpus synthesis fed straight into the
+/// bounded streaming pipeline; every headline number is computed
+/// incrementally so peak memory stays O(stream_capacity + workers)
+/// messages regardless of `--scale`.
+fn run_stream(args: &Args, spec: &CorpusSpec) {
+    if args.experiment != "all" && args.experiment != "classmix" {
+        usage_exit("--stream reproduces the class-mix/agreement headline; combine it only with `all` or `classmix`");
+    }
+    let log = args.log.as_ref().map(|path| {
+        match std::fs::File::create(path) {
+            Ok(file) => std::io::BufWriter::new(file),
+            Err(e) => usage_exit(&format!("cannot create crawl log {path}: {e}")),
+        }
+    });
+    eprintln!(
+        "streaming corpus (scale {}, seed {}, capacity {}) ...",
+        args.scale, args.seed, args.stream_capacity
+    );
+    let (corpus, stream) = Corpus::stream(spec, args.seed);
+    let total = stream.len();
+    let mut cbx = CrawlerBox::new(&corpus.world)
+        .with_scheduler(args.scheduler)
+        .with_caching(args.caching)
+        .with_stream_capacity(args.stream_capacity);
+    cbx.parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let ledger = TruthLedger::new();
+    let tap = ledger.clone();
+    let mut sink = StreamSummary {
+        mix: ClassMixSink::with_truth(ledger),
+        body_bytes: Moments::new(),
+        body_median: P2Quantile::median(),
+        log,
+    };
+    eprintln!("scanning {total} reported messages through the streaming pipeline ...");
+    let delivered = cbx.scan_stream(stream.inspect(move |m| tap.note(m.truth.class)), &mut sink);
+    let stats = cbx.stats();
+    eprintln!("scan stats: {stats}");
+    eprintln!(
+        "scheduler summary: {} steals | cache hit rate {:.1}% | peak in-flight {}",
+        stats.steals,
+        stats.cache_hit_rate() * 100.0,
+        stats.peak_in_flight
+    );
+    if let Some(w) = sink.log.as_mut() {
+        if let Err(e) = std::io::Write::flush(w) {
+            usage_exit(&format!("writing crawl log: {e}"));
+        }
+    }
+    if let Some(path) = &args.log {
+        eprintln!("crawl log written to {path}");
+    }
+    let mix = sink.mix.mix();
+    let agreement = sink.mix.agreement_rate();
+    if args.json {
+        let value = serde_json::json!({
+            "delivered": delivered,
+            "class_mix": mix,
+            "agreement_rate": agreement,
+            "body_bytes": {
+                "mean": sink.body_bytes.mean(),
+                "stddev": sink.body_bytes.stddev(),
+                "median": sink.body_median.estimate(),
+            },
+            "stats": stats,
+        });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&value).expect("summary serializes")
+        );
+    } else {
+        print!("== Class mix (streamed) ==\n{mix}");
+        match agreement {
+            Some(rate) => println!("ground-truth agreement: {:.2}%", rate * 100.0),
+            None => println!("ground-truth agreement: n/a (no records compared)"),
+        }
+        match sink.body_median.estimate() {
+            Some(median) => println!(
+                "body bytes: mean {:.1} stddev {:.1} median ~{median:.0} (n = {})",
+                sink.body_bytes.mean(),
+                sink.body_bytes.stddev(),
+                sink.body_bytes.count(),
+            ),
+            None => println!("body bytes: n/a (no records)"),
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
     let spec = CorpusSpec::paper().with_scale(args.scale);
@@ -171,6 +309,10 @@ fn main() {
         }
         return;
     }
+    if args.stream {
+        run_stream(&args, &spec);
+        return;
+    }
     eprintln!(
         "generating corpus (scale {}, seed {}) ...",
         args.scale, args.seed
@@ -187,7 +329,14 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(4);
     let records = cbx.scan_all(&corpus.messages);
-    eprintln!("scan stats: {}", cbx.stats());
+    let stats = cbx.stats();
+    eprintln!("scan stats: {stats}");
+    eprintln!(
+        "scheduler summary: {} steals | cache hit rate {:.1}% | peak in-flight {}",
+        stats.steals,
+        stats.cache_hit_rate() * 100.0,
+        stats.peak_in_flight
+    );
     if let Some(path) = &args.log {
         match std::fs::File::create(path) {
             Ok(file) => {

@@ -1,0 +1,207 @@
+//! End-to-end tests for the bounded-memory streaming pipeline: lazy corpus
+//! synthesis feeding `scan_stream`, bit-identity with the batch path,
+//! residency bounds asserted via the `ScanStats` gauges, and panic
+//! degradation in streaming mode.
+
+use cb_email::MessageBuilder;
+use cb_netsim::{HttpRequest, HttpResponse, Internet, NetContext};
+use cb_phishgen::messages::Carrier;
+use cb_phishgen::{Corpus, CorpusSpec, GroundTruth, MessageClass, ReportedMessage};
+use cb_sim::SimTime;
+use crawlerbox::analysis::tables::ClassMix;
+use crawlerbox::{ClassMixSink, CountingSink, CrawlerBox, ScanRecord, Scheduler, TruthLedger};
+
+const SCHEDULERS: [Scheduler; 3] = [
+    Scheduler::Serial,
+    Scheduler::StaticChunk,
+    Scheduler::WorkStealing,
+];
+
+fn message_from(id: usize, raw: String) -> ReportedMessage {
+    ReportedMessage {
+        id,
+        raw,
+        delivered_at: SimTime::from_ymd(2024, 3, 1),
+        victim: "v@corp.example".to_string(),
+        truth: GroundTruth {
+            class: MessageClass::NoResource,
+            campaign: None,
+            carrier: Carrier::None,
+            spear: false,
+            noise_padded: false,
+            url: None,
+        },
+    }
+}
+
+/// The tentpole acceptance check: a lazily generated corpus streamed
+/// through the pipeline reproduces the batch run's class mix and
+/// ground-truth agreement rate, while the residency gauges stay within
+/// `stream_capacity + workers`.
+#[test]
+fn streamed_class_mix_and_agreement_match_batch() {
+    let spec = CorpusSpec::paper().with_scale(0.02);
+    let corpus = Corpus::generate(&spec, 2024);
+    let batch = CrawlerBox::new(&corpus.world).scan_all(&corpus.messages);
+    let batch_mix = ClassMix::of(&batch);
+    let agreed = batch
+        .iter()
+        .filter(|r| r.class == corpus.messages[r.message_id].truth.class)
+        .count();
+    let batch_agreement = agreed as f64 / batch.len() as f64;
+    let max_raw = corpus
+        .messages
+        .iter()
+        .map(|m| m.raw.len() as u64)
+        .max()
+        .unwrap();
+
+    let (stream_corpus, stream) = Corpus::stream(&spec, 2024);
+    let ledger = TruthLedger::new();
+    let tap = ledger.clone();
+    let mut sink = ClassMixSink::with_truth(ledger);
+    let cbx = CrawlerBox::new(&stream_corpus.world).with_stream_capacity(8);
+    let delivered = cbx.scan_stream(stream.inspect(move |m| tap.note(m.truth.class)), &mut sink);
+
+    assert_eq!(delivered, batch.len());
+    assert_eq!(sink.total(), batch.len());
+    assert_eq!(sink.mix(), batch_mix, "streamed class mix diverged");
+    let streamed_agreement = sink.agreement_rate().expect("truth ledger was tapped");
+    assert!(
+        (streamed_agreement - batch_agreement).abs() < 1e-12,
+        "agreement {streamed_agreement} != batch {batch_agreement}"
+    );
+
+    // The residency bound of the ISSUE: at most capacity + workers messages
+    // (and their bytes) resident at any instant, and everything drains.
+    let stats = cbx.stats();
+    let bound = (cbx.stream_capacity() + cbx.parallelism) as u64;
+    assert!(
+        (1..=bound).contains(&stats.peak_in_flight),
+        "peak in-flight {} outside (0, {bound}]",
+        stats.peak_in_flight
+    );
+    assert!(stats.peak_reorder <= bound);
+    assert!(
+        stats.peak_bytes_retained >= 1 && stats.peak_bytes_retained <= bound * max_raw,
+        "peak bytes {} outside (0, {}]",
+        stats.peak_bytes_retained,
+        bound * max_raw
+    );
+}
+
+/// Streaming must be bit-identical to the batch path for every scheduler,
+/// with and without caches, including under transient network faults.
+#[test]
+fn scan_stream_is_bit_identical_to_scan_all_under_faults() {
+    let corpus = Corpus::generate(&CorpusSpec::paper().with_scale(0.01), 7);
+    corpus
+        .world
+        .set_fault_plan(cb_netsim::FaultPlan::uniform(99, 0.2));
+    let subset: Vec<ReportedMessage> = corpus.messages.iter().take(20).cloned().collect();
+
+    let reference = CrawlerBox::new(&corpus.world)
+        .with_scheduler(Scheduler::Serial)
+        .with_caching(false)
+        .scan_all(&subset);
+    let reference_json = serde_json::to_string(&reference).unwrap();
+
+    for scheduler in SCHEDULERS {
+        for caching in [false, true] {
+            let cbx = CrawlerBox::new(&corpus.world)
+                .with_scheduler(scheduler)
+                .with_caching(caching)
+                .with_stream_capacity(3);
+            let mut records: Vec<ScanRecord> = Vec::new();
+            let delivered = cbx.scan_stream(subset.iter().cloned(), &mut records);
+            assert_eq!(delivered, subset.len());
+            assert_eq!(
+                serde_json::to_string(&records).unwrap(),
+                reference_json,
+                "stream diverged from batch ({scheduler:?}, caching {caching})"
+            );
+        }
+    }
+}
+
+/// Regression: a message whose site handler panics must yield exactly one
+/// degraded record in streaming mode — for every scheduler — without
+/// aborting the stream or disturbing its neighbours.
+#[test]
+fn streaming_panic_degrades_exactly_one_record() {
+    for scheduler in SCHEDULERS {
+        let net = Internet::new(SimTime::from_ymd(2024, 3, 1));
+        net.register_domain("fine.example", "REG");
+        net.host("fine.example", |_: &HttpRequest, _: &NetContext<'_>| {
+            HttpResponse::html("<p>all good</p>")
+        });
+        net.register_domain("boom.example", "REG");
+        net.host("boom.example", |_: &HttpRequest, _: &NetContext<'_>| {
+            panic!("handler exploded")
+        });
+
+        let batch: Vec<ReportedMessage> = [
+            "see https://fine.example/a",
+            "see https://boom.example/kaboom",
+            "see https://fine.example/b",
+            "see https://fine.example/c",
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, body)| {
+            let mut b = MessageBuilder::new();
+            b.subject("streamed batch").text_body(body);
+            message_from(i, b.build())
+        })
+        .collect();
+
+        let cbx = CrawlerBox::new(&net)
+            .with_scheduler(scheduler)
+            .with_stream_capacity(2);
+        let mut records: Vec<ScanRecord> = Vec::new();
+        let delivered = cbx.scan_stream(batch.clone().into_iter(), &mut records);
+
+        assert_eq!(delivered, batch.len(), "{scheduler:?}: stream truncated");
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.message_id, i, "{scheduler:?}: order broken");
+        }
+        let degraded: Vec<&ScanRecord> = records.iter().filter(|r| r.error.is_some()).collect();
+        assert_eq!(
+            degraded.len(),
+            1,
+            "{scheduler:?}: exactly one degraded record expected"
+        );
+        assert_eq!(degraded[0].message_id, 1);
+        assert!(
+            degraded[0].error.as_deref().unwrap().contains("panic"),
+            "{scheduler:?}: provenance missing"
+        );
+
+        // A counting sink sees the same shape without retaining records.
+        let mut counts = CountingSink::new();
+        let cbx2 = CrawlerBox::new(&net)
+            .with_scheduler(scheduler)
+            .with_stream_capacity(2);
+        cbx2.scan_stream(batch.clone().into_iter(), &mut counts);
+        assert_eq!(counts.records, batch.len());
+        assert_eq!(counts.degraded, 1);
+    }
+}
+
+/// Every admitted message is counted and the peaks register activity, for
+/// all three schedulers, when records are not retained at all.
+#[test]
+fn streaming_counts_every_message_without_retaining_records() {
+    let corpus = Corpus::generate(&CorpusSpec::paper().with_scale(0.01), 3);
+    let subset: Vec<ReportedMessage> = corpus.messages.iter().take(12).cloned().collect();
+    for scheduler in SCHEDULERS {
+        let cbx = CrawlerBox::new(&corpus.world)
+            .with_scheduler(scheduler)
+            .with_stream_capacity(4);
+        let mut sink = CountingSink::new();
+        cbx.scan_stream(subset.iter().cloned(), &mut sink);
+        let stats = cbx.stats();
+        assert_eq!(stats.messages, subset.len() as u64, "{scheduler:?}");
+        assert!(stats.peak_in_flight >= 1, "{scheduler:?}");
+    }
+}
