@@ -217,6 +217,38 @@ fn main() {
     let streaming_ratio = stream_rate("work_stealing", 32) / rate("work_stealing", true);
     eprintln!("streaming/batch throughput ratio (work_stealing, caches on): {streaming_ratio:.2}x");
 
+    // Tracing overhead arms: the work-stealing cached configuration with
+    // the telemetry tracer off and on, the trace drained inside the timed
+    // region (exactly what `repro --trace` pays). DESIGN.md §10 targets a
+    // < 10% throughput delta.
+    let mut tracing_rates = Vec::new();
+    for tracing in [false, true] {
+        let mut secs = 0.0f64;
+        for _ in 0..iters {
+            let mut cbx = CrawlerBox::new(&corpus.world)
+                .with_scheduler(Scheduler::WorkStealing)
+                .with_caching(true)
+                .with_tracing(tracing);
+            cbx.parallelism = WORKERS;
+            let started = Instant::now();
+            let records = cbx.scan_all(&batch);
+            let trace = cbx.take_trace();
+            secs += started.elapsed().as_secs_f64();
+            assert_eq!(records.len(), batch.len());
+            assert_eq!(
+                trace.is_empty(),
+                !tracing,
+                "tracer recorded iff tracing was enabled"
+            );
+        }
+        let msgs = (batch.len() * iters) as f64;
+        let msgs_per_sec = if secs > 0.0 { msgs / secs } else { f64::INFINITY };
+        eprintln!("  tracing={tracing:<5} {secs:8.3}s  {msgs_per_sec:9.1} msgs/sec");
+        tracing_rates.push(msgs_per_sec);
+    }
+    let tracing_overhead_pct = (1.0 - tracing_rates[1] / tracing_rates[0]) * 100.0;
+    eprintln!("tracing overhead (work_stealing, caches on): {tracing_overhead_pct:.1}% (target < 10%)");
+
     let report = serde_json::json!({
         "bench": "pipeline_throughput",
         "mode": if smoke { "smoke" } else { "full" },
@@ -245,6 +277,14 @@ fn main() {
             "peak_bytes_retained": r.peak_bytes_retained,
             "residency_bound": r.residency_bound,
         })).collect::<Vec<_>>(),
+        "tracing": {
+            "scheduler": "work_stealing",
+            "caches": true,
+            "off_msgs_per_sec": tracing_rates[0],
+            "on_msgs_per_sec": tracing_rates[1],
+            "overhead_pct": tracing_overhead_pct,
+            "target_pct": 10.0,
+        },
         "speedup_stealing_cached_vs_chunked_uncached": speedup,
         "streaming_vs_batch_stealing_ratio": streaming_ratio,
         "identical_records": true,

@@ -204,6 +204,39 @@ impl Browser {
         attempt: u32,
         budget: SimDuration,
     ) -> Visit {
+        cb_telemetry::with_active(|t| {
+            t.begin(
+                "browser.visit",
+                vec![("url", url.to_string()), ("attempt", attempt.to_string())],
+            );
+        });
+        let visit = self.visit_attempt_inner(net, url, attempt, budget);
+        cb_telemetry::with_active(|t| {
+            t.instant(
+                "browser.result",
+                vec![
+                    ("outcome", format!("{:?}", visit.outcome)),
+                    ("status", visit.status.to_string()),
+                    ("hops", visit.chain.len().to_string()),
+                    ("faults", visit.transient_failures.len().to_string()),
+                ],
+            );
+            // The visit's sim-time cost moves the scan-local clock: every
+            // event after this one happens at least `elapsed` later.
+            t.advance(visit.elapsed.as_seconds());
+            t.end();
+        });
+        visit
+    }
+
+    /// The uninstrumented engine behind [`Browser::visit_attempt`].
+    fn visit_attempt_inner(
+        &self,
+        net: &Internet,
+        url: &str,
+        attempt: u32,
+        budget: SimDuration,
+    ) -> Visit {
         let requested = Url::parse(url).expect("visit requires a valid absolute url");
         let mut visit = Visit {
             requested_url: requested.clone(),

@@ -12,10 +12,10 @@ use cb_artifacts::magic::{self, FileKind};
 use cb_artifacts::{fingerprint, qrimage, Bitmap, PdfDocument, ZipArchive};
 use cb_email::{MediaType, MimeEntity};
 use cb_qr::extract::{extract_url_anchored, extract_url_lenient, extract_url_strict};
+use cb_telemetry::CounterHandle;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Recursion ceiling for nested containers (EML-in-ZIP-in-EML bombs).
 const MAX_DEPTH: usize = 6;
@@ -49,6 +49,25 @@ pub enum ExtractionSource {
     /// The landing URL of an HTML *attachment* that redirects when opened
     /// locally (the §V-B technique).
     HtmlAttachment,
+}
+
+impl ExtractionSource {
+    /// Short stable label used by the `extract.kind` trace instants.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExtractionSource::BodyText => "body-text",
+            ExtractionSource::HtmlHref => "html-href",
+            ExtractionSource::HtmlScriptRedirect => "html-script-redirect",
+            ExtractionSource::QrCode { faulty: false } => "qr",
+            ExtractionSource::QrCode { faulty: true } => "qr-faulty",
+            ExtractionSource::ImageOcr => "image-ocr",
+            ExtractionSource::PdfAnnotation => "pdf-annotation",
+            ExtractionSource::PdfText => "pdf-text",
+            ExtractionSource::ZipMember => "zip-member",
+            ExtractionSource::NestedEml => "nested-eml",
+            ExtractionSource::HtmlAttachment => "html-attachment",
+        }
+    }
 }
 
 /// One extracted web resource.
@@ -92,22 +111,30 @@ enum BaseKind {
 pub struct ArtifactMemo {
     images: RwLock<HashMap<u128, Vec<BaseResource>>>,
     pdfs: RwLock<HashMap<u128, Vec<BaseResource>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: CounterHandle,
+    misses: CounterHandle,
 }
 
 impl ArtifactMemo {
-    /// An empty memo.
+    /// An empty memo with standalone hit/miss counters.
     pub fn new() -> ArtifactMemo {
         ArtifactMemo::default()
     }
 
+    /// An empty memo whose hit/miss traffic feeds the given registry
+    /// counters (shared-cache traffic is interleaving-dependent, so the
+    /// pipeline registers these as advisory).
+    pub fn with_counters(hits: CounterHandle, misses: CounterHandle) -> ArtifactMemo {
+        ArtifactMemo {
+            hits,
+            misses,
+            ..ArtifactMemo::default()
+        }
+    }
+
     /// `(hits, misses)` so far, over images and PDFs combined.
     pub fn counts(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+        (self.hits.get(), self.misses.get())
     }
 
     /// Run `use_base` over the decode result for `key`, computing and
@@ -116,17 +143,29 @@ impl ArtifactMemo {
     /// same value); the first insert wins.
     fn with_cached(
         &self,
+        kind: &'static str,
         map: &RwLock<HashMap<u128, Vec<BaseResource>>>,
         key: u128,
         compute: impl FnOnce() -> Vec<BaseResource>,
         use_base: impl FnOnce(&[BaseResource]),
     ) {
+        let artifact_event = |cache: &str| {
+            cb_telemetry::with_active(|t| {
+                t.instant_adv(
+                    "extract.artifact",
+                    vec![("kind", kind.to_string())],
+                    vec![("cache", cache.to_string())],
+                )
+            });
+        };
         if let Some(base) = map.read().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.incr();
+            artifact_event("hit");
             use_base(base);
             return;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.incr();
+        artifact_event("miss");
         let base = compute();
         use_base(&base);
         map.write().entry(key).or_insert(base);
@@ -367,7 +406,7 @@ fn extract_from_image_bytes(
             .unwrap_or_default()
     };
     match memo {
-        Some(m) => m.with_cached(&m.images, fingerprint::fnv128(bytes), decode, |base| {
+        Some(m) => m.with_cached("image", &m.images, fingerprint::fnv128(bytes), decode, |base| {
             realize(base, container, out)
         }),
         None => realize(&decode(), container, out),
@@ -426,6 +465,7 @@ fn extract_from_pdf(
 ) {
     match memo {
         Some(m) => m.with_cached(
+            "pdf",
             &m.pdfs,
             fingerprint::fnv128(bytes),
             || pdf_base(bytes),

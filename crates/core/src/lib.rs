@@ -44,5 +44,6 @@ pub use extract::{
     extract_resources, extract_resources_memo, ArtifactMemo, ExtractedResource, ExtractionSource,
 };
 pub use logging::{ScanRecord, ScanStats};
+pub use cb_telemetry::{ExportMode, MetricsRegistry, Trace};
 pub use pipeline::{CrawlerBox, ScanPolicy, Scheduler};
 pub use sink::{ClassMixSink, CountingSink, RecordSink, TruthLedger};

@@ -16,10 +16,14 @@ use cb_imagehash::HashPair;
 use cb_netsim::{HostEnrichment, Internet, Url};
 use cb_phishgen::{MessageClass, ReportedMessage};
 use cb_sim::{SeedFork, SimDuration, SimTime};
+use cb_telemetry::{
+    CounterHandle, Determinism, ExportMode, GaugeHandle, HistogramHandle, MetricsRegistry, Trace,
+    Tracer,
+};
 use parking_lot::{Mutex, RwLock};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Seed for the supervisor's deterministic backoff jitter. Jitter is a pure
 /// function of `(url, attempt)`, so serial and parallel scans wait — and
@@ -229,27 +233,83 @@ impl<'p> BreakerBank<'p> {
 /// depends on the page rather than the pixels).
 type ShotAnalysis = (HashPair, Option<SpearMatch>);
 
-/// Scheduler and cache instrumentation counters. The `peak_*` gauges and
-/// hit/miss counters are monotonic; `in_flight` and `bytes_retained` are
-/// live levels that return to zero when a stream drains.
-#[derive(Debug, Default)]
-struct Counters {
-    messages: AtomicU64,
-    steals: AtomicU64,
-    enrich_hits: AtomicU64,
-    enrich_misses: AtomicU64,
-    shot_hits: AtomicU64,
-    shot_misses: AtomicU64,
-    /// Messages admitted to a streaming scan and not yet delivered.
-    in_flight: AtomicU64,
-    /// High-water mark of `in_flight`.
-    peak_in_flight: AtomicU64,
-    /// Raw message bytes currently resident in the streaming window.
-    bytes_retained: AtomicU64,
-    /// High-water mark of `bytes_retained`.
-    peak_bytes_retained: AtomicU64,
-    /// High-water mark of the streaming reorder buffer's depth.
-    peak_reorder: AtomicU64,
+/// Bucket bounds (inclusive upper edges, sim-seconds) for the supervised
+/// visit-latency histogram: visits range from instant loads to
+/// budget-exhausted retry chains.
+const VISIT_LATENCY_BOUNDS: &[i64] = &[0, 1, 2, 5, 10, 30, 60, 120, 300, 900, 1800];
+/// Bucket bounds (sim-seconds) for backoff waits: exponential from the
+/// 2-second base up to the policy cap plus `Retry-After` floors.
+const BACKOFF_BOUNDS: &[i64] = &[0, 2, 4, 8, 16, 32, 64, 120, 300];
+/// Bucket bounds (entries) for the streaming reorder buffer's depth.
+const REORDER_DEPTH_BOUNDS: &[i64] = &[1, 2, 4, 8, 16, 32, 64];
+/// Bucket bounds (bytes) for streaming-window residency samples.
+const BYTES_WINDOW_BOUNDS: &[i64] = &[1024, 4096, 16384, 65536, 262144, 1048576];
+/// Bucket bounds (steals) for per-batch steal totals under work stealing.
+const STEALS_PER_BATCH_BOUNDS: &[i64] = &[0, 1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Pre-fetched registry handles for the pipeline's hot paths (an atomic op
+/// each, no registry lookup). This supersedes the old ad-hoc `Counters`
+/// atomics: every instrument now lives in the [`MetricsRegistry`] under a
+/// stable name with a determinism class, and [`CrawlerBox::stats`] reads
+/// the same handles, so `ScanStats` values are unchanged.
+struct PipelineMetrics {
+    messages: CounterHandle,
+    steals: CounterHandle,
+    faults: CounterHandle,
+    enrich_hits: CounterHandle,
+    enrich_misses: CounterHandle,
+    artifact_hits: CounterHandle,
+    artifact_misses: CounterHandle,
+    shot_hits: CounterHandle,
+    shot_misses: CounterHandle,
+    /// Messages admitted to a streaming scan and not yet delivered (the
+    /// peak is `ScanStats::peak_in_flight`).
+    in_flight: GaugeHandle,
+    /// Raw message bytes resident in the streaming window.
+    bytes_retained: GaugeHandle,
+    /// Streaming reorder-buffer depth (peak only; the level lives in the
+    /// collector's `BTreeMap`).
+    reorder: GaugeHandle,
+    visit_latency: HistogramHandle,
+    backoff_waited: HistogramHandle,
+    reorder_depth: HistogramHandle,
+    bytes_window: HistogramHandle,
+    steals_per_batch: HistogramHandle,
+}
+
+impl PipelineMetrics {
+    /// Register every pipeline instrument. Classes follow the determinism
+    /// contract: scan-local facts (message counts, fault observations,
+    /// per-scan enrichment cache traffic, sim-time latency and backoff) are
+    /// `Deterministic`; anything depending on thread interleaving (steals,
+    /// shared artifact/screenshot caches, streaming residency) is
+    /// `Advisory` and excluded from canonical exports.
+    fn register(reg: &MetricsRegistry) -> PipelineMetrics {
+        use Determinism::{Advisory, Deterministic};
+        PipelineMetrics {
+            messages: reg.counter("scan.messages", Deterministic),
+            steals: reg.counter("scheduler.steals", Advisory),
+            faults: reg.counter("net.faults_observed", Deterministic),
+            enrich_hits: reg.counter("cache.enrich.hits", Deterministic),
+            enrich_misses: reg.counter("cache.enrich.misses", Deterministic),
+            artifact_hits: reg.counter("cache.artifact.hits", Advisory),
+            artifact_misses: reg.counter("cache.artifact.misses", Advisory),
+            shot_hits: reg.counter("cache.screenshot.hits", Advisory),
+            shot_misses: reg.counter("cache.screenshot.misses", Advisory),
+            in_flight: reg.gauge("stream.in_flight", Advisory),
+            bytes_retained: reg.gauge("stream.bytes_retained", Advisory),
+            reorder: reg.gauge("stream.reorder", Advisory),
+            visit_latency: reg.histogram("visit.latency_s", Deterministic, VISIT_LATENCY_BOUNDS),
+            backoff_waited: reg.histogram("visit.backoff_s", Deterministic, BACKOFF_BOUNDS),
+            reorder_depth: reg.histogram("stream.reorder_depth", Advisory, REORDER_DEPTH_BOUNDS),
+            bytes_window: reg.histogram("stream.bytes_window", Advisory, BYTES_WINDOW_BOUNDS),
+            steals_per_batch: reg.histogram(
+                "scheduler.steals_per_batch",
+                Advisory,
+                STEALS_PER_BATCH_BOUNDS,
+            ),
+        }
+    }
 }
 
 /// The analysis infrastructure.
@@ -280,12 +340,23 @@ pub struct CrawlerBox<'a> {
     /// queue ahead of the workers in [`scan_stream`](Self::scan_stream).
     /// Total streaming residency is `stream_capacity + parallelism`.
     stream_capacity: usize,
-    counters: Counters,
+    /// Named-instrument registry backing [`stats`](Self::stats) and the
+    /// metrics exports (DESIGN.md §10).
+    metrics: MetricsRegistry,
+    /// Pre-fetched handles into `metrics` for hot paths.
+    m: PipelineMetrics,
+    /// Span tracer over sim time; off by default, enabled via
+    /// [`with_tracing`](Self::with_tracing).
+    tracer: Tracer,
 }
 
 impl<'a> CrawlerBox<'a> {
     /// A CrawlerBox crawling `world` with NotABot.
     pub fn new(world: &'a Internet) -> CrawlerBox<'a> {
+        let metrics = MetricsRegistry::new();
+        let m = PipelineMetrics::register(&metrics);
+        let artifacts =
+            ArtifactMemo::with_counters(m.artifact_hits.clone(), m.artifact_misses.clone());
         CrawlerBox {
             world,
             browser: Browser::new(CrawlerProfile::NotABot),
@@ -295,10 +366,12 @@ impl<'a> CrawlerBox<'a> {
             parallelism: 4,
             scheduler: Scheduler::default(),
             caching: true,
-            artifacts: ArtifactMemo::new(),
+            artifacts,
             shots: RwLock::new(HashMap::new()),
             stream_capacity: 32,
-            counters: Counters::default(),
+            metrics,
+            m,
+            tracer: Tracer::new(false),
         }
     }
 
@@ -338,22 +411,53 @@ impl<'a> CrawlerBox<'a> {
         self.caching
     }
 
-    /// Scheduler and cache counters accumulated over this box's lifetime.
+    /// Scheduler and cache counters accumulated over this box's lifetime,
+    /// read from the metrics registry (the artifact memo shares the
+    /// registry's `cache.artifact.*` handles, so its traffic shows up here
+    /// unchanged).
     pub fn stats(&self) -> ScanStats {
-        let (artifact_hits, artifact_misses) = self.artifacts.counts();
         ScanStats {
-            messages: self.counters.messages.load(Ordering::Relaxed),
-            steals: self.counters.steals.load(Ordering::Relaxed),
-            enrich_hits: self.counters.enrich_hits.load(Ordering::Relaxed),
-            enrich_misses: self.counters.enrich_misses.load(Ordering::Relaxed),
-            artifact_hits,
-            artifact_misses,
-            screenshot_hits: self.counters.shot_hits.load(Ordering::Relaxed),
-            screenshot_misses: self.counters.shot_misses.load(Ordering::Relaxed),
-            peak_in_flight: self.counters.peak_in_flight.load(Ordering::Relaxed),
-            peak_reorder: self.counters.peak_reorder.load(Ordering::Relaxed),
-            peak_bytes_retained: self.counters.peak_bytes_retained.load(Ordering::Relaxed),
+            messages: self.m.messages.get(),
+            steals: self.m.steals.get(),
+            enrich_hits: self.m.enrich_hits.get(),
+            enrich_misses: self.m.enrich_misses.get(),
+            artifact_hits: self.m.artifact_hits.get(),
+            artifact_misses: self.m.artifact_misses.get(),
+            screenshot_hits: self.m.shot_hits.get(),
+            screenshot_misses: self.m.shot_misses.get(),
+            peak_in_flight: self.m.in_flight.peak(),
+            peak_reorder: self.m.reorder.peak(),
+            peak_bytes_retained: self.m.bytes_retained.peak(),
         }
+    }
+
+    /// Enable or disable span tracing (affects scans started afterwards;
+    /// the metrics registry always records).
+    pub fn with_tracing(mut self, on: bool) -> CrawlerBox<'a> {
+        self.tracer.set_enabled(on);
+        self
+    }
+
+    /// Whether span tracing is on.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Drain everything traced so far into a message-ordered [`Trace`]
+    /// ready for JSONL or Chrome `trace_event` export.
+    pub fn take_trace(&self) -> Trace {
+        self.tracer.take()
+    }
+
+    /// The metrics registry (counters, gauges, histograms by name).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Export the metrics registry as JSON. [`ExportMode::Canonical`] is
+    /// byte-identical across schedulers for a fixed seed and config.
+    pub fn export_metrics(&self, mode: ExportMode) -> String {
+        self.metrics.export_json(mode)
     }
 
     /// Swap the crawler component (the modular-crawler design point).
@@ -387,8 +491,16 @@ impl<'a> CrawlerBox<'a> {
 
     /// Scan one reported message end to end.
     pub fn scan(&self, message: &ReportedMessage) -> ScanRecord {
+        cb_telemetry::with_active(|t| {
+            t.begin("parse", vec![("bytes", message.raw.len().to_string())])
+        });
         let parsed = MimeEntity::parse(&message.raw).ok();
+        cb_telemetry::with_active(|t| {
+            t.instant("parse.result", vec![("ok", parsed.is_some().to_string())]);
+            t.end();
+        });
         let memo = if self.caching { Some(&self.artifacts) } else { None };
+        cb_telemetry::with_active(|t| t.begin("extract", Vec::new()));
         let (extracted, auth_pass, blank_line_run, delivered_at) = match &parsed {
             Some(msg) => (
                 extract_resources_memo(msg, memo),
@@ -402,6 +514,29 @@ impl<'a> CrawlerBox<'a> {
             ),
             None => (Vec::new(), false, 0, message.delivered_at),
         };
+        cb_telemetry::with_active(|t| {
+            // Per-kind resource counts in name order (BTreeMap): same
+            // extraction, same instants, on every scheduler.
+            let mut kinds: std::collections::BTreeMap<&'static str, usize> =
+                std::collections::BTreeMap::new();
+            for r in &extracted {
+                *kinds.entry(r.source.label()).or_default() += 1;
+            }
+            for (kind, n) in kinds {
+                t.instant(
+                    "extract.kind",
+                    vec![("kind", kind.to_string()), ("count", n.to_string())],
+                );
+            }
+            t.instant(
+                "extract.done",
+                vec![
+                    ("resources", extracted.len().to_string()),
+                    ("auth_pass", auth_pass.to_string()),
+                ],
+            );
+            t.end();
+        });
 
         // Crawl distinct URLs (first occurrence order). Breaker and
         // enrichment-cache state is scoped to this scan: concurrent scans
@@ -427,6 +562,9 @@ impl<'a> CrawlerBox<'a> {
             .collect();
 
         let class = derive_class(&extracted, &visits);
+        cb_telemetry::with_active(|t| {
+            t.instant("scan.class", vec![("class", format!("{class:?}"))])
+        });
         ScanRecord {
             message_id: message.id,
             delivered_at,
@@ -444,8 +582,18 @@ impl<'a> CrawlerBox<'a> {
     /// panics, the panic is caught and a degraded [`ScanRecord`] with
     /// `error` provenance is returned instead of unwinding the caller.
     pub fn scan_caught(&self, message: &ReportedMessage) -> ScanRecord {
+        // The guard outlives the catch: a panicking scan still produces a
+        // trace (with whatever spans it opened auto-closed) plus a
+        // `scan.panic` instant carrying the panic text.
+        let _trace = self.tracer.message(message.id);
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.scan(message)))
-            .unwrap_or_else(|payload| degraded_record(message, &panic_text(payload.as_ref())))
+            .unwrap_or_else(|payload| {
+                let reason = panic_text(payload.as_ref());
+                cb_telemetry::with_active(|t| {
+                    t.instant("scan.panic", vec![("reason", reason.clone())])
+                });
+                degraded_record(message, &reason)
+            })
     }
 
     /// Scan a batch in parallel, preserving order. A panicking message
@@ -457,14 +605,24 @@ impl<'a> CrawlerBox<'a> {
         if messages.is_empty() {
             return Vec::new();
         }
-        self.counters
-            .messages
-            .fetch_add(messages.len() as u64, Ordering::Relaxed);
+        self.m.messages.add(messages.len() as u64);
         let workers = self.parallelism.max(1).min(messages.len());
         match self.scheduler {
-            Scheduler::Serial => messages.iter().map(|m| self.scan_caught(m)).collect(),
+            Scheduler::Serial => {
+                cb_telemetry::set_worker(Some(0));
+                let out = messages.iter().map(|m| self.scan_caught(m)).collect();
+                cb_telemetry::set_worker(None);
+                out
+            }
             Scheduler::StaticChunk => self.scan_static(messages, workers),
-            Scheduler::WorkStealing => self.scan_stealing(messages, workers),
+            Scheduler::WorkStealing => {
+                let steals_before = self.m.steals.get();
+                let out = self.scan_stealing(messages, workers);
+                self.m
+                    .steals_per_batch
+                    .observe((self.m.steals.get() - steals_before) as i64);
+                out
+            }
         }
     }
 
@@ -474,11 +632,14 @@ impl<'a> CrawlerBox<'a> {
         let mut out: Vec<Option<ScanRecord>> = Vec::new();
         out.resize_with(messages.len(), || None);
         let _ = crossbeam::thread::scope(|scope| {
-            for (slot, msgs) in out.chunks_mut(chunk).zip(messages.chunks(chunk)) {
+            for (w, (slot, msgs)) in out.chunks_mut(chunk).zip(messages.chunks(chunk)).enumerate()
+            {
                 scope.spawn(move |_| {
+                    cb_telemetry::set_worker(Some(w));
                     for (s, m) in slot.iter_mut().zip(msgs) {
                         *s = Some(self.scan_caught(m));
                     }
+                    cb_telemetry::set_worker(None);
                 });
             }
         });
@@ -501,15 +662,19 @@ impl<'a> CrawlerBox<'a> {
             for w in 0..workers {
                 let next = &next;
                 let slots = &slots;
-                scope.spawn(move |_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= messages.len() {
-                        break;
+                scope.spawn(move |_| {
+                    cb_telemetry::set_worker(Some(w));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= messages.len() {
+                            break;
+                        }
+                        if i / fair_chunk != w {
+                            self.m.steals.incr();
+                        }
+                        *slots[i].lock() = Some(self.scan_caught(&messages[i]));
                     }
-                    if i / fair_chunk != w {
-                        self.counters.steals.fetch_add(1, Ordering::Relaxed);
-                    }
-                    *slots[i].lock() = Some(self.scan_caught(&messages[i]));
+                    cb_telemetry::set_worker(None);
                 });
             }
         });
@@ -552,16 +717,20 @@ impl<'a> CrawlerBox<'a> {
             // at a time, delivered as soon as it is scanned.
             Scheduler::Serial => {
                 let mut delivered = 0usize;
+                cb_telemetry::set_worker(Some(0));
                 for message in messages {
                     let bytes = message.raw.len() as u64;
-                    self.counters.messages.fetch_add(1, Ordering::Relaxed);
+                    self.m.messages.incr();
                     self.note_admitted(bytes);
                     let record = self.scan_caught(&message);
+                    let mid = record.message_id;
                     drop(message);
                     sink.accept(record);
+                    self.tracer.delivery(mid, vec![("order", delivered.to_string())]);
                     self.note_delivered(bytes);
                     delivered += 1;
                 }
+                cb_telemetry::set_worker(None);
                 delivered
             }
             Scheduler::StaticChunk | Scheduler::WorkStealing => {
@@ -607,10 +776,11 @@ impl<'a> CrawlerBox<'a> {
                 Scheduler::WorkStealing => {
                     let (in_tx, in_rx) =
                         crossbeam::channel::bounded::<(usize, ReportedMessage)>(capacity);
-                    for _ in 0..workers {
+                    for w in 0..workers {
                         let in_rx = in_rx.clone();
                         let out_tx = out_tx.clone();
                         scope.spawn(move |_| {
+                            cb_telemetry::set_worker(Some(w));
                             for (idx, message) in in_rx.iter() {
                                 let record = self.scan_caught(&message);
                                 let bytes = message.raw.len() as u64;
@@ -619,6 +789,7 @@ impl<'a> CrawlerBox<'a> {
                                     break;
                                 }
                             }
+                            cb_telemetry::set_worker(None);
                         });
                     }
                     drop(in_rx);
@@ -628,7 +799,7 @@ impl<'a> CrawlerBox<'a> {
                             if token_rx.recv().is_err() {
                                 break;
                             }
-                            self.counters.messages.fetch_add(1, Ordering::Relaxed);
+                            self.m.messages.incr();
                             self.note_admitted(message.raw.len() as u64);
                             if in_tx.send((idx, message)).is_err() {
                                 break;
@@ -644,11 +815,12 @@ impl<'a> CrawlerBox<'a> {
                 Scheduler::StaticChunk => {
                     let per_worker = capacity.div_ceil(workers).max(1);
                     let mut queues = Vec::with_capacity(workers);
-                    for _ in 0..workers {
+                    for w in 0..workers {
                         let (tx, rx) =
                             crossbeam::channel::bounded::<(usize, ReportedMessage)>(per_worker);
                         let out_tx = out_tx.clone();
                         scope.spawn(move |_| {
+                            cb_telemetry::set_worker(Some(w));
                             for (idx, message) in rx.iter() {
                                 let record = self.scan_caught(&message);
                                 let bytes = message.raw.len() as u64;
@@ -657,6 +829,7 @@ impl<'a> CrawlerBox<'a> {
                                     break;
                                 }
                             }
+                            cb_telemetry::set_worker(None);
                         });
                         queues.push(tx);
                     }
@@ -666,7 +839,7 @@ impl<'a> CrawlerBox<'a> {
                             if token_rx.recv().is_err() {
                                 break;
                             }
-                            self.counters.messages.fetch_add(1, Ordering::Relaxed);
+                            self.m.messages.incr();
                             self.note_admitted(message.raw.len() as u64);
                             if queues[idx % workers].send((idx, message)).is_err() {
                                 break;
@@ -689,7 +862,9 @@ impl<'a> CrawlerBox<'a> {
                 reorder.insert(idx, (bytes, record));
                 self.note_reorder_depth(reorder.len() as u64);
                 while let Some((b, r)) = reorder.remove(&next) {
+                    let mid = r.message_id;
                     sink.accept(r);
+                    self.tracer.delivery(mid, vec![("order", delivered.to_string())]);
                     self.note_delivered(b);
                     let _ = token_tx.try_send(());
                     next += 1;
@@ -702,23 +877,21 @@ impl<'a> CrawlerBox<'a> {
 
     /// Note one message entering the streaming window.
     fn note_admitted(&self, bytes: u64) {
-        let now = self.counters.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
-        self.counters.peak_in_flight.fetch_max(now, Ordering::Relaxed);
-        let retained = self.counters.bytes_retained.fetch_add(bytes, Ordering::Relaxed) + bytes;
-        self.counters
-            .peak_bytes_retained
-            .fetch_max(retained, Ordering::Relaxed);
+        self.m.in_flight.add(1);
+        let retained = self.m.bytes_retained.add(bytes);
+        self.m.bytes_window.observe(retained as i64);
     }
 
     /// Note one record leaving the streaming window (in-order delivery).
     fn note_delivered(&self, bytes: u64) {
-        self.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
-        self.counters.bytes_retained.fetch_sub(bytes, Ordering::Relaxed);
+        self.m.in_flight.sub(1);
+        self.m.bytes_retained.sub(bytes);
     }
 
-    /// Track the reorder buffer's high-water mark.
+    /// Track the reorder buffer's depth (peak gauge + distribution).
     fn note_reorder_depth(&self, depth: u64) {
-        self.counters.peak_reorder.fetch_max(depth, Ordering::Relaxed);
+        self.m.reorder.note(depth);
+        self.m.reorder_depth.observe(depth as i64);
     }
 
     /// Crawl one URL, solving what custom code can solve (math challenges,
@@ -762,28 +935,68 @@ impl<'a> CrawlerBox<'a> {
         // An unparseable URL (possible with corrupted messages) degrades
         // instead of reaching Browser::visit's validity panic.
         let Ok(parsed_url) = Url::parse(url) else {
+            cb_telemetry::with_active(|t| {
+                t.instant(
+                    "visit.skipped",
+                    vec![
+                        ("url", url.to_string()),
+                        ("reason", "unparseable-url".to_string()),
+                    ],
+                )
+            });
             return invalid_url_log(url);
         };
         let host = parsed_url.host;
         if !ctx.breakers.allow(&host) {
+            cb_telemetry::with_active(|t| {
+                t.instant(
+                    "visit.skipped",
+                    vec![
+                        ("url", url.to_string()),
+                        ("reason", "breaker-open".to_string()),
+                        ("host", host.clone()),
+                    ],
+                )
+            });
             let mut log = invalid_url_log(url);
             log.error = Some(format!("circuit breaker open for {host}"));
             return log;
         }
 
+        cb_telemetry::with_active(|t| {
+            t.begin(
+                "visit",
+                vec![
+                    ("url", url.to_string()),
+                    ("profile", format!("{:?}", browser.profile())),
+                ],
+            )
+        });
         let mut attempts: Vec<AttemptLog> = Vec::new();
         let mut total_elapsed = SimDuration::ZERO;
         let mut waited = SimDuration::ZERO;
         let mut attempt: u32 = 0;
         loop {
+            cb_telemetry::with_active(|t| t.begin("attempt", vec![("n", attempt.to_string())]));
             let (visit, gates_solved) =
                 self.crawl_gates(browser, url, message_text, attempt);
             total_elapsed = total_elapsed + visit.elapsed;
             ctx.breakers.elapse(visit.elapsed);
+            self.m.faults.add(visit.transient_failures.len() as u64);
             attempts.push(AttemptLog {
                 attempt,
                 failures: visit.transient_failures.clone(),
                 waited,
+            });
+            cb_telemetry::with_active(|t| {
+                t.instant(
+                    "attempt.result",
+                    vec![
+                        ("outcome", format!("{:?}", visit.outcome)),
+                        ("faults", visit.transient_failures.len().to_string()),
+                    ],
+                );
+                t.end();
             });
 
             let saw_faults = !visit.transient_failures.is_empty();
@@ -812,6 +1025,18 @@ impl<'a> CrawlerBox<'a> {
                     });
                 }
                 log.attempts = attempts;
+                self.m.visit_latency.observe(total_elapsed.as_seconds());
+                cb_telemetry::with_active(|t| {
+                    t.instant(
+                        "visit.done",
+                        vec![
+                            ("outcome", format!("{:?}", log.outcome)),
+                            ("attempts", log.attempts.len().to_string()),
+                            ("elapsed_s", total_elapsed.as_seconds().to_string()),
+                        ],
+                    );
+                    t.end();
+                });
                 return log;
             }
 
@@ -819,6 +1044,12 @@ impl<'a> CrawlerBox<'a> {
             waited = self.policy.backoff(url, attempt, visit.retry_after);
             total_elapsed = total_elapsed + waited;
             ctx.breakers.elapse(waited);
+            self.m.backoff_waited.observe(waited.as_seconds());
+            cb_telemetry::with_active(|t| {
+                t.begin("backoff", vec![("waited_s", waited.as_seconds().to_string())]);
+                t.advance(waited.as_seconds());
+                t.end();
+            });
         }
     }
 
@@ -881,22 +1112,33 @@ impl<'a> CrawlerBox<'a> {
         let (screenshot_hash, spear) = match visit.screenshot.as_ref() {
             None => (None, None),
             Some(shot) => {
+                // The shared shot cache is cross-message, so hit/miss is an
+                // advisory trace fact; the event itself (one per shot) is
+                // deterministic.
+                let shot_event = |cache: &str| {
+                    cb_telemetry::with_active(|t| {
+                        t.instant_adv("screenshot", Vec::new(), vec![("cache", cache.to_string())])
+                    });
+                };
                 let analysis = if self.caching {
                     let key = shot.content_fingerprint();
                     let cached = self.shots.read().get(&key).copied();
                     match cached {
                         Some(a) => {
-                            self.counters.shot_hits.fetch_add(1, Ordering::Relaxed);
+                            self.m.shot_hits.incr();
+                            shot_event("hit");
                             a
                         }
                         None => {
-                            self.counters.shot_misses.fetch_add(1, Ordering::Relaxed);
+                            self.m.shot_misses.incr();
+                            shot_event("miss");
                             let a = (HashPair::of(shot), self.classifier.classify(shot));
                             self.shots.write().insert(key, a);
                             a
                         }
                     }
                 } else {
+                    shot_event("off");
                     (HashPair::of(shot), self.classifier.classify(shot))
                 };
                 (
@@ -925,13 +1167,27 @@ impl<'a> CrawlerBox<'a> {
         let landing_host = visit.final_url().host.clone();
         let window = SimDuration::days(30);
         let enrichment = if self.caching {
+            // The enrichment cache is scan-local, so its hit/miss pattern is
+            // deterministic and may carry into canonical traces.
             match ctx.enrich.entry(landing_host) {
                 Entry::Occupied(o) => {
-                    self.counters.enrich_hits.fetch_add(1, Ordering::Relaxed);
+                    self.m.enrich_hits.incr();
+                    cb_telemetry::with_active(|t| {
+                        t.instant(
+                            "enrich.cache",
+                            vec![("host", o.key().clone()), ("cache", "hit".to_string())],
+                        )
+                    });
                     o.get().clone()
                 }
                 Entry::Vacant(v) => {
-                    self.counters.enrich_misses.fetch_add(1, Ordering::Relaxed);
+                    self.m.enrich_misses.incr();
+                    cb_telemetry::with_active(|t| {
+                        t.instant(
+                            "enrich.cache",
+                            vec![("host", v.key().clone()), ("cache", "miss".to_string())],
+                        )
+                    });
                     let e = self.world.enrich(v.key(), delivered_at, window);
                     v.insert(e).clone()
                 }

@@ -230,12 +230,26 @@ impl Internet {
     /// is self-contained — safe to memoize by host for any fixed
     /// `(end, window)`.
     pub fn enrich(&self, host: &str, end: SimTime, window: SimDuration) -> HostEnrichment {
-        HostEnrichment {
+        let e = HostEnrichment {
             whois: self.whois(host),
             first_certificate: self.first_certificate(host),
             dns_volume: self.dns_volume(host, end, window),
             banner: self.banner(host),
-        }
+        };
+        // Registries are immutable during a scan, so this lookup — and
+        // therefore the event — is deterministic per (host, end, window).
+        cb_telemetry::with_active(|t| {
+            t.instant(
+                "net.enrich",
+                vec![
+                    ("host", host.to_string()),
+                    ("whois", e.whois.is_some().to_string()),
+                    ("ct", e.first_certificate.is_some().to_string()),
+                    ("dns_total", e.dns_volume.total.to_string()),
+                ],
+            );
+        });
+        e
     }
 
     /// Issue a request: resolve DNS (recorded in the passive ledger),
@@ -264,6 +278,27 @@ impl Internet {
     pub fn try_request(&self, req: HttpRequest) -> Result<HttpResponse, NetError> {
         if let Some(plan) = self.fault_plan.read().as_ref() {
             if let Some(fate) = plan.decide(&req) {
+                // `decide` is pure in (plan seed, URL, attempt), so fault
+                // provenance is a deterministic trace field.
+                cb_telemetry::with_active(|t| {
+                    let kind = match &fate {
+                        Err(e) => e.kind.label().to_string(),
+                        Ok(resp) => resp
+                            .headers
+                            .iter()
+                            .find(|(k, _)| k == FAULT_HEADER)
+                            .map(|(_, v)| v.clone())
+                            .unwrap_or_else(|| format!("http-{}", resp.status)),
+                    };
+                    t.instant(
+                        "net.fault",
+                        vec![
+                            ("url", req.url.to_string()),
+                            ("attempt", req.attempt.to_string()),
+                            ("kind", kind),
+                        ],
+                    );
+                });
                 return fate;
             }
         }

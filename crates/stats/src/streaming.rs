@@ -407,4 +407,90 @@ mod tests {
     fn p2_rejects_bad_quantile() {
         P2Quantile::new(1.5);
     }
+
+    #[test]
+    fn moments_match_describe_on_bimodal_sample() {
+        // Two well-separated modes, interleaved — the shape single-pass
+        // estimators are most often wrong about.
+        let xs: Vec<f64> = (0..4000)
+            .map(|i| {
+                let base = if i % 2 == 0 { 10.0 } else { 100.0 };
+                base + (i % 7) as f64 * 0.25
+            })
+            .collect();
+        let batch = Describe::of(&xs);
+        let mut m = Moments::new();
+        for &x in &xs {
+            m.push(x);
+        }
+        close(m.mean(), batch.mean, 1e-9);
+        close(m.stddev(), batch.stddev, 1e-9);
+        close(m.skewness(), batch.skewness, 1e-8);
+        close(m.kurtosis_excess(), batch.kurtosis_excess, 1e-8);
+        assert_eq!(m.min(), Some(batch.min));
+        assert_eq!(m.max(), Some(batch.max));
+    }
+
+    #[test]
+    fn p2_quartiles_on_bimodal_sample() {
+        // The quartiles sit inside the modes (where P² interpolates well);
+        // the median sits in the empty gap between them, where any value
+        // bracketed by the modes is as good an answer as the exact one.
+        let xs: Vec<f64> = (0..4000)
+            .map(|i| {
+                let base = if i % 2 == 0 { 10.0 } else { 100.0 };
+                base + (i % 7) as f64 * 0.25
+            })
+            .collect();
+        let mut p25 = P2Quantile::new(0.25);
+        let mut med = P2Quantile::median();
+        let mut p75 = P2Quantile::new(0.75);
+        for &x in &xs {
+            p25.push(x);
+            med.push(x);
+            p75.push(x);
+        }
+        let lo = p25.estimate().unwrap();
+        assert!((10.0..=11.5).contains(&lo), "p25 {lo} left the low mode");
+        let hi = p75.estimate().unwrap();
+        assert!((100.0..=101.5).contains(&hi), "p75 {hi} left the high mode");
+        let mid = med.estimate().unwrap();
+        assert!(
+            (11.5..=100.0).contains(&mid),
+            "median {mid} outside the inter-mode gap"
+        );
+    }
+
+    #[test]
+    fn p2_arbitrary_quantile_exact_below_five_samples() {
+        // n <= 5 uses the sorted warmup buffer with linear interpolation —
+        // check the exact path for a non-median quantile at every size.
+        let mut q = P2Quantile::new(0.25);
+        q.push(4.0);
+        assert_eq!(q.estimate(), Some(4.0));
+        q.push(8.0);
+        // Sorted 4,8: rank 0.25 -> 4*0.75 + 8*0.25.
+        assert_eq!(q.estimate(), Some(5.0));
+        q.push(0.0);
+        // Sorted 0,4,8: rank 0.5 -> midpoint of 0 and 4.
+        assert_eq!(q.estimate(), Some(2.0));
+        q.push(12.0);
+        // Sorted 0,4,8,12: rank 0.75 -> 0*0.25 + 4*0.75.
+        assert_eq!(q.estimate(), Some(3.0));
+        q.push(2.0);
+        // Sorted 0,2,4,8,12: rank 1.0 lands exactly on the second value.
+        assert_eq!(q.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn p2_handoff_from_warmup_to_markers_stays_sane() {
+        // The 6th observation switches from the exact sorted buffer to the
+        // marker machinery; the estimate must not jump off the sample.
+        let mut est = P2Quantile::median();
+        for x in 1..=6 {
+            est.push(x as f64);
+        }
+        let e = est.estimate().unwrap();
+        assert!((3.0..=4.0).contains(&e), "median of 1..=6 estimated {e}");
+    }
 }

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # cb-telemetry
+//!
+//! Deterministic telemetry for the CrawlerBox pipeline: a span-based tracer
+//! over simulated time plus a metrics registry of named counters, gauges
+//! and fixed-bucket histograms (DESIGN.md §10).
+//!
+//! The design constraint that shapes everything here is the pipeline's
+//! determinism contract: the same seed and configuration must produce
+//! byte-identical scan records across the serial, static-chunk and
+//! work-stealing schedulers. Telemetry therefore separates what it records
+//! into two classes:
+//!
+//! * **deterministic** — sim-time span extents, URLs, outcomes, fault
+//!   provenance, per-scan cache traffic; exported in *canonical* mode,
+//!   which must itself be byte-identical across schedulers (this is a
+//!   tier-1 test);
+//! * **advisory** — worker indices, shared-cache hit/miss, steal counts,
+//!   residency peaks; real observability data, but interleaving-dependent,
+//!   so it only appears in *full* exports.
+//!
+//! Recording is scan-local: each message's events accumulate in a
+//! thread-local buffer ([`with_active`] is a no-op outside a scan or with
+//! tracing off — no locks on the per-event hot path) and are pushed to the
+//! shared merge buffer once per scan, then merged into message order by
+//! [`Tracer::take`]. Timestamps are `i64` sim-seconds (the unit of
+//! `cb_sim::SimDuration`); instrumentation converts with
+//! `SimDuration::as_seconds()` at the call site, which keeps this crate
+//! dependency-free.
+
+mod export;
+mod json;
+mod metrics;
+mod trace;
+
+pub use metrics::{CounterHandle, Determinism, GaugeHandle, HistogramHandle, MetricsRegistry};
+pub use trace::{
+    set_worker, with_active, worker, ActiveTrace, FieldList, MessageTrace, ScanTraceGuard, Trace,
+    TraceEvent, Tracer,
+};
+
+/// Which instruments and fields an export includes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportMode {
+    /// Deterministic data only: byte-identical across schedulers for the
+    /// same seed and config. Used by golden files and property tests.
+    Canonical,
+    /// Everything, including interleaving-dependent advisory data.
+    Full,
+}

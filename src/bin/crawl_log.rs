@@ -1,11 +1,14 @@
-//! Inspect a CrawlerBox JSONL crawl log (as written by `repro --log`).
+//! Inspect a CrawlerBox JSONL crawl log (as written by `repro --log`) or
+//! pretty-print a telemetry trace (as written by `repro --trace`).
 //!
 //! ```text
 //! crawl-log FILE.jsonl [--class CLASS] [--domain SUBSTR] [--limit N]
+//! crawl-log trace TRACE.jsonl [--msg ID] [--limit N]
 //! ```
 //!
-//! Prints a per-class summary, the busiest landing domains, and (when
-//! filters are given) the matching records.
+//! The first form prints a per-class summary, the busiest landing domains,
+//! and (when filters are given) the matching records. The `trace`
+//! subcommand renders a span trace as an indented per-message tree.
 
 use cb_phishgen::MessageClass;
 use crawlerbox::logging::{read_jsonl, ScanRecord};
@@ -14,7 +17,108 @@ use std::collections::BTreeMap;
 fn usage_exit(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!("usage: crawl-log FILE.jsonl [--class noresource|error|interaction|download|active] [--domain SUBSTR] [--limit N]");
+    eprintln!("       crawl-log trace TRACE.jsonl [--msg ID] [--limit N]");
     std::process::exit(2);
+}
+
+/// Render a `[["k","v"], ...]` field array as ` k=v ...` (empty when the
+/// value is absent or not an array).
+fn render_fields(v: &serde_json::Value) -> String {
+    let Some(arr) = v.as_array() else {
+        return String::new();
+    };
+    let mut out = String::new();
+    for pair in arr {
+        if let (Some(k), Some(val)) = (pair[0].as_str(), pair[1].as_str()) {
+            out.push_str(&format!(" {k}={val}"));
+        }
+    }
+    out
+}
+
+/// The `trace` subcommand: pretty-print a telemetry trace JSONL file as an
+/// indented per-message span tree.
+fn trace_main(mut iter: impl Iterator<Item = String>) {
+    let mut file: Option<String> = None;
+    let mut want_msg: Option<u64> = None;
+    let mut limit: Option<usize> = None;
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--msg" => {
+                want_msg = match iter.next().and_then(|v| v.parse().ok()) {
+                    Some(m) => Some(m),
+                    None => usage_exit("--msg needs a message id"),
+                };
+            }
+            "--limit" => {
+                limit = match iter.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => Some(n),
+                    None => usage_exit("--limit needs an integer"),
+                };
+            }
+            other if !other.starts_with('-') => {
+                if file.is_some() {
+                    usage_exit(&format!("unexpected extra argument {other}"));
+                }
+                file = Some(other.to_string());
+            }
+            other => usage_exit(&format!("unknown flag {other}")),
+        }
+    }
+    let Some(path) = file else {
+        usage_exit("a trace file is required");
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => usage_exit(&format!("cannot open {path}: {e}")),
+    };
+
+    let mut messages_shown = 0usize;
+    let mut current: Option<u64> = None;
+    let mut depth = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: serde_json::Value = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => usage_exit(&format!("{path}:{}: not a trace line: {e}", lineno + 1)),
+        };
+        let msg = v["msg"].as_u64().unwrap_or(0);
+        if want_msg.map(|want| want != msg).unwrap_or(false) {
+            continue;
+        }
+        if current != Some(msg) {
+            if let Some(cap) = limit {
+                if messages_shown >= cap {
+                    break;
+                }
+            }
+            println!("message {msg}");
+            current = Some(msg);
+            depth = 0;
+            messages_shown += 1;
+        }
+        let ph = v["ph"].as_str().unwrap_or("?");
+        let name = v["name"].as_str().unwrap_or("?");
+        let t = v["t"].as_i64().unwrap_or(0);
+        let fields = render_fields(&v["fields"]);
+        let adv = render_fields(&v["adv"]);
+        match ph {
+            "B" => {
+                println!("{}> {name} @{t}s{fields}{adv}", "  ".repeat(depth + 1));
+                depth += 1;
+            }
+            "E" => {
+                depth = depth.saturating_sub(1);
+                println!("{}< {name} @{t}s", "  ".repeat(depth + 1));
+            }
+            _ => println!("{}. {name} @{t}s{fields}{adv}", "  ".repeat(depth + 1)),
+        }
+    }
+    if messages_shown == 0 {
+        println!("no matching trace lines in {path}");
+    }
 }
 
 fn parse_class(s: &str) -> MessageClass {
@@ -29,11 +133,16 @@ fn parse_class(s: &str) -> MessageClass {
 }
 
 fn main() {
+    let mut iter = std::env::args().skip(1).peekable();
+    if iter.peek().map(String::as_str) == Some("trace") {
+        iter.next();
+        trace_main(iter);
+        return;
+    }
     let mut file: Option<String> = None;
     let mut class: Option<MessageClass> = None;
     let mut domain: Option<String> = None;
     let mut limit = 10usize;
-    let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--class" => {

@@ -5,6 +5,7 @@
 //! repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl]
 //!       [--scheduler serial|chunked|stealing] [--no-cache]
 //!       [--stream] [--stream-capacity N]
+//!       [--trace FILE.jsonl] [--trace-chrome FILE.json] [--metrics FILE.json]
 //!
 //! EXPERIMENT: all (default) | table1 | ablation | table2 | figure2 |
 //!             figure3 | classmix | spear | volumes | lexical | cloaking |
@@ -22,6 +23,12 @@
 //!                 streaming body-size statistics (incompatible with
 //!                 experiment sections other than all/classmix).
 //! --stream-capacity N: streaming admission-window bound (default 32)
+//! --trace FILE:        write the sim-time span trace as JSONL (full mode:
+//!                      advisory worker/cache fields included)
+//! --trace-chrome FILE: write the trace in Chrome `trace_event` format —
+//!                      load it at chrome://tracing or https://ui.perfetto.dev
+//! --metrics FILE:      write the metrics registry (counters, gauges,
+//!                      histograms) as JSON
 //!
 //! `faults` runs the three-arm transient-fault sweep (baseline /
 //! supervised / retry-less) at a 20% fault rate instead of the normal
@@ -31,7 +38,16 @@
 use cb_phishgen::{Corpus, CorpusSpec};
 use cb_stats::{Moments, P2Quantile};
 use crawlerbox::analysis::{analyze, fault_sweep, AnalysisReport};
-use crawlerbox::{ClassMixSink, CrawlerBox, RecordSink, ScanRecord, Scheduler, TruthLedger};
+use crawlerbox::{
+    ClassMixSink, CrawlerBox, ExportMode, RecordSink, ScanRecord, Scheduler, TruthLedger,
+};
+
+/// Every experiment `section` knows how to render. Validated at parse time
+/// so a typo fails with a usage message instead of an exit-0 shrug.
+const EXPERIMENTS: &[&str] = &[
+    "all", "table1", "ablation", "table2", "figure2", "figure3", "classmix", "spear", "volumes",
+    "lexical", "cloaking", "ttest", "funnel", "faults",
+];
 
 struct Args {
     experiment: String,
@@ -43,12 +59,21 @@ struct Args {
     caching: bool,
     stream: bool,
     stream_capacity: usize,
+    trace: Option<String>,
+    trace_chrome: Option<String>,
+    metrics: Option<String>,
+}
+
+impl Args {
+    fn wants_telemetry(&self) -> bool {
+        self.trace.is_some() || self.trace_chrome.is_some() || self.metrics.is_some()
+    }
 }
 
 fn usage_exit(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
-        "usage: repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl] [--scheduler serial|chunked|stealing] [--no-cache] [--stream] [--stream-capacity N]"
+        "usage: repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl] [--scheduler serial|chunked|stealing] [--no-cache] [--stream] [--stream-capacity N] [--trace FILE.jsonl] [--trace-chrome FILE.json] [--metrics FILE.json]"
     );
     std::process::exit(2);
 }
@@ -64,7 +89,11 @@ fn parse_args() -> Args {
         caching: true,
         stream: false,
         stream_capacity: 32,
+        trace: None,
+        trace_chrome: None,
+        metrics: None,
     };
+    let mut experiment_set = false;
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -103,11 +132,75 @@ fn parse_args() -> Args {
                     None => usage_exit("--log needs a file path"),
                 };
             }
-            other if !other.starts_with('-') => args.experiment = other.to_string(),
+            "--trace" => {
+                args.trace = match iter.next() {
+                    Some(p) => Some(p),
+                    None => usage_exit("--trace needs a file path"),
+                };
+            }
+            "--trace-chrome" => {
+                args.trace_chrome = match iter.next() {
+                    Some(p) => Some(p),
+                    None => usage_exit("--trace-chrome needs a file path"),
+                };
+            }
+            "--metrics" => {
+                args.metrics = match iter.next() {
+                    Some(p) => Some(p),
+                    None => usage_exit("--metrics needs a file path"),
+                };
+            }
+            other if !other.starts_with('-') => {
+                if experiment_set {
+                    usage_exit(&format!(
+                        "duplicate experiment {other:?} (already asked for {:?})",
+                        args.experiment
+                    ));
+                }
+                if !EXPERIMENTS.contains(&other) {
+                    usage_exit(&format!(
+                        "unknown experiment {other}; try: {}",
+                        EXPERIMENTS.join(" ")
+                    ));
+                }
+                args.experiment = other.to_string();
+                experiment_set = true;
+            }
             other => usage_exit(&format!("unknown flag {other}")),
         }
     }
+    if args.experiment == "faults" && args.wants_telemetry() {
+        usage_exit("--trace/--trace-chrome/--metrics don't apply to the fault sweep (it runs its own three pipelines)");
+    }
     args
+}
+
+/// Write one telemetry export, or die with a usage error.
+fn write_export(path: &str, what: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        usage_exit(&format!("cannot write {what} {path}: {e}"));
+    }
+    eprintln!("{what} written to {path}");
+}
+
+/// Drain the box's trace and write whichever exports were requested.
+/// Exports use full mode: the interleaving-dependent advisory data (worker
+/// ids, shared-cache hit/miss) is exactly what a human reading a trace
+/// wants; canonical mode is for golden files and determinism tests.
+fn write_telemetry(args: &Args, cbx: &CrawlerBox<'_>) {
+    if !args.wants_telemetry() {
+        return;
+    }
+    let trace = cbx.take_trace();
+    if let Some(path) = &args.trace {
+        write_export(path, "trace JSONL", &trace.to_jsonl(ExportMode::Full));
+    }
+    if let Some(path) = &args.trace_chrome {
+        write_export(path, "Chrome trace", &trace.to_chrome(ExportMode::Full));
+    }
+    if let Some(path) = &args.metrics {
+        write_export(path, "metrics JSON", &cbx.export_metrics(ExportMode::Full));
+    }
 }
 
 fn section(report: &AnalysisReport, which: &str) -> String {
@@ -222,7 +315,8 @@ fn run_stream(args: &Args, spec: &CorpusSpec) {
     let mut cbx = CrawlerBox::new(&corpus.world)
         .with_scheduler(args.scheduler)
         .with_caching(args.caching)
-        .with_stream_capacity(args.stream_capacity);
+        .with_stream_capacity(args.stream_capacity)
+        .with_tracing(args.trace.is_some() || args.trace_chrome.is_some());
     cbx.parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
@@ -236,6 +330,7 @@ fn run_stream(args: &Args, spec: &CorpusSpec) {
     };
     eprintln!("scanning {total} reported messages through the streaming pipeline ...");
     let delivered = cbx.scan_stream(stream.inspect(move |m| tap.note(m.truth.class)), &mut sink);
+    write_telemetry(args, &cbx);
     let stats = cbx.stats();
     eprintln!("scan stats: {stats}");
     eprintln!(
@@ -324,11 +419,13 @@ fn main() {
     );
     let mut cbx = CrawlerBox::new(&corpus.world)
         .with_scheduler(args.scheduler)
-        .with_caching(args.caching);
+        .with_caching(args.caching)
+        .with_tracing(args.trace.is_some() || args.trace_chrome.is_some());
     cbx.parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
     let records = cbx.scan_all(&corpus.messages);
+    write_telemetry(&args, &cbx);
     let stats = cbx.stats();
     eprintln!("scan stats: {stats}");
     eprintln!(

@@ -336,3 +336,35 @@ proptest! {
     }
 }
 
+
+/// Regression seeds promoted out of `properties.proptest-regressions` into
+/// named, always-run tests: the seed file only replays on machines that
+/// have it checked out AND run the owning property, while a named test runs
+/// everywhere, shows up in test output by name, and survives the seed file
+/// being pruned.
+mod regressions {
+    /// Found by `mjs_lexer_never_panics` (seed `afe1d572…`): the input
+    /// shrank to an unterminated single-quoted string whose trailing
+    /// backslash escapes an astral-plane character (U+10594), so the lexer
+    /// must step over a multi-byte UTF-8 escape at end-of-input without
+    /// slicing mid-codepoint or running past the buffer.
+    #[test]
+    fn mjs_lexer_handles_trailing_escaped_astral_char() {
+        let _ = cb_script::Script::parse("'\\\u{10594}");
+    }
+
+    /// The same shape with more escape/terminator permutations at the end
+    /// of the input, so near-miss variants stay covered too.
+    #[test]
+    fn mjs_lexer_handles_truncated_string_escapes() {
+        for src in [
+            "'\\",            // escape then EOF
+            "\"\\\u{10594}",  // double-quoted variant
+            "'\\\u{10594}'",  // terminated after the astral escape
+            "`\\\u{10594}",   // template-literal variant
+            "'\\\u{7f}",      // escaped ASCII control at EOF
+        ] {
+            let _ = cb_script::Script::parse(src);
+        }
+    }
+}
