@@ -17,6 +17,7 @@
 //! schedulers disagree about most.
 
 use cb_bench::{bench_corpus, skewed_batch};
+use cb_store::{Store, StoreSink};
 use crawlerbox::{CrawlerBox, ScanRecord, Scheduler};
 use std::time::Instant;
 
@@ -249,6 +250,77 @@ fn main() {
     let tracing_overhead_pct = (1.0 - tracing_rates[1] / tracing_rates[0]) * 100.0;
     eprintln!("tracing overhead (work_stealing, caches on): {tracing_overhead_pct:.1}% (target < 10%)");
 
+    // Store arms: the work-stealing streaming configuration (capacity 32)
+    // with and without a persistent StoreSink, each iteration against a
+    // fresh store directory so every run pays the same cold-store cost.
+    // The persisted log is asserted record-identical to the serial
+    // cache-free reference, and a final arm times crash-free recovery
+    // (reopen + full replay) of the last store written. ISSUE 5 targets a
+    // < 15% streaming throughput overhead for persistence.
+    let store_root = std::env::temp_dir().join(format!("cb-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_root);
+    let store_capacity = 32usize;
+    let mut store_rates = Vec::new(); // [persist=false, persist=true]
+    let mut last_store_dir = None;
+    for persist in [false, true] {
+        let mut secs = 0.0f64;
+        for iteration in 0..iters {
+            let mut cbx = CrawlerBox::new(&corpus.world)
+                .with_scheduler(Scheduler::WorkStealing)
+                .with_caching(true)
+                .with_stream_capacity(store_capacity)
+                .with_artifact_capture(persist);
+            cbx.parallelism = WORKERS;
+            if persist {
+                let dir = store_root.join(format!("iter-{iteration}"));
+                let store = Store::open(&dir).expect("open bench store");
+                let mut sink = StoreSink::new(store);
+                let started = Instant::now();
+                cbx.scan_stream(batch.iter().cloned(), &mut sink);
+                let (mut store, ()) = sink.finish().expect("finish bench store");
+                secs += started.elapsed().as_secs_f64();
+                let persisted = store.read_all().expect("read back bench store");
+                assert_eq!(
+                    serde_json::to_string(&persisted).expect("serialize persisted records"),
+                    reference_json,
+                    "persisted log diverged from the serial cache-free reference"
+                );
+                last_store_dir = Some(dir);
+            } else {
+                let mut records: Vec<ScanRecord> = Vec::with_capacity(batch.len());
+                let started = Instant::now();
+                cbx.scan_stream(batch.iter().cloned(), &mut records);
+                secs += started.elapsed().as_secs_f64();
+                assert_eq!(records.len(), batch.len());
+            }
+        }
+        let msgs = (batch.len() * iters) as f64;
+        let msgs_per_sec = if secs > 0.0 { msgs / secs } else { f64::INFINITY };
+        eprintln!("  store={persist:<5} {secs:8.3}s  {msgs_per_sec:9.1} msgs/sec");
+        store_rates.push(msgs_per_sec);
+    }
+    let store_overhead_pct = (1.0 - store_rates[1] / store_rates[0]) * 100.0;
+    eprintln!("store-sink overhead (work_stealing streaming): {store_overhead_pct:.1}% (target < 15%)");
+
+    // Recovery arm: reopen the last persisted store and time the full
+    // segment replay + index rebuild.
+    let recovery_dir = last_store_dir.expect("store arm ran");
+    let started = Instant::now();
+    let recovered = Store::open(&recovery_dir).expect("recover bench store");
+    let recovery_secs = started.elapsed().as_secs_f64();
+    let recovered_records = recovered.len();
+    assert_eq!(recovered_records, batch.len(), "recovery replayed the whole log");
+    let recovery_records_per_sec = if recovery_secs > 0.0 {
+        recovered_records as f64 / recovery_secs
+    } else {
+        f64::INFINITY
+    };
+    drop(recovered);
+    eprintln!(
+        "  recovery: {recovered_records} records in {recovery_secs:.3}s  {recovery_records_per_sec:9.1} records/sec"
+    );
+    let _ = std::fs::remove_dir_all(&store_root);
+
     let report = serde_json::json!({
         "bench": "pipeline_throughput",
         "mode": if smoke { "smoke" } else { "full" },
@@ -284,6 +356,19 @@ fn main() {
             "on_msgs_per_sec": tracing_rates[1],
             "overhead_pct": tracing_overhead_pct,
             "target_pct": 10.0,
+        },
+        "store": {
+            "scheduler": "work_stealing",
+            "capacity": store_capacity,
+            "off_msgs_per_sec": store_rates[0],
+            "on_msgs_per_sec": store_rates[1],
+            "overhead_pct": store_overhead_pct,
+            "target_pct": 15.0,
+            "recovery": {
+                "records": recovered_records,
+                "secs": recovery_secs,
+                "records_per_sec": recovery_records_per_sec,
+            },
         },
         "speedup_stealing_cached_vs_chunked_uncached": speedup,
         "streaming_vs_batch_stealing_ratio": streaming_ratio,

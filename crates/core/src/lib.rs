@@ -43,7 +43,7 @@ pub use classify::SpearClassifier;
 pub use extract::{
     extract_resources, extract_resources_memo, ArtifactMemo, ExtractedResource, ExtractionSource,
 };
-pub use logging::{ScanRecord, ScanStats};
+pub use logging::{ArtifactKind, CapturedArtifact, ScanRecord, ScanStats, VisitLog};
 pub use cb_telemetry::{ExportMode, MetricsRegistry, Trace};
-pub use pipeline::{CrawlerBox, ScanPolicy, Scheduler};
+pub use pipeline::{message_content_hash, CrawlerBox, ScanPolicy, Scheduler};
 pub use sink::{ClassMixSink, CountingSink, RecordSink, TruthLedger};

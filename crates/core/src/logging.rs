@@ -62,6 +62,12 @@ pub struct VisitLog {
     pub dns_volume: Option<QueryVolume>,
     /// Shodan-style service banner of the landing host.
     pub banner: Option<String>,
+    /// Fingerprint of the landing domain's first CT-log certificate
+    /// (stable hash over serial, domain and issuance instant) — the
+    /// campaign-clustering key the store indexes on. Absent when the
+    /// domain never obtained a certificate.
+    #[serde(default)]
+    pub cert_fingerprint: Option<u64>,
     /// Whether the final page injected a hue-rotate filter.
     pub hue_rotated: bool,
     /// Attempt history under the crawl supervisor (one entry per attempt;
@@ -136,6 +142,11 @@ pub struct ScanStats {
     /// from admission until the record's in-order delivery).
     #[serde(default)]
     pub peak_bytes_retained: u64,
+    /// Messages skipped by the incremental-scan filter because their
+    /// content hash was already recorded in a reopened store (delta
+    /// scans). Zero unless a known-hash set was installed.
+    #[serde(default)]
+    pub skipped_known: u64,
 }
 
 impl ScanStats {
@@ -157,9 +168,10 @@ impl std::fmt::Display for ScanStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "messages {} steals {} | enrich {}/{} artifact {}/{} screenshot {}/{} (hits/misses) | peak in-flight {} reorder {} bytes {}",
+            "messages {} steals {} skipped {} | enrich {}/{} artifact {}/{} screenshot {}/{} (hits/misses) | peak in-flight {} reorder {} bytes {}",
             self.messages,
             self.steals,
+            self.skipped_known,
             self.enrich_hits,
             self.enrich_misses,
             self.artifact_hits,
@@ -173,11 +185,52 @@ impl std::fmt::Display for ScanStats {
     }
 }
 
+/// What kind of bytes a captured artifact holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArtifactKind {
+    /// The raw reported message (wire-format MIME).
+    Message,
+    /// A screenshot of a crawled page (`CBXBMP1` bitmap bytes).
+    Screenshot,
+}
+
+impl ArtifactKind {
+    /// Short stable label (used by store manifests and queries).
+    pub fn label(self) -> &'static str {
+        match self {
+            ArtifactKind::Message => "message",
+            ArtifactKind::Screenshot => "screenshot",
+        }
+    }
+}
+
+/// Raw bytes captured during a scan for content-addressed archival:
+/// the reported message itself and the screenshots of crawled pages.
+///
+/// Artifacts ride on the [`ScanRecord`] but are **not** part of its
+/// canonical encoding (`#[serde(skip)]` on the record field): the record
+/// stores the content hash, the bytes live in the blob store, and the
+/// record's byte encoding stays identical whether capture is on or off.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapturedArtifact {
+    /// What the bytes are.
+    pub kind: ArtifactKind,
+    /// 128-bit FNV content hash of `bytes` (the blob-store address).
+    pub hash: u128,
+    /// The raw bytes.
+    pub bytes: Vec<u8>,
+}
+
 /// The complete scan record of one reported message.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScanRecord {
     /// Corpus message id.
     pub message_id: usize,
+    /// 128-bit FNV content hash of the raw message bytes — the identity
+    /// the persistent store dedups and incremental re-scans key on. Zero
+    /// for legacy logs written before the store existed.
+    #[serde(default)]
+    pub content_hash: u128,
     /// Delivery instant (from the message `Date:` header).
     pub delivered_at: SimTime,
     /// Parsed authentication results (§V-C1).
@@ -196,6 +249,12 @@ pub struct ScanRecord {
     /// by `scan_all`); the record is then a placeholder, not a crawl.
     #[serde(default)]
     pub error: Option<String>,
+    /// Raw artifacts captured for the blob store when artifact capture is
+    /// on (the message bytes, screenshots of crawled pages). Never
+    /// serialized: the canonical record encoding is identical with capture
+    /// on or off, and the bytes live in the content-addressed blob store.
+    #[serde(skip)]
+    pub artifacts: Vec<CapturedArtifact>,
 }
 
 impl ScanRecord {
@@ -285,6 +344,7 @@ mod tests {
             cert_issued_at: None,
             dns_volume: None,
             banner: None,
+            cert_fingerprint: None,
             hue_rotated: false,
             attempts: Vec::new(),
             elapsed: SimDuration::ZERO,
@@ -304,6 +364,7 @@ mod tests {
     fn phish_visit_requires_login_form() {
         let mut record = ScanRecord {
             message_id: 0,
+            content_hash: 0,
             delivered_at: SimTime::EPOCH,
             auth_pass: true,
             extracted: Vec::new(),
@@ -312,6 +373,7 @@ mod tests {
             blank_line_run: 0,
             class: MessageClass::ErrorPage,
             error: None,
+            artifacts: Vec::new(),
         };
         assert!(record.phish_visit().is_none());
         record.visits[0].login_form = true;
@@ -322,6 +384,7 @@ mod tests {
     fn faulty_qr_detection() {
         let record = ScanRecord {
             message_id: 1,
+            content_hash: 0,
             delivered_at: SimTime::EPOCH,
             auth_pass: true,
             extracted: vec![ExtractedResource {
@@ -333,6 +396,7 @@ mod tests {
             blank_line_run: 0,
             class: MessageClass::NoResource,
             error: None,
+            artifacts: Vec::new(),
         };
         assert!(record.has_faulty_qr());
     }
@@ -348,6 +412,7 @@ mod tests {
     fn jsonl_round_trips() {
         let record = ScanRecord {
             message_id: 7,
+            content_hash: 0xDEAD_BEEF,
             delivered_at: SimTime::from_ymd(2024, 5, 2),
             auth_pass: true,
             extracted: vec![ExtractedResource {
@@ -359,6 +424,7 @@ mod tests {
             blank_line_run: 2,
             class: MessageClass::ActivePhish,
             error: None,
+            artifacts: Vec::new(),
         };
         let mut buf = Vec::new();
         write_jsonl(&mut buf, std::slice::from_ref(&record)).unwrap();

@@ -7,8 +7,9 @@
 
 use crate::classify::{SpearClassifier, SpearMatch};
 use crate::extract::{extract_resources_memo, ArtifactMemo};
-use crate::logging::{AttemptLog, ScanRecord, ScanStats, VisitLog};
+use crate::logging::{ArtifactKind, AttemptLog, CapturedArtifact, ScanRecord, ScanStats, VisitLog};
 use crate::sink::RecordSink;
+use cb_artifacts::fingerprint;
 use cb_browser::engine::VisitOutcome;
 use cb_browser::{Browser, CrawlerProfile, Visit, DEFAULT_VISIT_BUDGET};
 use cb_email::MimeEntity;
@@ -22,8 +23,16 @@ use cb_telemetry::{
 };
 use parking_lot::{Mutex, RwLock};
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The content identity of a reported message: the 128-bit FNV hash of its
+/// raw wire bytes. This is the key the persistent store dedups on and the
+/// incremental-scan filter ([`CrawlerBox::with_known_hashes`]) matches
+/// against — identical bytes, identical hash, on every platform.
+pub fn message_content_hash(raw: &str) -> u128 {
+    fingerprint::fnv128(raw.as_bytes())
+}
 
 /// Seed for the supervisor's deterministic backoff jitter. Jitter is a pure
 /// function of `(url, attempt)`, so serial and parallel scans wait — and
@@ -149,6 +158,10 @@ struct ScanCtx<'p> {
     /// registries are immutable during a scan and every enrichment lookup
     /// in one scan uses the same `(delivered_at, window)` arguments.
     enrich: HashMap<String, HostEnrichment>,
+    /// Raw bytes captured for the blob store (message, screenshots), in
+    /// deterministic order: the message first, then one entry per
+    /// screenshot in visit order. Empty unless capture is enabled.
+    artifacts: Vec<CapturedArtifact>,
 }
 
 impl<'p> ScanCtx<'p> {
@@ -156,6 +169,7 @@ impl<'p> ScanCtx<'p> {
         ScanCtx {
             breakers: BreakerBank::new(policy),
             enrich: HashMap::new(),
+            artifacts: Vec::new(),
         }
     }
 }
@@ -254,6 +268,9 @@ const STEALS_PER_BATCH_BOUNDS: &[i64] = &[0, 1, 2, 4, 8, 16, 32, 64, 128];
 /// the same handles, so `ScanStats` values are unchanged.
 struct PipelineMetrics {
     messages: CounterHandle,
+    /// Messages skipped by the incremental-scan filter (content hash
+    /// already recorded in a reopened store).
+    skipped: CounterHandle,
     steals: CounterHandle,
     faults: CounterHandle,
     enrich_hits: CounterHandle,
@@ -288,6 +305,7 @@ impl PipelineMetrics {
         use Determinism::{Advisory, Deterministic};
         PipelineMetrics {
             messages: reg.counter("scan.messages", Deterministic),
+            skipped: reg.counter("scan.skipped_known", Deterministic),
             steals: reg.counter("scheduler.steals", Advisory),
             faults: reg.counter("net.faults_observed", Deterministic),
             enrich_hits: reg.counter("cache.enrich.hits", Deterministic),
@@ -340,6 +358,16 @@ pub struct CrawlerBox<'a> {
     /// queue ahead of the workers in [`scan_stream`](Self::scan_stream).
     /// Total streaming residency is `stream_capacity + parallelism`.
     stream_capacity: usize,
+    /// Capture raw artifacts (message bytes, screenshots) on each record
+    /// for the content-addressed blob store. Off by default: capture never
+    /// changes the record's canonical encoding, only whether
+    /// `ScanRecord::artifacts` is populated.
+    capture_artifacts: bool,
+    /// Content hashes of messages already recorded in a reopened store.
+    /// `scan_stream` skips these without scanning (incremental re-scan);
+    /// batch `scan_all` ignores the set to preserve its one-record-per-
+    /// message contract.
+    known: Option<HashSet<u128>>,
     /// Named-instrument registry backing [`stats`](Self::stats) and the
     /// metrics exports (DESIGN.md §10).
     metrics: MetricsRegistry,
@@ -369,6 +397,8 @@ impl<'a> CrawlerBox<'a> {
             artifacts,
             shots: RwLock::new(HashMap::new()),
             stream_capacity: 32,
+            capture_artifacts: false,
+            known: None,
             metrics,
             m,
             tracer: Tracer::new(false),
@@ -386,6 +416,37 @@ impl<'a> CrawlerBox<'a> {
     /// The streaming admission-window bound.
     pub fn stream_capacity(&self) -> usize {
         self.stream_capacity
+    }
+
+    /// Enable or disable raw-artifact capture: when on, every record
+    /// carries the message's raw bytes and each visit's screenshot bytes
+    /// in [`ScanRecord::artifacts`], ready for a content-addressed blob
+    /// store. Capture never alters the record's canonical (serialized)
+    /// encoding.
+    pub fn with_artifact_capture(mut self, on: bool) -> CrawlerBox<'a> {
+        self.capture_artifacts = on;
+        self
+    }
+
+    /// Whether raw-artifact capture is on.
+    pub fn artifact_capture_enabled(&self) -> bool {
+        self.capture_artifacts
+    }
+
+    /// Install the incremental-scan filter: messages whose
+    /// [`message_content_hash`] is in `known` are skipped by
+    /// [`scan_stream`](Self::scan_stream) without being scanned or
+    /// delivered (counted in [`ScanStats::skipped_known`]). Feed it
+    /// `Store::known_hashes()` from a reopened store to turn a repeated
+    /// run into a cheap delta scan.
+    pub fn with_known_hashes(mut self, known: HashSet<u128>) -> CrawlerBox<'a> {
+        self.known = Some(known);
+        self
+    }
+
+    /// How many known-content hashes the incremental filter holds.
+    pub fn known_hashes_len(&self) -> usize {
+        self.known.as_ref().map_or(0, HashSet::len)
     }
 
     /// Choose how [`scan_all`](Self::scan_all) distributes work.
@@ -428,6 +489,21 @@ impl<'a> CrawlerBox<'a> {
             peak_in_flight: self.m.in_flight.peak(),
             peak_reorder: self.m.reorder.peak(),
             peak_bytes_retained: self.m.bytes_retained.peak(),
+            skipped_known: self.m.skipped.get(),
+        }
+    }
+
+    /// The incremental-scan filter: `true` (and counted) when `message`'s
+    /// content hash is already known and the stream should not scan it.
+    fn skip_known(&self, message: &ReportedMessage) -> bool {
+        let Some(known) = &self.known else {
+            return false;
+        };
+        if known.contains(&message_content_hash(&message.raw)) {
+            self.m.skipped.incr();
+            true
+        } else {
+            false
         }
     }
 
@@ -556,6 +632,14 @@ impl<'a> CrawlerBox<'a> {
             .map(collect_text)
             .unwrap_or_default();
         let mut ctx = ScanCtx::new(&self.policy);
+        if self.capture_artifacts {
+            let bytes = message.raw.clone().into_bytes();
+            ctx.artifacts.push(CapturedArtifact {
+                kind: ArtifactKind::Message,
+                hash: fingerprint::fnv128(&bytes),
+                bytes,
+            });
+        }
         let visits: Vec<VisitLog> = urls
             .iter()
             .map(|u| self.crawl_one(u, &full_text, delivered_at, &mut ctx))
@@ -567,6 +651,7 @@ impl<'a> CrawlerBox<'a> {
         });
         ScanRecord {
             message_id: message.id,
+            content_hash: message_content_hash(&message.raw),
             delivered_at,
             auth_pass,
             extracted,
@@ -575,6 +660,7 @@ impl<'a> CrawlerBox<'a> {
             blank_line_run,
             class,
             error: None,
+            artifacts: ctx.artifacts,
         }
     }
 
@@ -719,6 +805,9 @@ impl<'a> CrawlerBox<'a> {
                 let mut delivered = 0usize;
                 cb_telemetry::set_worker(Some(0));
                 for message in messages {
+                    if self.skip_known(&message) {
+                        continue;
+                    }
                     let bytes = message.raw.len() as u64;
                     self.m.messages.incr();
                     self.note_admitted(bytes);
@@ -795,7 +884,13 @@ impl<'a> CrawlerBox<'a> {
                     drop(in_rx);
                     let token_rx = token_rx.clone();
                     scope.spawn(move |_| {
-                        for (idx, message) in messages.enumerate() {
+                        // The incremental filter runs before `enumerate`:
+                        // delivery indexes must stay gap-free or the
+                        // reorder buffer would wait forever on a skipped
+                        // message's index.
+                        for (idx, message) in
+                            messages.filter(|m| !self.skip_known(m)).enumerate()
+                        {
                             if token_rx.recv().is_err() {
                                 break;
                             }
@@ -835,7 +930,12 @@ impl<'a> CrawlerBox<'a> {
                     }
                     let token_rx = token_rx.clone();
                     scope.spawn(move |_| {
-                        for (idx, message) in messages.enumerate() {
+                        // Filter before `enumerate`: indexes must stay
+                        // gap-free for the reorder buffer (and round-robin
+                        // pinning should not waste turns on skipped work).
+                        for (idx, message) in
+                            messages.filter(|m| !self.skip_known(m)).enumerate()
+                        {
                             if token_rx.recv().is_err() {
                                 break;
                             }
@@ -1109,6 +1209,16 @@ impl<'a> CrawlerBox<'a> {
         // Screenshot analysis depends only on the pixels, so it memoizes on
         // the bitmap's content fingerprint. The login-form filter depends
         // on the visited page, not the pixels, and stays outside the cache.
+        if self.capture_artifacts {
+            if let Some(shot) = visit.screenshot.as_ref() {
+                let bytes = shot.to_bytes();
+                ctx.artifacts.push(CapturedArtifact {
+                    kind: ArtifactKind::Screenshot,
+                    hash: fingerprint::fnv128(&bytes),
+                    bytes,
+                });
+            }
+        }
         let (screenshot_hash, spear) = match visit.screenshot.as_ref() {
             None => (None, None),
             Some(shot) => {
@@ -1201,6 +1311,18 @@ impl<'a> CrawlerBox<'a> {
             dns_volume,
             banner,
         } = enrichment;
+        // A stable certificate identity for campaign clustering: serial,
+        // subject and notBefore hashed together — a pure function of the
+        // certificate, so identical across schedulers and cache settings.
+        let cert_fingerprint = cert.as_ref().map(|c| {
+            fingerprint::fnv128_iter(
+                c.serial
+                    .to_be_bytes()
+                    .into_iter()
+                    .chain(c.domain.to_string().into_bytes())
+                    .chain(c.issued_at.as_unix().to_be_bytes()),
+            ) as u64
+        });
 
         VisitLog {
             requested_url: visit.requested_url.to_string(),
@@ -1228,6 +1350,7 @@ impl<'a> CrawlerBox<'a> {
             cert_issued_at: cert.map(|c| c.issued_at),
             dns_volume: Some(dns_volume),
             banner,
+            cert_fingerprint,
             hue_rotated,
             attempts: Vec::new(),
             elapsed: visit.elapsed,
@@ -1257,6 +1380,7 @@ fn invalid_url_log(url: &str) -> VisitLog {
         cert_issued_at: None,
         dns_volume: None,
         banner: None,
+        cert_fingerprint: None,
         hue_rotated: false,
         attempts: Vec::new(),
         elapsed: SimDuration::ZERO,
@@ -1268,6 +1392,7 @@ fn invalid_url_log(url: &str) -> VisitLog {
 fn degraded_record(message: &ReportedMessage, reason: &str) -> ScanRecord {
     ScanRecord {
         message_id: message.id,
+        content_hash: message_content_hash(&message.raw),
         delivered_at: message.delivered_at,
         auth_pass: false,
         extracted: Vec::new(),
@@ -1276,6 +1401,7 @@ fn degraded_record(message: &ReportedMessage, reason: &str) -> ScanRecord {
         blank_line_run: 0,
         class: MessageClass::NoResource,
         error: Some(format!("scan panicked: {reason}")),
+        artifacts: Vec::new(),
     }
 }
 

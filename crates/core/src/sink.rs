@@ -32,6 +32,12 @@ impl RecordSink for Vec<ScanRecord> {
     }
 }
 
+/// The unit sink discards every record — the no-op inner sink for
+/// composing wrappers (e.g. a store sink that only persists).
+impl RecordSink for () {
+    fn accept(&mut self, _record: ScanRecord) {}
+}
+
 /// Counts records without retaining any of them — the O(1)-memory floor a
 /// streaming scan can run against.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -186,6 +192,7 @@ mod tests {
     fn record(id: usize, class: MessageClass, error: Option<&str>) -> ScanRecord {
         ScanRecord {
             message_id: id,
+            content_hash: 0,
             delivered_at: SimTime::EPOCH,
             auth_pass: false,
             extracted: Vec::new(),
@@ -194,6 +201,7 @@ mod tests {
             blank_line_run: 0,
             class,
             error: error.map(str::to_string),
+            artifacts: Vec::new(),
         }
     }
 
@@ -252,5 +260,46 @@ mod tests {
         sink.accept(record(2, MessageClass::NoResource, None)); // disagrees
         let rate = sink.agreement_rate().expect("compared records");
         assert!((rate - 2.0 / 3.0).abs() < 1e-12, "{rate}");
+    }
+
+    #[test]
+    fn default_sinks_match_new() {
+        assert_eq!(CountingSink::default(), CountingSink::new());
+        let d = ClassMixSink::default();
+        assert_eq!(d.mix(), ClassMixSink::new().mix());
+        assert_eq!(d.total(), 0);
+    }
+
+    #[test]
+    fn agreement_rate_is_none_on_empty_sink() {
+        // Nothing delivered yet: no comparisons even with a ledger attached.
+        let ledger = TruthLedger::new();
+        ledger.note(MessageClass::ActivePhish);
+        let sink = ClassMixSink::with_truth(ledger);
+        assert!(sink.agreement_rate().is_none());
+    }
+
+    #[test]
+    fn agreement_rate_is_none_without_ledger() {
+        // Records delivered but no truth ledger: still no comparisons.
+        let mut sink = ClassMixSink::new();
+        sink.accept(record(0, MessageClass::Download, None));
+        sink.accept(record(1, MessageClass::ErrorPage, None));
+        assert!(sink.agreement_rate().is_none());
+        assert_eq!(sink.total(), 2);
+    }
+
+    #[test]
+    fn agreement_rate_skips_records_beyond_ledger() {
+        // A record whose id was never noted is counted in the mix but not
+        // in the agreement comparison.
+        let ledger = TruthLedger::new();
+        ledger.note(MessageClass::NoResource);
+        let mut sink = ClassMixSink::with_truth(ledger);
+        sink.accept(record(0, MessageClass::NoResource, None));
+        sink.accept(record(7, MessageClass::ActivePhish, None)); // never noted
+        let rate = sink.agreement_rate().expect("one compared record");
+        assert!((rate - 1.0).abs() < 1e-12, "{rate}");
+        assert_eq!(sink.total(), 2);
     }
 }

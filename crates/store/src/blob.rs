@@ -1,0 +1,181 @@
+//! Content-addressed blob store for captured artifacts (raw messages,
+//! screenshots).
+//!
+//! Every blob lives at `blobs/<hash:032x>.blob` where `<hash>` is the
+//! 128-bit FNV fingerprint of its bytes — the same `fnv128` the pipeline
+//! already uses for message content hashes and artifact-decode cache keys,
+//! so a record's `content_hash` doubles as its raw message's blob address.
+//! Identical bytes are stored once no matter how many records or campaigns
+//! reference them. Writes go through a temp file and an atomic rename, so
+//! a crash never leaves a partially written blob under its final name.
+
+use cb_artifacts::fingerprint::fnv128;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+/// File name of the blob addressed by `hash`.
+pub fn blob_file_name(hash: u128) -> String {
+    format!("{hash:032x}.blob")
+}
+
+/// Parse a blob file name back to its address.
+pub fn parse_blob_name(name: &str) -> Option<u128> {
+    let stem = name.strip_suffix(".blob")?;
+    if stem.len() != 32 {
+        return None;
+    }
+    u128::from_str_radix(stem, 16).ok()
+}
+
+/// One verification failure found by [`BlobStore::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlobFault {
+    /// The address the blob was stored under.
+    pub hash: u128,
+    /// What went wrong.
+    pub reason: String,
+}
+
+/// The deduplicating blob directory.
+#[derive(Debug)]
+pub struct BlobStore {
+    dir: PathBuf,
+    known: HashSet<u128>,
+}
+
+impl BlobStore {
+    /// Open (creating if needed) the blob directory and index the blobs
+    /// already present.
+    pub fn open(dir: &Path) -> std::io::Result<BlobStore> {
+        std::fs::create_dir_all(dir)?;
+        let mut known = HashSet::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if let Some(hash) = entry.file_name().to_str().and_then(parse_blob_name) {
+                known.insert(hash);
+            }
+        }
+        Ok(BlobStore { dir: dir.to_path_buf(), known })
+    }
+
+    /// Store `bytes` under `hash`. Returns `true` when bytes were written,
+    /// `false` on a dedup hit (the address already exists).
+    ///
+    /// `hash` must be `fnv128(bytes)`; this is debug-asserted, not
+    /// recomputed on the hot path.
+    pub fn put(&mut self, hash: u128, bytes: &[u8]) -> std::io::Result<bool> {
+        debug_assert_eq!(hash, fnv128(bytes), "blob address must be the fnv128 of its bytes");
+        if self.known.contains(&hash) {
+            return Ok(false);
+        }
+        let tmp = self.dir.join(format!("{hash:032x}.tmp"));
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, self.dir.join(blob_file_name(hash)))?;
+        self.known.insert(hash);
+        Ok(true)
+    }
+
+    /// Read the blob at `hash`, if present.
+    pub fn get(&self, hash: u128) -> std::io::Result<Option<Vec<u8>>> {
+        if !self.known.contains(&hash) {
+            return Ok(None);
+        }
+        std::fs::read(self.dir.join(blob_file_name(hash))).map(Some)
+    }
+
+    /// Whether `hash` is stored.
+    pub fn contains(&self, hash: u128) -> bool {
+        self.known.contains(&hash)
+    }
+
+    /// Number of distinct blobs.
+    pub fn len(&self) -> usize {
+        self.known.len()
+    }
+
+    /// Whether the store holds no blobs.
+    pub fn is_empty(&self) -> bool {
+        self.known.is_empty()
+    }
+
+    /// All stored addresses, sorted (deterministic iteration for reports).
+    pub fn hashes(&self) -> Vec<u128> {
+        let mut v: Vec<u128> = self.known.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Re-read and re-hash every blob, returning the faults found (missing
+    /// files, bytes that no longer hash to their address).
+    pub fn verify(&self) -> std::io::Result<Vec<BlobFault>> {
+        let mut faults = Vec::new();
+        for hash in self.hashes() {
+            match std::fs::read(self.dir.join(blob_file_name(hash))) {
+                Err(e) => faults.push(BlobFault { hash, reason: format!("unreadable: {e}") }),
+                Ok(bytes) => {
+                    let got = fnv128(&bytes);
+                    if got != hash {
+                        faults.push(BlobFault {
+                            hash,
+                            reason: format!("content hash {got:032x} does not match address"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(faults)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cb-blob-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_dedup_round_trip() {
+        let dir = scratch("roundtrip");
+        let mut blobs = BlobStore::open(&dir).unwrap();
+        let bytes = b"screenshot bytes".to_vec();
+        let hash = fnv128(&bytes);
+        assert!(blobs.put(hash, &bytes).unwrap(), "first write stores");
+        assert!(!blobs.put(hash, &bytes).unwrap(), "second write dedups");
+        assert_eq!(blobs.get(hash).unwrap(), Some(bytes));
+        assert_eq!(blobs.get(1).unwrap(), None);
+        assert_eq!(blobs.len(), 1);
+
+        // Reopen re-indexes from the directory.
+        let reopened = BlobStore::open(&dir).unwrap();
+        assert!(reopened.contains(hash));
+        assert!(reopened.verify().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_reports_tampered_blob() {
+        let dir = scratch("tamper");
+        let mut blobs = BlobStore::open(&dir).unwrap();
+        let bytes = b"original".to_vec();
+        let hash = fnv128(&bytes);
+        blobs.put(hash, &bytes).unwrap();
+        std::fs::write(dir.join(blob_file_name(hash)), b"tampered").unwrap();
+        let faults = blobs.verify().unwrap();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].hash, hash);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        let name = blob_file_name(0xDEAD_BEEF);
+        assert_eq!(name.len(), 32 + 5);
+        assert_eq!(parse_blob_name(&name), Some(0xDEAD_BEEF));
+        assert_eq!(parse_blob_name("cafe.blob"), None);
+        assert_eq!(parse_blob_name("not-a-blob.tmp"), None);
+    }
+}

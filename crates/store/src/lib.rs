@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! # cb-store
+//!
+//! The persistent, content-addressed crawl store (DESIGN.md §11): the
+//! durable record layer that turns CrawlerBox's per-run scan output into
+//! the longitudinal evidence base the paper's campaign analysis mines.
+//!
+//! Three pieces:
+//!
+//! * **Record log** — an append-only sequence of segment files holding
+//!   length-prefixed, CRC32-checked [frames](frame); each frame carries one
+//!   [`ScanRecord`](crawlerbox::ScanRecord) in its fixed canonical encoding
+//!   (the same `serde_json` byte encoding the determinism tests compare),
+//!   appended in message order via [`StoreSink`] on `scan_stream`'s
+//!   delivery path — so the on-disk bytes are identical across schedulers.
+//! * **Blob store** — content-addressed artifact bytes (raw messages,
+//!   screenshots) keyed on the pipeline's existing fnv128 hashes,
+//!   deduplicating identical bytes across messages and campaigns.
+//! * **Recovery & queries** — [`Store::open`] replays segments, truncates
+//!   a torn tail after a crash, and rebuilds the in-memory [`StoreIndex`]
+//!   (by domain, certificate fingerprint, screenshot phash, class and
+//!   content hash); [`query::cluster_campaigns`] reproduces the paper's
+//!   campaign clustering from disk; [`Store::known_hashes`] +
+//!   [`CrawlerBox::with_known_hashes`](crawlerbox::CrawlerBox::with_known_hashes)
+//!   turn a repeated scan into a cheap delta scan.
+//!
+//! Everything is plain `std` file I/O over the workspace's existing
+//! crates — no new dependencies.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use cb_store::{Store, StoreSink};
+//! use cb_phishgen::{Corpus, CorpusSpec};
+//! use crawlerbox::CrawlerBox;
+//!
+//! let spec = CorpusSpec::paper().with_scale(0.01);
+//! let (corpus, stream) = Corpus::stream(&spec, 2024);
+//! let store = Store::open(std::path::Path::new("crawl-store")).unwrap();
+//! let cbx = CrawlerBox::new(&corpus.world)
+//!     .with_known_hashes(store.known_hashes()) // delta scan on reopen
+//!     .with_artifact_capture(true);            // feed the blob store
+//! let mut sink = StoreSink::new(store);
+//! cbx.scan_stream(stream, &mut sink);
+//! let (store, ()) = sink.finish().unwrap();
+//! println!("{} records durable", store.len());
+//! ```
+
+pub mod blob;
+pub mod crc;
+pub mod frame;
+pub mod index;
+pub mod query;
+pub mod segment;
+pub mod sink;
+pub mod store;
+
+pub use blob::{BlobFault, BlobStore};
+pub use index::{url_token_scheme, RecordMeta, StoreIndex};
+pub use query::{cluster_campaigns, Campaign};
+pub use sink::StoreSink;
+pub use store::{
+    CompactReport, RecoveryReport, Store, StoreOptions, StoreStats, TornTail, VerifyFault,
+    VerifyReport,
+};

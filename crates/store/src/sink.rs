@@ -1,0 +1,87 @@
+//! [`StoreSink`]: the [`RecordSink`] that plugs the store into
+//! `scan_stream`'s order-preserving delivery path.
+//!
+//! `scan_stream` delivers records in message order on the calling thread,
+//! so the sink appends to the log in a deterministic sequence — which is
+//! exactly why the on-disk byte encoding is identical across schedulers.
+//! `accept` cannot return errors, so the first I/O failure poisons the
+//! sink (later records are dropped, not half-written) and surfaces from
+//! [`StoreSink::finish`].
+
+use crate::store::Store;
+use crawlerbox::{RecordSink, ScanRecord};
+use std::io;
+
+/// Streams scan records into a [`Store`], forwarding each (with its
+/// artifact bytes dropped — they now live in the blob store) to an inner
+/// sink for in-memory aggregation.
+#[derive(Debug)]
+pub struct StoreSink<S = ()> {
+    store: Store,
+    inner: S,
+    error: Option<io::Error>,
+    appended: usize,
+}
+
+impl StoreSink<()> {
+    /// A sink that only persists (no inner aggregation).
+    pub fn new(store: Store) -> StoreSink<()> {
+        StoreSink::with_inner(store, ())
+    }
+}
+
+impl<S: RecordSink> StoreSink<S> {
+    /// A sink that persists every record and forwards it to `inner`.
+    pub fn with_inner(store: Store, inner: S) -> StoreSink<S> {
+        StoreSink { store, inner, error: None, appended: 0 }
+    }
+
+    /// Records appended so far (excludes records dropped after poisoning).
+    pub fn appended(&self) -> usize {
+        self.appended
+    }
+
+    /// The first append error, if the sink is poisoned.
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Borrow the underlying store (e.g. for mid-stream stats).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Borrow the inner sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Sync the log durably and hand back the store and inner sink.
+    ///
+    /// # Errors
+    ///
+    /// The first append error when the sink was poisoned, or the final
+    /// flush/fsync failure.
+    pub fn finish(mut self) -> io::Result<(Store, S)> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.store.sync()?;
+        Ok((self.store, self.inner))
+    }
+}
+
+impl<S: RecordSink> RecordSink for StoreSink<S> {
+    fn accept(&mut self, mut record: ScanRecord) {
+        if self.error.is_none() {
+            match self.store.append(&record) {
+                Ok(()) => self.appended += 1,
+                Err(e) => self.error = Some(e),
+            }
+        }
+        // The artifact bytes are persisted (or the sink is poisoned);
+        // either way the inner sink must not retain them.
+        record.artifacts = Vec::new();
+        self.inner.accept(record);
+    }
+}

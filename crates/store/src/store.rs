@@ -1,0 +1,760 @@
+//! The persistent crawl store: append-only record log + blob store +
+//! crash-safe open/recovery + compaction.
+//!
+//! # Layout
+//!
+//! ```text
+//! <root>/
+//!   CURRENT              # name of the active segment generation (atomic pointer)
+//!   segments-00000/      # the active generation: seg-NNNNN.cbl frame files
+//!   blobs/               # content-addressed artifacts, <fnv128:032x>.blob
+//! ```
+//!
+//! # Recovery contract
+//!
+//! [`Store::open`] replays every segment of the active generation in index
+//! order, CRC-checking each frame and rebuilding the in-memory
+//! [`StoreIndex`]. A bad frame at the tail of the **last** segment is a
+//! torn write from a crash: it is truncated away (and reported in the
+//! [`RecoveryReport`]), losing at most the record that was mid-append.
+//! A bad frame anywhere else is corruption and fails the open. Blob writes
+//! happen *before* the record frame that references them, so a recovered
+//! record's artifacts are always present; a crash can only orphan blobs,
+//! never dangle references.
+//!
+//! # Compaction
+//!
+//! [`Store::compact`] rewrites the log keeping the newest record per
+//! content hash, into a fresh generation directory, then atomically swaps
+//! the `CURRENT` pointer — a crash at any instant leaves `CURRENT` naming
+//! a complete generation. Blobs are never deleted by compaction (they are
+//! shared, content-addressed evidence).
+
+use crate::blob::BlobStore;
+use crate::frame::{encode_frame, next_frame, FrameStep, KIND_RECORD};
+use crate::index::StoreIndex;
+use crate::segment::{list_segments, SegmentWriter};
+use cb_telemetry::{with_active, CounterHandle, Determinism, MetricsRegistry, Trace, Tracer};
+use crawlerbox::ScanRecord;
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Trace "message id" used for store-level (non-per-record) events like
+/// fsync, so they sort after every per-record span in the merged trace.
+const STORE_OP_TRACE_ID: usize = usize::MAX;
+
+/// Tuning and behaviour knobs for [`Store::open_with`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Roll to a fresh segment once the current one reaches this size.
+    pub segment_target_bytes: u64,
+    /// Fsync after every append (durable but slow). Off by default; an
+    /// explicit [`Store::sync`] is always available and `StoreSink`
+    /// syncs once when finished.
+    pub fsync_each_append: bool,
+    /// Record `store.*` telemetry spans (metrics counters are always on).
+    pub tracing: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> StoreOptions {
+        StoreOptions {
+            segment_target_bytes: 4 * 1024 * 1024,
+            fsync_each_append: false,
+            tracing: false,
+        }
+    }
+}
+
+/// What a torn tail looked like when [`Store::open`] truncated it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// The segment file that was truncated.
+    pub segment: PathBuf,
+    /// Valid bytes kept.
+    pub kept_bytes: u64,
+    /// Trailing bytes dropped.
+    pub dropped_bytes: u64,
+    /// Why the tail failed to parse.
+    pub reason: String,
+}
+
+/// What [`Store::open`] found and did.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Segments replayed.
+    pub segments: usize,
+    /// Records recovered into the index.
+    pub records: usize,
+    /// Blobs indexed from the blob directory.
+    pub blobs: usize,
+    /// The torn tail, when one was truncated.
+    pub torn: Option<TornTail>,
+}
+
+/// One fault found by [`Store::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyFault {
+    /// Which file the fault is in.
+    pub path: PathBuf,
+    /// What is wrong.
+    pub reason: String,
+}
+
+/// The result of a full [`Store::verify`] walk.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// CRC-clean records seen on disk.
+    pub records: usize,
+    /// Segment files walked.
+    pub segments: usize,
+    /// Blobs re-hashed.
+    pub blobs: usize,
+    /// Everything that failed.
+    pub faults: Vec<VerifyFault>,
+}
+
+impl VerifyReport {
+    /// Whether the walk found no faults.
+    pub fn is_clean(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// What [`Store::compact`] rewrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Records kept (newest per content hash).
+    pub kept: usize,
+    /// Superseded records dropped.
+    pub dropped: usize,
+    /// Segment files before.
+    pub segments_before: usize,
+    /// Segment files after.
+    pub segments_after: usize,
+}
+
+/// Counter handles for the store's metric registry.
+#[derive(Debug)]
+struct StoreMetrics {
+    append_records: CounterHandle,
+    append_bytes: CounterHandle,
+    fsync_calls: CounterHandle,
+    recover_segments: CounterHandle,
+    recover_records: CounterHandle,
+    recover_truncated_bytes: CounterHandle,
+    blob_writes: CounterHandle,
+    blob_bytes: CounterHandle,
+    blob_dedup_hits: CounterHandle,
+}
+
+impl StoreMetrics {
+    fn register(reg: &MetricsRegistry) -> StoreMetrics {
+        use Determinism::Deterministic;
+        StoreMetrics {
+            append_records: reg.counter("store.append.records", Deterministic),
+            append_bytes: reg.counter("store.append.bytes", Deterministic),
+            fsync_calls: reg.counter("store.fsync.calls", Deterministic),
+            recover_segments: reg.counter("store.recover.segments", Deterministic),
+            recover_records: reg.counter("store.recover.records", Deterministic),
+            recover_truncated_bytes: reg.counter("store.recover.truncated_bytes", Deterministic),
+            blob_writes: reg.counter("store.blob.writes", Deterministic),
+            blob_bytes: reg.counter("store.blob.bytes", Deterministic),
+            blob_dedup_hits: reg.counter("store.blob.dedup_hits", Deterministic),
+        }
+    }
+}
+
+/// Point-in-time store shape, assembled from the live counters (no I/O).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct StoreStats {
+    /// Records in the index (log entries).
+    pub records: usize,
+    /// Segment files in the active generation.
+    pub segments: usize,
+    /// Total log bytes (recovered + appended this session).
+    pub log_bytes: u64,
+    /// Distinct blobs stored.
+    pub blobs: usize,
+    /// Records appended this session.
+    pub appended: u64,
+    /// Fsyncs issued this session.
+    pub fsyncs: u64,
+    /// Blob dedup hits this session.
+    pub blob_dedup_hits: u64,
+}
+
+fn corrupt(path: &Path, what: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("{}: {what}", path.display()))
+}
+
+/// Name of generation `n`'s segment directory.
+fn generation_dir_name(n: u32) -> String {
+    format!("segments-{n:05}")
+}
+
+/// Parse a generation directory name.
+fn parse_generation_name(name: &str) -> Option<u32> {
+    let stem = name.strip_prefix("segments-")?;
+    if stem.len() != 5 || !stem.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    stem.parse().ok()
+}
+
+/// Atomically (write temp + rename) point `CURRENT` at generation `n`.
+fn write_current(root: &Path, n: u32) -> io::Result<()> {
+    let tmp = root.join("CURRENT.tmp");
+    std::fs::write(&tmp, generation_dir_name(n))?;
+    std::fs::rename(&tmp, root.join("CURRENT"))
+}
+
+/// The persistent content-addressed crawl store.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    opts: StoreOptions,
+    generation: u32,
+    writer: Option<SegmentWriter>,
+    next_segment: u32,
+    blobs: BlobStore,
+    index: StoreIndex,
+    recovery: RecoveryReport,
+    log_bytes: u64,
+    metrics: MetricsRegistry,
+    m: StoreMetrics,
+    tracer: Tracer,
+}
+
+impl Store {
+    /// Open (creating or recovering) the store at `root` with default
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or corruption outside the recoverable torn-tail case.
+    pub fn open(root: &Path) -> io::Result<Store> {
+        Store::open_with(root, StoreOptions::default())
+    }
+
+    /// Open with explicit [`StoreOptions`]. See the module docs for the
+    /// recovery contract.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or corruption outside the recoverable torn-tail case.
+    pub fn open_with(root: &Path, opts: StoreOptions) -> io::Result<Store> {
+        std::fs::create_dir_all(root)?;
+        let metrics = MetricsRegistry::new();
+        let m = StoreMetrics::register(&metrics);
+        let tracer = Tracer::new(opts.tracing);
+
+        // Resolve the active generation; first open creates generation 0.
+        let current_path = root.join("CURRENT");
+        let generation = match std::fs::read_to_string(&current_path) {
+            Ok(name) => parse_generation_name(name.trim())
+                .ok_or_else(|| corrupt(&current_path, format!("bad generation name {name:?}")))?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                std::fs::create_dir_all(root.join(generation_dir_name(0)))?;
+                write_current(root, 0)?;
+                0
+            }
+            Err(e) => return Err(e),
+        };
+        let seg_dir = root.join(generation_dir_name(generation));
+        if !seg_dir.is_dir() {
+            return Err(corrupt(&current_path, "CURRENT names a missing generation"));
+        }
+        // Orphan generations (an interrupted compaction's leftovers, or an
+        // already-superseded log) are dead weight: remove them.
+        for entry in std::fs::read_dir(root)? {
+            let entry = entry?;
+            if let Some(g) = entry.file_name().to_str().and_then(parse_generation_name) {
+                if g != generation {
+                    std::fs::remove_dir_all(entry.path())?;
+                }
+            }
+        }
+
+        let blobs = BlobStore::open(&root.join("blobs"))?;
+
+        // Replay the log.
+        let segments = list_segments(&seg_dir)?;
+        let mut index = StoreIndex::new();
+        let mut recovery = RecoveryReport { blobs: blobs.len(), ..RecoveryReport::default() };
+        let mut log_bytes = 0u64;
+        for (pos, (seg_index, path)) in segments.iter().enumerate() {
+            let last = pos + 1 == segments.len();
+            let buf = std::fs::read(path)?;
+            let mut at = 0usize;
+            let mut seg_records = 0usize;
+            let torn = loop {
+                match next_frame(&buf, at) {
+                    FrameStep::Frame { payload, next, .. } => {
+                        let record: ScanRecord = serde_json::from_slice(payload)
+                            .map_err(|e| corrupt(path, format!("undecodable record: {e}")))?;
+                        index.insert(&record);
+                        seg_records += 1;
+                        at = next;
+                    }
+                    FrameStep::End => break None,
+                    FrameStep::Torn { at: bad, reason } => {
+                        if !last {
+                            return Err(corrupt(
+                                path,
+                                format!("bad frame at {bad} in interior segment: {reason}"),
+                            ));
+                        }
+                        break Some((bad, reason));
+                    }
+                }
+            };
+            recovery.segments += 1;
+            recovery.records += seg_records;
+            self_trace_recover(&tracer, *seg_index, &buf, seg_records, torn.as_ref());
+            match torn {
+                None => log_bytes += buf.len() as u64,
+                Some((bad, reason)) => {
+                    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+                    file.set_len(bad as u64)?;
+                    file.sync_data()?;
+                    let dropped = (buf.len() - bad) as u64;
+                    m.recover_truncated_bytes.add(dropped);
+                    recovery.torn = Some(TornTail {
+                        segment: path.clone(),
+                        kept_bytes: bad as u64,
+                        dropped_bytes: dropped,
+                        reason,
+                    });
+                    log_bytes += bad as u64;
+                }
+            }
+        }
+        m.recover_segments.add(recovery.segments as u64);
+        m.recover_records.add(recovery.records as u64);
+
+        // Continue appending to the last segment unless it is already at
+        // its target size.
+        let mut writer = None;
+        let mut next_segment = 0u32;
+        if let Some((seg_index, path)) = segments.last() {
+            next_segment = seg_index + 1;
+            let size = std::fs::metadata(path)?.len();
+            if size < opts.segment_target_bytes {
+                writer = Some(SegmentWriter::open_append(path, *seg_index, size)?);
+            }
+        }
+
+        Ok(Store {
+            root: root.to_path_buf(),
+            opts,
+            generation,
+            writer,
+            next_segment,
+            blobs,
+            index,
+            recovery,
+            log_bytes,
+            metrics,
+            m,
+            tracer,
+        })
+    }
+
+    /// Append one record: its artifacts go to the blob store first, then
+    /// the canonically encoded record is framed onto the log.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure writing blobs or the segment.
+    pub fn append(&mut self, record: &ScanRecord) -> io::Result<()> {
+        // Blobs before the record frame: recovery must never surface a
+        // record whose artifacts are missing.
+        let mut blob_fields = Vec::with_capacity(record.artifacts.len());
+        for artifact in &record.artifacts {
+            let written = self.blobs.put(artifact.hash, &artifact.bytes)?;
+            if written {
+                self.m.blob_writes.incr();
+                self.m.blob_bytes.add(artifact.bytes.len() as u64);
+            } else {
+                self.m.blob_dedup_hits.incr();
+            }
+            blob_fields.push((artifact.kind.label(), artifact.bytes.len(), written));
+        }
+
+        let payload =
+            serde_json::to_vec(record).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let frame = encode_frame(KIND_RECORD, &payload);
+        if self.writer.is_none() {
+            let seg_dir = self.root.join(generation_dir_name(self.generation));
+            self.writer = Some(SegmentWriter::create(&seg_dir, self.next_segment)?);
+            self.next_segment += 1;
+        }
+        let writer = self.writer.as_mut().expect("writer just ensured");
+        let wrote = writer.append(&frame)?;
+        self.log_bytes += wrote;
+        self.m.append_records.incr();
+        self.m.append_bytes.add(wrote);
+        let rolled = writer.bytes() >= self.opts.segment_target_bytes;
+        self.index.insert(record);
+
+        if let Some(_guard) = self.tracer.message(record.message_id) {
+            with_active(|t| {
+                t.begin(
+                    "store.append",
+                    vec![
+                        ("bytes", payload.len().to_string()),
+                        ("hash", format!("{:032x}", record.content_hash)),
+                    ],
+                );
+                for (kind, len, written) in &blob_fields {
+                    t.instant(
+                        "store.blob",
+                        vec![
+                            ("kind", kind.to_string()),
+                            ("bytes", len.to_string()),
+                            ("dedup", (!written).to_string()),
+                        ],
+                    );
+                }
+                t.end();
+            });
+        }
+
+        if self.opts.fsync_each_append {
+            self.sync()?;
+        }
+        if rolled {
+            // Seal the full segment (flush so the file is complete on disk)
+            // and start the next one lazily on the next append.
+            if let Some(mut w) = self.writer.take() {
+                w.flush()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush buffered log writes to the OS (no fsync).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure flushing the segment writer.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if let Some(w) = self.writer.as_mut() {
+            w.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flush and fsync the active segment — the durable-write barrier.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure flushing or syncing.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if let Some(w) = self.writer.as_mut() {
+            w.sync()?;
+            self.m.fsync_calls.incr();
+            if let Some(_guard) = self.tracer.message(STORE_OP_TRACE_ID) {
+                with_active(|t| {
+                    t.instant("store.fsync", vec![("records", "1".to_string())]);
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Decode every record from disk, in log order.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or frames that fail CRC/decoding (a store that opened
+    /// cleanly and was not tampered with reads back cleanly).
+    pub fn read_all(&mut self) -> io::Result<Vec<ScanRecord>> {
+        self.flush()?;
+        let mut out = Vec::with_capacity(self.index.len());
+        for payload in self.read_payloads()? {
+            out.push(
+                serde_json::from_slice(&payload)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Raw canonical payload bytes of every record, in log order — the
+    /// byte-identity primitive the determinism tests compare.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or non-clean frames.
+    pub fn read_payloads(&mut self) -> io::Result<Vec<Vec<u8>>> {
+        self.flush()?;
+        let seg_dir = self.root.join(generation_dir_name(self.generation));
+        let mut out = Vec::with_capacity(self.index.len());
+        for (_, path) in list_segments(&seg_dir)? {
+            let buf = std::fs::read(&path)?;
+            let mut at = 0usize;
+            loop {
+                match next_frame(&buf, at) {
+                    FrameStep::Frame { payload, next, .. } => {
+                        out.push(payload.to_vec());
+                        at = next;
+                    }
+                    FrameStep::End => break,
+                    FrameStep::Torn { at, reason } => {
+                        return Err(corrupt(&path, format!("bad frame at {at}: {reason}")));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Walk every segment frame and every blob, CRC/hash-checking all of
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Only on I/O failure listing directories; integrity problems are
+    /// returned as faults in the report, not errors.
+    pub fn verify(&mut self) -> io::Result<VerifyReport> {
+        self.flush()?;
+        let seg_dir = self.root.join(generation_dir_name(self.generation));
+        let mut report = VerifyReport::default();
+        for (_, path) in list_segments(&seg_dir)? {
+            report.segments += 1;
+            let buf = match std::fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    report
+                        .faults
+                        .push(VerifyFault { path, reason: format!("unreadable: {e}") });
+                    continue;
+                }
+            };
+            let mut at = 0usize;
+            loop {
+                match next_frame(&buf, at) {
+                    FrameStep::Frame { payload, next, .. } => {
+                        if let Err(e) = serde_json::from_slice::<ScanRecord>(payload) {
+                            report.faults.push(VerifyFault {
+                                path: path.clone(),
+                                reason: format!("undecodable record at {at}: {e}"),
+                            });
+                        } else {
+                            report.records += 1;
+                        }
+                        at = next;
+                    }
+                    FrameStep::End => break,
+                    FrameStep::Torn { at, reason } => {
+                        report.faults.push(VerifyFault {
+                            path: path.clone(),
+                            reason: format!("bad frame at {at}: {reason}"),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        report.blobs = self.blobs.len();
+        for fault in self.blobs.verify()? {
+            report.faults.push(VerifyFault {
+                path: self.root.join("blobs"),
+                reason: format!("blob {:032x}: {}", fault.hash, fault.reason),
+            });
+        }
+        Ok(report)
+    }
+
+    /// Rewrite the log keeping only the newest record per content hash,
+    /// into a fresh generation, and atomically swap `CURRENT` to it.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure; on error the old generation remains the active one.
+    pub fn compact(&mut self) -> io::Result<CompactReport> {
+        self.flush()?;
+        let payloads = self.read_payloads()?;
+        let segments_before = {
+            let seg_dir = self.root.join(generation_dir_name(self.generation));
+            list_segments(&seg_dir)?.len()
+        };
+
+        // The newest record per content hash survives; order is preserved.
+        let mut latest: HashMap<u128, usize> = HashMap::new();
+        for (seq, meta) in self.index.metas().iter().enumerate() {
+            latest.insert(meta.content_hash, seq);
+        }
+        let survivors: Vec<usize> = (0..payloads.len())
+            .filter(|&seq| latest.get(&self.index.metas()[seq].content_hash) == Some(&seq))
+            .collect();
+
+        // Write the new generation fully before touching the pointer.
+        let new_generation = self.generation + 1;
+        let new_dir = self.root.join(generation_dir_name(new_generation));
+        std::fs::create_dir_all(&new_dir)?;
+        let mut seg_index = 0u32;
+        let mut writer: Option<SegmentWriter> = None;
+        for &seq in &survivors {
+            let frame = encode_frame(KIND_RECORD, &payloads[seq]);
+            if writer.is_none() {
+                writer = Some(SegmentWriter::create(&new_dir, seg_index)?);
+                seg_index += 1;
+            }
+            let w = writer.as_mut().expect("writer just ensured");
+            w.append(&frame)?;
+            if w.bytes() >= self.opts.segment_target_bytes {
+                w.sync()?;
+                writer = None;
+            }
+        }
+        if let Some(mut w) = writer {
+            w.sync()?;
+        }
+        if survivors.is_empty() {
+            // An empty generation still needs to exist for CURRENT.
+            std::fs::create_dir_all(&new_dir)?;
+        }
+
+        // The atomic swap: after this rename, reopen sees the new log.
+        write_current(&self.root, new_generation)?;
+        let old_dir = self.root.join(generation_dir_name(self.generation));
+        let _ = std::fs::remove_dir_all(&old_dir);
+
+        // Swap in-memory state: decode survivors into a fresh index.
+        let kept = survivors.len();
+        let dropped = payloads.len() - kept;
+        let mut index = StoreIndex::new();
+        let mut log_bytes = 0u64;
+        for &seq in &survivors {
+            let record: ScanRecord = serde_json::from_slice(&payloads[seq])
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            index.insert(&record);
+            log_bytes += (payloads[seq].len() + crate::frame::FRAME_HEADER_LEN) as u64;
+        }
+        self.generation = new_generation;
+        self.index = index;
+        self.log_bytes = log_bytes;
+        self.writer = None;
+        self.next_segment = seg_index;
+        // A partially filled final segment stays open for future appends.
+        let segs = list_segments(&new_dir)?;
+        if let Some((idx, path)) = segs.last() {
+            let size = std::fs::metadata(path)?.len();
+            if size < self.opts.segment_target_bytes {
+                self.writer = Some(SegmentWriter::open_append(path, *idx, size)?);
+            }
+        }
+        Ok(CompactReport {
+            kept,
+            dropped,
+            segments_before,
+            segments_after: segs.len(),
+        })
+    }
+
+    /// The in-memory index over the log.
+    pub fn index(&self) -> &StoreIndex {
+        &self.index
+    }
+
+    /// All recorded content hashes (the incremental re-scan skip set).
+    pub fn known_hashes(&self) -> HashSet<u128> {
+        self.index.known_hashes()
+    }
+
+    /// Whether `hash` is already recorded.
+    pub fn contains_hash(&self, hash: u128) -> bool {
+        self.index.contains_hash(hash)
+    }
+
+    /// Records in the log.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Read a stored blob by content hash.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure reading the blob file.
+    pub fn blob(&self, hash: u128) -> io::Result<Option<Vec<u8>>> {
+        self.blobs.get(hash)
+    }
+
+    /// The blob directory index.
+    pub fn blobs(&self) -> &BlobStore {
+        &self.blobs
+    }
+
+    /// What the last open found and recovered.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// The store's metric registry (`store.*` counters).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Drain the store's telemetry trace (empty unless
+    /// [`StoreOptions::tracing`] was on).
+    pub fn take_trace(&self) -> Trace {
+        self.tracer.take()
+    }
+
+    /// Counter-derived shape summary (no I/O).
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            records: self.index.len(),
+            segments: self.next_segment as usize,
+            log_bytes: self.log_bytes,
+            blobs: self.blobs.len(),
+            appended: self.m.append_records.get(),
+            fsyncs: self.m.fsync_calls.get(),
+            blob_dedup_hits: self.m.blob_dedup_hits.get(),
+        }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+}
+
+/// Emit the per-segment recovery span on `tracer` (no-op when disabled).
+fn self_trace_recover(
+    tracer: &Tracer,
+    seg_index: u32,
+    buf: &[u8],
+    records: usize,
+    torn: Option<&(usize, String)>,
+) {
+    if let Some(_guard) = tracer.message(seg_index as usize) {
+        with_active(|t| {
+            t.begin(
+                "store.recover",
+                vec![
+                    ("segment", seg_index.to_string()),
+                    ("bytes", buf.len().to_string()),
+                ],
+            );
+            t.instant(
+                "store.recover.result",
+                vec![
+                    ("records", records.to_string()),
+                    ("torn", torn.is_some().to_string()),
+                ],
+            );
+            t.end();
+        });
+    }
+}

@@ -1,16 +1,29 @@
-//! Inspect a CrawlerBox JSONL crawl log (as written by `repro --log`) or
-//! pretty-print a telemetry trace (as written by `repro --trace`).
+//! Inspect a CrawlerBox JSONL crawl log (as written by `repro --log`),
+//! pretty-print a telemetry trace (as written by `repro --trace`), or
+//! query a persistent crawl store (as written by `repro --store`).
 //!
 //! ```text
 //! crawl-log FILE.jsonl [--class CLASS] [--domain SUBSTR] [--limit N]
 //! crawl-log trace TRACE.jsonl [--msg ID] [--limit N]
+//! crawl-log store DIR stats
+//! crawl-log store DIR verify
+//! crawl-log store DIR query [--class CLASS] [--domain D] [--cert HEX]
+//!                           [--phash HEX] [--limit N]
+//! crawl-log store DIR campaigns [--min-size N] [--limit N]
 //! ```
 //!
 //! The first form prints a per-class summary, the busiest landing domains,
 //! and (when filters are given) the matching records. The `trace`
-//! subcommand renders a span trace as an indented per-message tree.
+//! subcommand renders a span trace as an indented per-message tree. The
+//! `store` family queries the durable record log: `stats` summarizes the
+//! store, `verify` CRC-checks every frame and re-hashes every blob
+//! (nonzero exit on faults), `query` looks records up by index axes, and
+//! `campaigns` reproduces the paper-style campaign clustering (shared
+//! screenshot phash / certificate fingerprint / URL token scheme) from
+//! disk.
 
 use cb_phishgen::MessageClass;
+use cb_store::{cluster_campaigns, Store};
 use crawlerbox::logging::{read_jsonl, ScanRecord};
 use std::collections::BTreeMap;
 
@@ -18,6 +31,9 @@ fn usage_exit(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!("usage: crawl-log FILE.jsonl [--class noresource|error|interaction|download|active] [--domain SUBSTR] [--limit N]");
     eprintln!("       crawl-log trace TRACE.jsonl [--msg ID] [--limit N]");
+    eprintln!("       crawl-log store DIR stats|verify");
+    eprintln!("       crawl-log store DIR query [--class CLASS] [--domain D] [--cert HEX] [--phash HEX] [--limit N]");
+    eprintln!("       crawl-log store DIR campaigns [--min-size N] [--limit N]");
     std::process::exit(2);
 }
 
@@ -121,6 +137,219 @@ fn trace_main(mut iter: impl Iterator<Item = String>) {
     }
 }
 
+/// Open the store at `dir` for a CLI query, reporting (on stderr) whatever
+/// recovery did. Never creates a store: querying a missing path is a usage
+/// error, not an empty result.
+fn open_store_or_exit(dir: &str) -> Store {
+    if !std::path::Path::new(dir).is_dir() {
+        usage_exit(&format!("no store directory at {dir}"));
+    }
+    let store = match Store::open(std::path::Path::new(dir)) {
+        Ok(s) => s,
+        Err(e) => usage_exit(&format!("cannot open store {dir}: {e}")),
+    };
+    let recovery = store.recovery();
+    if let Some(torn) = &recovery.torn {
+        eprintln!(
+            "recovered torn tail in {}: dropped {} trailing bytes ({})",
+            torn.segment.display(),
+            torn.dropped_bytes,
+            torn.reason
+        );
+    }
+    store
+}
+
+/// Parse a hex argument (with or without `0x`) or die with usage.
+fn parse_hex_u64(flag: &str, value: Option<String>) -> u64 {
+    let Some(v) = value else {
+        usage_exit(&format!("{flag} needs a hex value"));
+    };
+    let digits = v.strip_prefix("0x").unwrap_or(&v);
+    match u64::from_str_radix(digits, 16) {
+        Ok(n) => n,
+        Err(_) => usage_exit(&format!("{flag}: {v} is not hex")),
+    }
+}
+
+/// The `store` subcommand family: stats | verify | query | campaigns.
+fn store_main(mut iter: impl Iterator<Item = String>) {
+    let Some(dir) = iter.next() else {
+        usage_exit("store needs a store directory");
+    };
+    if dir.starts_with('-') {
+        usage_exit(&format!("store needs a directory before flags, got {dir}"));
+    }
+    let Some(cmd) = iter.next() else {
+        usage_exit("store needs a subcommand: stats|verify|query|campaigns");
+    };
+    match cmd.as_str() {
+        "stats" => {
+            if let Some(extra) = iter.next() {
+                usage_exit(&format!("store stats takes no further arguments, got {extra}"));
+            }
+            let store = open_store_or_exit(&dir);
+            let stats = store.stats();
+            println!(
+                "{} records in {} segment(s), {} log bytes, {} blob(s)",
+                stats.records, stats.segments, stats.log_bytes, stats.blobs
+            );
+            println!("class mix:");
+            for (class, n) in store.index().class_counts() {
+                println!("  {:<22} {n}", format!("{class:?}"));
+            }
+            let mut domains: Vec<(&str, usize)> = store.index().domain_counts().collect();
+            domains.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+            println!("top landing domains:");
+            for (d, n) in domains.into_iter().take(10) {
+                println!("  {n:>5}  {d}");
+            }
+        }
+        "verify" => {
+            if let Some(extra) = iter.next() {
+                usage_exit(&format!("store verify takes no further arguments, got {extra}"));
+            }
+            let mut store = open_store_or_exit(&dir);
+            let report = match store.verify() {
+                Ok(r) => r,
+                Err(e) => usage_exit(&format!("verify failed: {e}")),
+            };
+            println!(
+                "verified {} record frame(s) in {} segment(s), {} blob(s)",
+                report.records, report.segments, report.blobs
+            );
+            if report.is_clean() {
+                println!("store is clean");
+            } else {
+                for fault in &report.faults {
+                    eprintln!("FAULT {}: {}", fault.path.display(), fault.reason);
+                }
+                eprintln!("{} fault(s) found", report.faults.len());
+                std::process::exit(1);
+            }
+        }
+        "query" => {
+            let mut class: Option<MessageClass> = None;
+            let mut domain: Option<String> = None;
+            let mut cert: Option<u64> = None;
+            let mut phash: Option<u64> = None;
+            let mut limit = 20usize;
+            while let Some(a) = iter.next() {
+                match a.as_str() {
+                    "--class" => {
+                        class = Some(parse_class(
+                            &iter.next().unwrap_or_else(|| usage_exit("--class needs a value")),
+                        ))
+                    }
+                    "--domain" => {
+                        domain = match iter.next() {
+                            Some(d) => Some(d),
+                            None => usage_exit("--domain needs a value"),
+                        }
+                    }
+                    "--cert" => cert = Some(parse_hex_u64("--cert", iter.next())),
+                    "--phash" => phash = Some(parse_hex_u64("--phash", iter.next())),
+                    "--limit" => {
+                        limit = iter
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage_exit("--limit needs an integer"))
+                    }
+                    other => usage_exit(&format!("unknown store query flag {other}")),
+                }
+            }
+            let store = open_store_or_exit(&dir);
+            let index = store.index();
+            let matches: Vec<_> = index
+                .metas()
+                .iter()
+                .filter(|m| class.map(|c| m.class == c).unwrap_or(true))
+                .filter(|m| {
+                    domain
+                        .as_ref()
+                        .map(|d| m.domains.iter().any(|have| have.contains(d.as_str())))
+                        .unwrap_or(true)
+                })
+                .filter(|m| cert.map(|fp| m.cert_fingerprints.contains(&fp)).unwrap_or(true))
+                .filter(|m| phash.map(|p| m.phashes.contains(&p)).unwrap_or(true))
+                .collect();
+            println!("{} matching record(s):", matches.len());
+            for m in matches.into_iter().take(limit) {
+                println!(
+                    "  seq {:>5}  msg {:>5}  {:?}  hash {:032x}  domains [{}]  certs [{}]",
+                    m.seq,
+                    m.message_id,
+                    m.class,
+                    m.content_hash,
+                    m.domains.join(", "),
+                    m.cert_fingerprints
+                        .iter()
+                        .map(|fp| format!("{fp:016x}"))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                );
+            }
+        }
+        "campaigns" => {
+            let mut min_size = 2usize;
+            let mut limit = 20usize;
+            while let Some(a) = iter.next() {
+                match a.as_str() {
+                    "--min-size" => {
+                        min_size = iter
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage_exit("--min-size needs an integer"))
+                    }
+                    "--limit" => {
+                        limit = iter
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage_exit("--limit needs an integer"))
+                    }
+                    other => usage_exit(&format!("unknown store campaigns flag {other}")),
+                }
+            }
+            let store = open_store_or_exit(&dir);
+            let campaigns = cluster_campaigns(store.index());
+            let mut real: Vec<_> = campaigns.iter().filter(|c| c.len() >= min_size).collect();
+            real.sort_by(|a, b| b.len().cmp(&a.len()).then(a.id.cmp(&b.id)));
+            let clustered: usize = real.iter().map(|c| c.len()).sum();
+            println!(
+                "{} campaign(s) of >= {min_size} record(s) ({clustered} of {} records clustered)",
+                real.len(),
+                store.len(),
+            );
+            for c in real.into_iter().take(limit) {
+                let mut evidence = Vec::new();
+                if !c.phashes.is_empty() {
+                    evidence.push(format!("{} screenshot hash(es)", c.phashes.len()));
+                }
+                if !c.cert_fingerprints.is_empty() {
+                    evidence.push(format!("{} cert fingerprint(s)", c.cert_fingerprints.len()));
+                }
+                if !c.url_schemes.is_empty() {
+                    evidence.push(format!("{} URL scheme(s)", c.url_schemes.len()));
+                }
+                println!(
+                    "  campaign {:>4}: {} record(s), {} domain(s) [{}]",
+                    c.id,
+                    c.len(),
+                    c.domains.len(),
+                    c.domains.iter().take(4).cloned().collect::<Vec<_>>().join(", "),
+                );
+                println!("    evidence: {}", evidence.join(", "));
+                let classes: Vec<String> =
+                    c.classes.iter().map(|(cl, n)| format!("{cl:?} x{n}")).collect();
+                println!("    classes:  {}", classes.join(", "));
+            }
+        }
+        other => usage_exit(&format!(
+            "unknown store subcommand {other}; expected stats|verify|query|campaigns"
+        )),
+    }
+}
+
 fn parse_class(s: &str) -> MessageClass {
     match s.to_ascii_lowercase().as_str() {
         "noresource" | "no-resource" => MessageClass::NoResource,
@@ -137,6 +366,11 @@ fn main() {
     if iter.peek().map(String::as_str) == Some("trace") {
         iter.next();
         trace_main(iter);
+        return;
+    }
+    if iter.peek().map(String::as_str) == Some("store") {
+        iter.next();
+        store_main(iter);
         return;
     }
     let mut file: Option<String> = None;

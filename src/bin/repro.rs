@@ -4,7 +4,7 @@
 //! ```text
 //! repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl]
 //!       [--scheduler serial|chunked|stealing] [--no-cache]
-//!       [--stream] [--stream-capacity N]
+//!       [--stream] [--stream-capacity N] [--store DIR]
 //!       [--trace FILE.jsonl] [--trace-chrome FILE.json] [--metrics FILE.json]
 //!
 //! EXPERIMENT: all (default) | table1 | ablation | table2 | figure2 |
@@ -23,6 +23,13 @@
 //!                 streaming body-size statistics (incompatible with
 //!                 experiment sections other than all/classmix).
 //! --stream-capacity N: streaming admission-window bound (default 32)
+//! --store DIR:    persist the scan into the content-addressed crawl store
+//!                 at DIR (created or crash-recovered on open). Records are
+//!                 appended to the CRC-framed segment log, message and
+//!                 screenshot bytes go to the deduplicating blob store, and
+//!                 messages whose content hash is already stored are
+//!                 skipped — rerunning against the same DIR is a delta
+//!                 scan. Requires --stream. Inspect with `crawl-log store`.
 //! --trace FILE:        write the sim-time span trace as JSONL (full mode:
 //!                      advisory worker/cache fields included)
 //! --trace-chrome FILE: write the trace in Chrome `trace_event` format —
@@ -37,6 +44,7 @@
 
 use cb_phishgen::{Corpus, CorpusSpec};
 use cb_stats::{Moments, P2Quantile};
+use cb_store::{Store, StoreSink};
 use crawlerbox::analysis::{analyze, fault_sweep, AnalysisReport};
 use crawlerbox::{
     ClassMixSink, CrawlerBox, ExportMode, RecordSink, ScanRecord, Scheduler, TruthLedger,
@@ -59,6 +67,7 @@ struct Args {
     caching: bool,
     stream: bool,
     stream_capacity: usize,
+    store: Option<String>,
     trace: Option<String>,
     trace_chrome: Option<String>,
     metrics: Option<String>,
@@ -73,7 +82,7 @@ impl Args {
 fn usage_exit(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
-        "usage: repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl] [--scheduler serial|chunked|stealing] [--no-cache] [--stream] [--stream-capacity N] [--trace FILE.jsonl] [--trace-chrome FILE.json] [--metrics FILE.json]"
+        "usage: repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl] [--scheduler serial|chunked|stealing] [--no-cache] [--stream] [--stream-capacity N] [--store DIR] [--trace FILE.jsonl] [--trace-chrome FILE.json] [--metrics FILE.json]"
     );
     std::process::exit(2);
 }
@@ -89,6 +98,7 @@ fn parse_args() -> Args {
         caching: true,
         stream: false,
         stream_capacity: 32,
+        store: None,
         trace: None,
         trace_chrome: None,
         metrics: None,
@@ -132,6 +142,12 @@ fn parse_args() -> Args {
                     None => usage_exit("--log needs a file path"),
                 };
             }
+            "--store" => {
+                args.store = match iter.next() {
+                    Some(p) => Some(p),
+                    None => usage_exit("--store needs a directory path"),
+                };
+            }
             "--trace" => {
                 args.trace = match iter.next() {
                     Some(p) => Some(p),
@@ -171,6 +187,9 @@ fn parse_args() -> Args {
     }
     if args.experiment == "faults" && args.wants_telemetry() {
         usage_exit("--trace/--trace-chrome/--metrics don't apply to the fault sweep (it runs its own three pipelines)");
+    }
+    if args.store.is_some() && !args.stream {
+        usage_exit("--store persists through the streaming sink; combine it with --stream");
     }
     args
 }
@@ -320,6 +339,30 @@ fn run_stream(args: &Args, spec: &CorpusSpec) {
     cbx.parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
+    let store = args.store.as_ref().map(|dir| {
+        match Store::open(std::path::Path::new(dir)) {
+            Ok(s) => s,
+            Err(e) => usage_exit(&format!("cannot open store {dir}: {e}")),
+        }
+    });
+    if let Some(store) = &store {
+        let recovery = store.recovery();
+        if let Some(torn) = &recovery.torn {
+            eprintln!(
+                "store: recovered torn tail in {} (dropped {} bytes: {})",
+                torn.segment.display(),
+                torn.dropped_bytes,
+                torn.reason
+            );
+        }
+        eprintln!(
+            "store: {} record(s), {} blob(s) already on disk — re-recorded messages will be skipped",
+            recovery.records, recovery.blobs
+        );
+        cbx = cbx
+            .with_known_hashes(store.known_hashes())
+            .with_artifact_capture(true);
+    }
     let ledger = TruthLedger::new();
     let tap = ledger.clone();
     let mut sink = StreamSummary {
@@ -329,7 +372,25 @@ fn run_stream(args: &Args, spec: &CorpusSpec) {
         log,
     };
     eprintln!("scanning {total} reported messages through the streaming pipeline ...");
-    let delivered = cbx.scan_stream(stream.inspect(move |m| tap.note(m.truth.class)), &mut sink);
+    let stream = stream.inspect(move |m| tap.note(m.truth.class));
+    let (delivered, store_stats) = match store {
+        None => (cbx.scan_stream(stream, &mut sink), None),
+        Some(store) => {
+            let mut persisting = StoreSink::with_inner(store, sink);
+            let delivered = cbx.scan_stream(stream, &mut persisting);
+            let (store, inner) = match persisting.finish() {
+                Ok(done) => done,
+                Err(e) => usage_exit(&format!("store write failed: {e}")),
+            };
+            sink = inner;
+            let stats = store.stats();
+            eprintln!(
+                "store: {} record(s) in {} segment(s) ({} log bytes), {} blob(s), {} dedup hit(s)",
+                stats.records, stats.segments, stats.log_bytes, stats.blobs, stats.blob_dedup_hits
+            );
+            (delivered, Some(stats))
+        }
+    };
     write_telemetry(args, &cbx);
     let stats = cbx.stats();
     eprintln!("scan stats: {stats}");
@@ -360,6 +421,7 @@ fn run_stream(args: &Args, spec: &CorpusSpec) {
                 "median": sink.body_median.estimate(),
             },
             "stats": stats,
+            "store": store_stats,
         });
         println!(
             "{}",

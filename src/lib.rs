@@ -18,6 +18,7 @@ pub mod prelude {
     pub use cb_phishkit::{Brand, CloakConfig, PhishingSite};
     pub use cb_qr::{decode_matrix, encode_bytes, EcLevel};
     pub use cb_sim::{SimDuration, SimTime};
+    pub use cb_store::{cluster_campaigns, Store, StoreOptions, StoreSink};
     pub use crawlerbox::analysis::{analyze, AnalysisReport};
     pub use crawlerbox::{CrawlerBox, ScanRecord};
 }

@@ -1,0 +1,389 @@
+//! End-to-end tests for the persistent crawl store: on-disk byte
+//! determinism across schedulers and cache settings, torn-tail crash
+//! recovery with incremental re-scan, blob dedup, compaction, corruption
+//! detection, campaign clustering from disk, and the `crawl-log store` /
+//! `repro --store` CLI surfaces.
+
+use cb_artifacts::fingerprint;
+use cb_phishgen::{Corpus, CorpusSpec, MessageClass, ReportedMessage};
+use cb_sim::SimTime;
+use cb_store::{cluster_campaigns, Store, StoreOptions, StoreSink};
+use crawlerbox::{ArtifactKind, CapturedArtifact, CrawlerBox, ScanRecord, Scheduler};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const SCHEDULERS: [Scheduler; 3] = [
+    Scheduler::Serial,
+    Scheduler::StaticChunk,
+    Scheduler::WorkStealing,
+];
+
+/// A per-test scratch directory under the OS temp dir (the workspace has
+/// no tempfile dependency); removed eagerly at the start so a crashed
+/// earlier run never leaks state into this one.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cb-store-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn corpus_subset(seed: u64, n: usize) -> (Corpus, Vec<ReportedMessage>) {
+    let corpus = Corpus::generate(&CorpusSpec::paper().with_scale(0.01), seed);
+    let subset = corpus.messages.iter().take(n).cloned().collect();
+    (corpus, subset)
+}
+
+/// Raw bytes of every segment file in the (first-generation) log, in
+/// segment order — the strongest possible determinism witness.
+fn segment_bytes(root: &Path) -> Vec<Vec<u8>> {
+    cb_store::segment::list_segments(&root.join("segments-00000"))
+        .unwrap()
+        .into_iter()
+        .map(|(_, path)| std::fs::read(path).unwrap())
+        .collect()
+}
+
+fn synthetic_record(id: usize, hash: u128, class: MessageClass) -> ScanRecord {
+    ScanRecord {
+        message_id: id,
+        content_hash: hash,
+        delivered_at: SimTime::EPOCH,
+        auth_pass: false,
+        extracted: Vec::new(),
+        visits: Vec::new(),
+        body_bytes: 10,
+        blank_line_run: 0,
+        class,
+        error: None,
+        artifacts: Vec::new(),
+    }
+}
+
+/// The tentpole acceptance check: streaming a corpus through `StoreSink`
+/// writes byte-identical segment files for every scheduler, with caches on
+/// or off, and the payloads read back equal to the canonical encoding of
+/// an in-memory reference capture. Reopening the store reproduces the same
+/// log with a clean verify.
+#[test]
+fn store_round_trip_is_byte_identical_across_configs() {
+    let (corpus, subset) = corpus_subset(11, 24);
+    let mut reference: Vec<ScanRecord> = Vec::new();
+    CrawlerBox::new(&corpus.world)
+        .with_scheduler(Scheduler::Serial)
+        .with_caching(false)
+        .with_artifact_capture(true)
+        .with_stream_capacity(4)
+        .scan_stream(subset.iter().cloned(), &mut reference);
+    assert_eq!(reference.len(), subset.len());
+    assert!(
+        reference.iter().any(|r| !r.artifacts.is_empty()),
+        "capture should attach at least message artifacts"
+    );
+    let expected: Vec<Vec<u8>> = reference
+        .iter()
+        .map(|r| serde_json::to_vec(r).unwrap())
+        .collect();
+
+    let mut golden: Option<Vec<Vec<u8>>> = None;
+    for scheduler in SCHEDULERS {
+        for caching in [false, true] {
+            let dir = scratch(&format!("rt-{scheduler:?}-{caching}"));
+            let cbx = CrawlerBox::new(&corpus.world)
+                .with_scheduler(scheduler)
+                .with_caching(caching)
+                .with_artifact_capture(true)
+                .with_stream_capacity(4);
+            let mut sink = StoreSink::new(Store::open(&dir).unwrap());
+            let delivered = cbx.scan_stream(subset.iter().cloned(), &mut sink);
+            assert_eq!(delivered, subset.len(), "{scheduler:?} caching {caching}");
+            assert_eq!(sink.appended(), subset.len());
+            let (mut store, ()) = sink.finish().unwrap();
+            assert_eq!(
+                store.read_payloads().unwrap(),
+                expected,
+                "payloads diverged ({scheduler:?}, caching {caching})"
+            );
+            drop(store);
+
+            let mut reopened = Store::open(&dir).unwrap();
+            assert!(reopened.recovery().torn.is_none());
+            assert_eq!(reopened.len(), subset.len());
+            assert_eq!(
+                reopened.read_payloads().unwrap(),
+                expected,
+                "reopen replay diverged ({scheduler:?}, caching {caching})"
+            );
+            assert!(reopened.verify().unwrap().is_clean());
+
+            let bytes = segment_bytes(&dir);
+            match &golden {
+                None => golden = Some(bytes),
+                Some(g) => assert_eq!(
+                    &bytes, g,
+                    "on-disk segment bytes diverged ({scheduler:?}, caching {caching})"
+                ),
+            }
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+/// The crash-recovery satellite: chop bytes off the tail of the last
+/// segment (a torn mid-append write), reopen, and the store truncates the
+/// torn frame, verifies clean, and an incremental re-scan with the
+/// recovered skip set re-processes exactly the lost message.
+#[test]
+fn torn_tail_is_truncated_and_incremental_rescan_fills_the_gap() {
+    let (corpus, subset) = corpus_subset(5, 10);
+    let dir = scratch("torn");
+    let cbx = CrawlerBox::new(&corpus.world)
+        .with_artifact_capture(true)
+        .with_stream_capacity(4);
+    let mut sink = StoreSink::new(Store::open(&dir).unwrap());
+    cbx.scan_stream(subset.iter().cloned(), &mut sink);
+    let (store, ()) = sink.finish().unwrap();
+    let total = store.len();
+    assert_eq!(total, subset.len());
+    drop(store);
+
+    // Tear the tail: the crash happened mid-append of the last frame.
+    let segments = cb_store::segment::list_segments(&dir.join("segments-00000")).unwrap();
+    let (_, last_segment) = segments.last().unwrap();
+    let len = std::fs::metadata(last_segment).unwrap().len();
+    let file = std::fs::OpenOptions::new().write(true).open(last_segment).unwrap();
+    file.set_len(len - 7).unwrap();
+    drop(file);
+
+    let mut store = Store::open(&dir).unwrap();
+    let torn = store.recovery().torn.clone().expect("torn tail must be reported");
+    assert_eq!(torn.segment, *last_segment);
+    assert!(torn.dropped_bytes > 0);
+    assert_eq!(store.len(), total - 1, "exactly the mid-append record is lost");
+    assert!(
+        store.verify().unwrap().is_clean(),
+        "truncation leaves a CRC-clean log"
+    );
+
+    // Incremental re-scan: only the torn-away message is re-processed.
+    let known = store.known_hashes();
+    assert_eq!(known.len(), total - 1);
+    let cbx = CrawlerBox::new(&corpus.world)
+        .with_artifact_capture(true)
+        .with_known_hashes(known)
+        .with_stream_capacity(4);
+    let mut sink = StoreSink::new(store);
+    let delivered = cbx.scan_stream(subset.iter().cloned(), &mut sink);
+    assert_eq!(delivered, 1, "only the lost record is rescanned");
+    assert_eq!(cbx.stats().skipped_known, (total - 1) as u64);
+    let (mut store, ()) = sink.finish().unwrap();
+    assert_eq!(store.len(), total);
+    let mut ids: Vec<usize> = store.read_all().unwrap().iter().map(|r| r.message_id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (0..subset.len()).collect::<Vec<_>>(), "log is complete again");
+    assert!(store.verify().unwrap().is_clean());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Blob-store contract: artifacts are content-addressed, deduplicated
+/// across records, and read back byte-identical.
+#[test]
+fn blob_store_dedups_and_reads_back() {
+    let dir = scratch("blob");
+    let mut store = Store::open(&dir).unwrap();
+    let shared = b"the same screenshot bitmap".to_vec();
+    let shared_hash = fingerprint::fnv128(&shared);
+    for id in 0..3usize {
+        let unique = format!("message body {id}").into_bytes();
+        let mut record = synthetic_record(id, id as u128 + 1, MessageClass::ActivePhish);
+        record.artifacts = vec![
+            CapturedArtifact {
+                kind: ArtifactKind::Message,
+                hash: fingerprint::fnv128(&unique),
+                bytes: unique,
+            },
+            CapturedArtifact {
+                kind: ArtifactKind::Screenshot,
+                hash: shared_hash,
+                bytes: shared.clone(),
+            },
+        ];
+        store.append(&record).unwrap();
+    }
+    // 3 unique message blobs + 1 shared screenshot blob.
+    assert_eq!(store.blobs().len(), 4);
+    assert_eq!(store.stats().blob_dedup_hits, 2);
+    assert_eq!(store.blob(shared_hash).unwrap().as_deref(), Some(shared.as_slice()));
+    assert_eq!(store.blob(0xdead_beef).unwrap(), None);
+    assert!(store.verify().unwrap().is_clean());
+
+    // Reopen re-indexes the blob directory.
+    drop(store);
+    let store = Store::open(&dir).unwrap();
+    assert_eq!(store.recovery().blobs, 4);
+    assert!(store.blobs().contains(shared_hash));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Compaction keeps the newest record per content hash, swaps generations
+/// atomically, and the compacted store survives reopen and further
+/// appends.
+#[test]
+fn compaction_keeps_newest_record_per_content_hash() {
+    let dir = scratch("compact");
+    let mut store = Store::open(&dir).unwrap();
+    store.append(&synthetic_record(0, 1, MessageClass::NoResource)).unwrap();
+    store.append(&synthetic_record(1, 2, MessageClass::ErrorPage)).unwrap();
+    // Same content hash as seq 0: a re-record that supersedes it.
+    store.append(&synthetic_record(2, 1, MessageClass::ActivePhish)).unwrap();
+
+    let report = store.compact().unwrap();
+    assert_eq!((report.kept, report.dropped), (2, 1));
+    let records = store.read_all().unwrap();
+    assert_eq!(records.len(), 2);
+    assert_eq!(records[0].message_id, 1, "survivors keep log order");
+    assert_eq!(records[1].message_id, 2, "the newer duplicate wins");
+    assert_eq!(records[1].class, MessageClass::ActivePhish);
+
+    // The generation swap is visible on disk and survives reopen.
+    assert!(!dir.join("segments-00000").exists(), "old generation removed");
+    assert!(dir.join("segments-00001").is_dir());
+    drop(store);
+    let mut store = Store::open(&dir).unwrap();
+    assert_eq!(store.len(), 2);
+    assert!(store.contains_hash(1) && store.contains_hash(2));
+    store.append(&synthetic_record(3, 9, MessageClass::Download)).unwrap();
+    store.flush().unwrap();
+    assert_eq!(store.len(), 3);
+    assert!(store.verify().unwrap().is_clean());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Corruption that is not a torn tail must never be silently dropped:
+/// `verify` reports it as a fault and a fresh open refuses the store.
+#[test]
+fn interior_corruption_fails_open_and_verify_flags_it() {
+    let dir = scratch("corrupt");
+    // A 1-byte segment target seals one record per segment file.
+    let opts = StoreOptions { segment_target_bytes: 1, ..StoreOptions::default() };
+    let mut store = Store::open_with(&dir, opts.clone()).unwrap();
+    for id in 0..3usize {
+        store.append(&synthetic_record(id, id as u128 + 10, MessageClass::NoResource)).unwrap();
+    }
+    let seg0 = dir.join("segments-00000").join("seg-00000.cbl");
+    let mut bytes = std::fs::read(&seg0).unwrap();
+    let at = bytes.len() - 2;
+    bytes[at] ^= 0xFF;
+    std::fs::write(&seg0, &bytes).unwrap();
+
+    let report = store.verify().unwrap();
+    assert!(!report.is_clean());
+    assert!(report.faults.iter().any(|f| f.path == seg0), "{report:?}");
+    assert_eq!(report.records, 2, "the other segments still verify");
+
+    // A flipped byte in an interior segment is corruption, not a crash.
+    drop(store);
+    let err = Store::open_with(&dir, opts).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The forensics layer runs against a store reopened from disk alone:
+/// campaign clustering partitions every record and is a pure function of
+/// the rebuilt index.
+#[test]
+fn campaign_clustering_runs_from_a_reopened_store() {
+    let (corpus, subset) = corpus_subset(3, 30);
+    let dir = scratch("campaigns");
+    let cbx = CrawlerBox::new(&corpus.world)
+        .with_artifact_capture(true)
+        .with_stream_capacity(8);
+    let mut sink = StoreSink::new(Store::open(&dir).unwrap());
+    cbx.scan_stream(subset.iter().cloned(), &mut sink);
+    let (store, ()) = sink.finish().unwrap();
+    drop(store);
+
+    let store = Store::open(&dir).unwrap();
+    let campaigns = cluster_campaigns(store.index());
+    let clustered: usize = campaigns.iter().map(|c| c.len()).sum();
+    assert_eq!(clustered, store.len(), "every record is in exactly one campaign");
+    for (i, c) in campaigns.iter().enumerate() {
+        assert_eq!(c.id, i, "campaign ids are dense and ordered");
+        assert!(!c.is_empty());
+    }
+    let again = cluster_campaigns(store.index());
+    let seqs: Vec<_> = campaigns.iter().map(|c| c.seqs.clone()).collect();
+    let seqs_again: Vec<_> = again.iter().map(|c| c.seqs.clone()).collect();
+    assert_eq!(seqs, seqs_again, "clustering is deterministic");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// CLI satellite: unknown subcommands and flags exit nonzero with a usage
+/// message on stderr.
+#[test]
+fn crawl_log_cli_rejects_unknown_input() {
+    let bin = env!("CARGO_BIN_EXE_crawl-log");
+    for args in [
+        vec!["store", "/nonexistent", "frobnicate"],
+        vec!["store"],
+        vec!["store", "/nonexistent", "query", "--wat"],
+        vec!["--bogus"],
+    ] {
+        let out = Command::new(bin).args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?} should exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage:"), "{args:?} stderr: {stderr}");
+        assert!(stderr.contains("error:"), "{args:?} stderr: {stderr}");
+    }
+}
+
+/// CLI satellite: the store query surface runs clean against a real store
+/// written by the library, and `repro` refuses `--store` without
+/// `--stream`.
+#[test]
+fn crawl_log_cli_store_queries_run_clean() {
+    let (corpus, subset) = corpus_subset(7, 8);
+    let dir = scratch("cli");
+    let cbx = CrawlerBox::new(&corpus.world)
+        .with_artifact_capture(true)
+        .with_stream_capacity(4);
+    let mut sink = StoreSink::new(Store::open(&dir).unwrap());
+    cbx.scan_stream(subset.iter().cloned(), &mut sink);
+    let (store, ()) = sink.finish().unwrap();
+    drop(store);
+
+    let bin = env!("CARGO_BIN_EXE_crawl-log");
+    let dir_arg = dir.to_str().unwrap();
+
+    let out = Command::new(bin).args(["store", dir_arg, "stats"]).output().unwrap();
+    assert!(out.status.success(), "stats failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("8 records"), "{stdout}");
+    assert!(stdout.contains("class mix:"), "{stdout}");
+
+    let out = Command::new(bin).args(["store", dir_arg, "verify"]).output().unwrap();
+    assert!(out.status.success(), "verify failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("store is clean"));
+
+    let out = Command::new(bin)
+        .args(["store", dir_arg, "campaigns", "--min-size", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "campaigns failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("campaign(s)"));
+
+    let out = Command::new(bin)
+        .args(["store", dir_arg, "query", "--limit", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "query failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("matching record(s)"));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["classmix", "--store", dir_arg])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "--store without --stream must be rejected");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--stream"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
