@@ -17,7 +17,7 @@
 //! schedulers disagree about most.
 
 use cb_bench::{bench_corpus, skewed_batch};
-use cb_store::{Store, StoreSink};
+use cb_store::{Store, StoreOptions, StoreSink};
 use crawlerbox::{CrawlerBox, ScanRecord, Scheduler};
 use std::time::Instant;
 
@@ -49,6 +49,15 @@ struct StreamArm {
     residency_bound: u64,
 }
 
+/// One recovery-replay arm: cold reopen of a persisted log at a given
+/// shard fan-out (segment replay + index rebuild over the recovery pool).
+struct RecoveryArm {
+    shards: usize,
+    records: usize,
+    secs: f64,
+    records_per_sec: f64,
+}
+
 fn scheduler_name(s: Scheduler) -> &'static str {
     match s {
         Scheduler::Serial => "serial",
@@ -77,11 +86,20 @@ fn main() {
     );
 
     // Serial cache-free reference: the identity baseline for every arm.
-    let reference_json = {
+    // The sorted per-record form is for the store arms, whose read-back
+    // order is shard-major rather than batch order.
+    let (reference_json, reference_sorted) = {
         let cbx = CrawlerBox::new(&corpus.world)
             .with_scheduler(Scheduler::Serial)
             .with_caching(false);
-        serde_json::to_string(&cbx.scan_all(&batch)).expect("serialize reference")
+        let records = cbx.scan_all(&batch);
+        let json = serde_json::to_string(&records).expect("serialize reference");
+        let mut sorted: Vec<String> = records
+            .iter()
+            .map(|r| serde_json::to_string(r).expect("serialize reference record"))
+            .collect();
+        sorted.sort();
+        (json, sorted)
     };
 
     let arms = [
@@ -261,7 +279,6 @@ fn main() {
     let _ = std::fs::remove_dir_all(&store_root);
     let store_capacity = 32usize;
     let mut store_rates = Vec::new(); // [persist=false, persist=true]
-    let mut last_store_dir = None;
     for persist in [false, true] {
         let mut secs = 0.0f64;
         for iteration in 0..iters {
@@ -279,13 +296,17 @@ fn main() {
                 cbx.scan_stream(batch.iter().cloned(), &mut sink);
                 let (mut store, ()) = sink.finish().expect("finish bench store");
                 secs += started.elapsed().as_secs_f64();
-                let persisted = store.read_all().expect("read back bench store");
+                let mut persisted: Vec<String> = store
+                    .read_all()
+                    .expect("read back bench store")
+                    .iter()
+                    .map(|r| serde_json::to_string(r).expect("serialize persisted record"))
+                    .collect();
+                persisted.sort();
                 assert_eq!(
-                    serde_json::to_string(&persisted).expect("serialize persisted records"),
-                    reference_json,
+                    persisted, reference_sorted,
                     "persisted log diverged from the serial cache-free reference"
                 );
-                last_store_dir = Some(dir);
             } else {
                 let mut records: Vec<ScanRecord> = Vec::with_capacity(batch.len());
                 let started = Instant::now();
@@ -302,23 +323,49 @@ fn main() {
     let store_overhead_pct = (1.0 - store_rates[1] / store_rates[0]) * 100.0;
     eprintln!("store-sink overhead (work_stealing streaming): {store_overhead_pct:.1}% (target < 15%)");
 
-    // Recovery arm: reopen the last persisted store and time the full
-    // segment replay + index rebuild.
-    let recovery_dir = last_store_dir.expect("store arm ran");
-    let started = Instant::now();
-    let recovered = Store::open(&recovery_dir).expect("recover bench store");
-    let recovery_secs = started.elapsed().as_secs_f64();
-    let recovered_records = recovered.len();
-    assert_eq!(recovered_records, batch.len(), "recovery replayed the whole log");
-    let recovery_records_per_sec = if recovery_secs > 0.0 {
-        recovered_records as f64 / recovery_secs
-    } else {
-        f64::INFINITY
-    };
-    drop(recovered);
-    eprintln!(
-        "  recovery: {recovered_records} records in {recovery_secs:.3}s  {recovery_records_per_sec:9.1} records/sec"
-    );
+    // Recovery-replay arms: persist the same batch once per shard count,
+    // then time a cold reopen — segment replay + index rebuild fanned over
+    // the recovery worker pool — at fan-outs 1, 2, 4 and 8. The persisted
+    // content is identical across arms; only the shard layout varies.
+    let mut recovery_arms: Vec<RecoveryArm> = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let dir = store_root.join(format!("recovery-{shards}"));
+        {
+            let store = Store::open_with(&dir, StoreOptions { shards, ..StoreOptions::default() })
+                .expect("open recovery store");
+            let mut sink = StoreSink::new(store);
+            let mut cbx = CrawlerBox::new(&corpus.world)
+                .with_scheduler(Scheduler::WorkStealing)
+                .with_caching(true)
+                .with_stream_capacity(store_capacity)
+                .with_artifact_capture(true);
+            cbx.parallelism = WORKERS;
+            cbx.scan_stream(batch.iter().cloned(), &mut sink);
+            let (store, ()) = sink.finish().expect("finish recovery store");
+            assert_eq!(store.shard_count(), shards);
+        }
+        let started = Instant::now();
+        let recovered = Store::open_with(&dir, StoreOptions { shards, ..StoreOptions::default() })
+            .expect("recover bench store");
+        let secs = started.elapsed().as_secs_f64();
+        assert_eq!(recovered.len(), batch.len(), "shards={shards}: recovery lost records");
+        assert!(
+            recovered.recovery().quarantined.is_empty(),
+            "shards={shards}: clean log must recover without quarantine"
+        );
+        drop(recovered);
+        let arm = RecoveryArm {
+            shards,
+            records: batch.len(),
+            secs,
+            records_per_sec: if secs > 0.0 { batch.len() as f64 / secs } else { f64::INFINITY },
+        };
+        eprintln!(
+            "  recovery shards={:<2} {} records in {:.3}s  {:9.1} records/sec",
+            arm.shards, arm.records, arm.secs, arm.records_per_sec
+        );
+        recovery_arms.push(arm);
+    }
     let _ = std::fs::remove_dir_all(&store_root);
 
     let report = serde_json::json!({
@@ -364,11 +411,12 @@ fn main() {
             "on_msgs_per_sec": store_rates[1],
             "overhead_pct": store_overhead_pct,
             "target_pct": 15.0,
-            "recovery": {
-                "records": recovered_records,
-                "secs": recovery_secs,
-                "records_per_sec": recovery_records_per_sec,
-            },
+            "recovery_arms": recovery_arms.iter().map(|r| serde_json::json!({
+                "shards": r.shards,
+                "records": r.records,
+                "secs": r.secs,
+                "records_per_sec": r.records_per_sec,
+            })).collect::<Vec<_>>(),
         },
         "speedup_stealing_cached_vs_chunked_uncached": speedup,
         "streaming_vs_batch_stealing_ratio": streaming_ratio,

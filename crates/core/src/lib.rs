@@ -37,6 +37,7 @@ pub mod classify;
 pub mod extract;
 pub mod logging;
 pub mod pipeline;
+pub mod pool;
 pub mod sink;
 
 pub use classify::SpearClassifier;
@@ -46,4 +47,5 @@ pub use extract::{
 pub use logging::{ArtifactKind, CapturedArtifact, ScanRecord, ScanStats, VisitLog};
 pub use cb_telemetry::{ExportMode, MetricsRegistry, Trace};
 pub use pipeline::{message_content_hash, CrawlerBox, ScanPolicy, Scheduler};
+pub use pool::run_stealing;
 pub use sink::{ClassMixSink, CountingSink, RecordSink, TruthLedger};

@@ -21,10 +21,9 @@ use cb_telemetry::{
     CounterHandle, Determinism, ExportMode, GaugeHandle, HistogramHandle, MetricsRegistry, Trace,
     Tracer,
 };
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The content identity of a reported message: the 128-bit FNV hash of its
 /// raw wire bytes. This is the key the persistent store dedups on and the
@@ -741,37 +740,16 @@ impl<'a> CrawlerBox<'a> {
     /// beyond a worker's fair (static-chunk) share counts as a steal.
     fn scan_stealing(&self, messages: &[ReportedMessage], workers: usize) -> Vec<ScanRecord> {
         let fair_chunk = messages.len().div_ceil(workers);
-        let next = AtomicUsize::new(0);
-        let mut slots: Vec<Mutex<Option<ScanRecord>>> = Vec::new();
-        slots.resize_with(messages.len(), || Mutex::new(None));
-        let _ = crossbeam::thread::scope(|scope| {
-            for w in 0..workers {
-                let next = &next;
-                let slots = &slots;
-                scope.spawn(move |_| {
-                    cb_telemetry::set_worker(Some(w));
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= messages.len() {
-                            break;
-                        }
-                        if i / fair_chunk != w {
-                            self.m.steals.incr();
-                        }
-                        *slots[i].lock() = Some(self.scan_caught(&messages[i]));
-                    }
-                    cb_telemetry::set_worker(None);
-                });
+        crate::pool::run_stealing(workers, messages.len(), |w, i| {
+            if i / fair_chunk != w {
+                self.m.steals.incr();
             }
-        });
-        slots
-            .into_iter()
-            .zip(messages)
-            .map(|(s, m)| {
-                s.into_inner()
-                    .unwrap_or_else(|| degraded_record(m, "scan worker died"))
-            })
-            .collect()
+            self.scan_caught(&messages[i])
+        })
+        .into_iter()
+        .zip(messages)
+        .map(|(s, m)| s.unwrap_or_else(|| degraded_record(m, "scan worker died")))
+        .collect()
     }
 
     /// Scan a lazily produced message stream with bounded memory, delivering

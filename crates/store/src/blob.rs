@@ -6,12 +6,23 @@
 //! already uses for message content hashes and artifact-decode cache keys,
 //! so a record's `content_hash` doubles as its raw message's blob address.
 //! Identical bytes are stored once no matter how many records or campaigns
-//! reference them. Writes go through a temp file and an atomic rename, so
-//! a crash never leaves a partially written blob under its final name.
+//! reference them.
+//!
+//! Durability discipline: a blob is written to a temp file, fsynced, and
+//! renamed into place — so a crash never exposes a half-written blob under
+//! its final name — and the rename itself only becomes durable once the
+//! blob *directory* is fsynced, which [`BlobStore::sync`] does for every
+//! rename since the last barrier. Blobs are written before the record
+//! frame that references them, so the worst a crash can leave is an
+//! *orphan* blob (no referencing frame), which
+//! [`Store::gc_orphan_blobs`](crate::Store::gc_orphan_blobs) collects —
+//! never a frame whose evidence is missing.
 
+use crate::vfs::Vfs;
 use cb_artifacts::fingerprint::fnv128;
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// File name of the blob addressed by `hash`.
 pub fn blob_file_name(hash: u128) -> String {
@@ -39,23 +50,28 @@ pub struct BlobFault {
 /// The deduplicating blob directory.
 #[derive(Debug)]
 pub struct BlobStore {
+    vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     known: HashSet<u128>,
+    /// Renames since the last directory fsync (cleared by [`sync`]).
+    pending_dir_sync: bool,
 }
 
 impl BlobStore {
     /// Open (creating if needed) the blob directory and index the blobs
-    /// already present.
-    pub fn open(dir: &Path) -> std::io::Result<BlobStore> {
-        std::fs::create_dir_all(dir)?;
+    /// already present. Stray `.tmp` files from a crash mid-`put` are
+    /// removed.
+    pub fn open(vfs: Arc<dyn Vfs>, dir: &Path) -> std::io::Result<BlobStore> {
+        vfs.create_dir_all(dir)?;
         let mut known = HashSet::new();
-        for entry in std::fs::read_dir(dir)? {
-            let entry = entry?;
-            if let Some(hash) = entry.file_name().to_str().and_then(parse_blob_name) {
+        for name in vfs.read_dir_names(dir)? {
+            if let Some(hash) = parse_blob_name(&name) {
                 known.insert(hash);
+            } else if name.ends_with(".tmp") {
+                vfs.remove_file(&dir.join(name))?;
             }
         }
-        Ok(BlobStore { dir: dir.to_path_buf(), known })
+        Ok(BlobStore { vfs, dir: dir.to_path_buf(), known, pending_dir_sync: false })
     }
 
     /// Store `bytes` under `hash`. Returns `true` when bytes were written,
@@ -69,10 +85,24 @@ impl BlobStore {
             return Ok(false);
         }
         let tmp = self.dir.join(format!("{hash:032x}.tmp"));
-        std::fs::write(&tmp, bytes)?;
-        std::fs::rename(&tmp, self.dir.join(blob_file_name(hash)))?;
+        self.vfs.write(&tmp, bytes)?;
+        self.vfs.fsync(&tmp)?;
+        self.vfs.rename(&tmp, &self.dir.join(blob_file_name(hash)))?;
+        self.pending_dir_sync = true;
         self.known.insert(hash);
         Ok(true)
+    }
+
+    /// Make every rename since the last barrier durable by fsyncing the
+    /// blob directory. Called by [`Store::sync`](crate::Store::sync)
+    /// *before* the segment writers sync, preserving blob-before-frame
+    /// ordering on disk.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        if self.pending_dir_sync {
+            self.vfs.sync_dir(&self.dir)?;
+            self.pending_dir_sync = false;
+        }
+        Ok(())
     }
 
     /// Read the blob at `hash`, if present.
@@ -80,7 +110,7 @@ impl BlobStore {
         if !self.known.contains(&hash) {
             return Ok(None);
         }
-        std::fs::read(self.dir.join(blob_file_name(hash))).map(Some)
+        self.vfs.read(&self.dir.join(blob_file_name(hash))).map(Some)
     }
 
     /// Whether `hash` is stored.
@@ -105,12 +135,27 @@ impl BlobStore {
         v
     }
 
+    /// Remove every blob whose address is not in `live`. Returns the
+    /// removed addresses, sorted. Used by orphan GC after crash recovery.
+    pub fn remove_except(&mut self, live: &HashSet<u128>) -> std::io::Result<Vec<u128>> {
+        let orphans: Vec<u128> =
+            self.hashes().into_iter().filter(|h| !live.contains(h)).collect();
+        for &hash in &orphans {
+            self.vfs.remove_file(&self.dir.join(blob_file_name(hash)))?;
+            self.known.remove(&hash);
+        }
+        if !orphans.is_empty() {
+            self.vfs.sync_dir(&self.dir)?;
+        }
+        Ok(orphans)
+    }
+
     /// Re-read and re-hash every blob, returning the faults found (missing
     /// files, bytes that no longer hash to their address).
     pub fn verify(&self) -> std::io::Result<Vec<BlobFault>> {
         let mut faults = Vec::new();
         for hash in self.hashes() {
-            match std::fs::read(self.dir.join(blob_file_name(hash))) {
+            match self.vfs.read(&self.dir.join(blob_file_name(hash))) {
                 Err(e) => faults.push(BlobFault { hash, reason: format!("unreadable: {e}") }),
                 Ok(bytes) => {
                     let got = fnv128(&bytes);
@@ -130,6 +175,7 @@ impl BlobStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::RealVfs;
 
     fn scratch(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("cb-blob-{tag}-{}", std::process::id()));
@@ -140,17 +186,18 @@ mod tests {
     #[test]
     fn put_get_dedup_round_trip() {
         let dir = scratch("roundtrip");
-        let mut blobs = BlobStore::open(&dir).unwrap();
+        let mut blobs = BlobStore::open(RealVfs::arc(), &dir).unwrap();
         let bytes = b"screenshot bytes".to_vec();
         let hash = fnv128(&bytes);
         assert!(blobs.put(hash, &bytes).unwrap(), "first write stores");
         assert!(!blobs.put(hash, &bytes).unwrap(), "second write dedups");
+        blobs.sync().unwrap();
         assert_eq!(blobs.get(hash).unwrap(), Some(bytes));
         assert_eq!(blobs.get(1).unwrap(), None);
         assert_eq!(blobs.len(), 1);
 
         // Reopen re-indexes from the directory.
-        let reopened = BlobStore::open(&dir).unwrap();
+        let reopened = BlobStore::open(RealVfs::arc(), &dir).unwrap();
         assert!(reopened.contains(hash));
         assert!(reopened.verify().unwrap().is_empty());
         let _ = std::fs::remove_dir_all(&dir);
@@ -159,7 +206,7 @@ mod tests {
     #[test]
     fn verify_reports_tampered_blob() {
         let dir = scratch("tamper");
-        let mut blobs = BlobStore::open(&dir).unwrap();
+        let mut blobs = BlobStore::open(RealVfs::arc(), &dir).unwrap();
         let bytes = b"original".to_vec();
         let hash = fnv128(&bytes);
         blobs.put(hash, &bytes).unwrap();
@@ -167,6 +214,36 @@ mod tests {
         let faults = blobs.verify().unwrap();
         assert_eq!(faults.len(), 1);
         assert_eq!(faults[0].hash, hash);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_except_collects_only_orphans() {
+        let dir = scratch("gc");
+        let mut blobs = BlobStore::open(RealVfs::arc(), &dir).unwrap();
+        let live_bytes = b"referenced".to_vec();
+        let orphan_bytes = b"orphaned".to_vec();
+        let live_hash = fnv128(&live_bytes);
+        let orphan_hash = fnv128(&orphan_bytes);
+        blobs.put(live_hash, &live_bytes).unwrap();
+        blobs.put(orphan_hash, &orphan_bytes).unwrap();
+        blobs.sync().unwrap();
+        let live: HashSet<u128> = [live_hash].into_iter().collect();
+        assert_eq!(blobs.remove_except(&live).unwrap(), vec![orphan_hash.min(orphan_hash)]);
+        assert!(blobs.contains(live_hash));
+        assert!(!blobs.contains(orphan_hash));
+        assert_eq!(blobs.remove_except(&live).unwrap(), Vec::new(), "idempotent");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_clears_stray_tmp_files() {
+        let dir = scratch("straytmp");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("0123.tmp"), b"half-written").unwrap();
+        let blobs = BlobStore::open(RealVfs::arc(), &dir).unwrap();
+        assert!(blobs.is_empty());
+        assert!(!dir.join("0123.tmp").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

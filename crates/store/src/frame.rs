@@ -19,6 +19,38 @@ pub const FRAME_HEADER_LEN: usize = 9;
 /// Frame kind: a canonically encoded [`ScanRecord`](crawlerbox::ScanRecord).
 pub const KIND_RECORD: u8 = 1;
 
+/// Frame kind: the blob addresses referenced by the *next* record frame —
+/// a concatenation of little-endian `u128` fnv128 hashes. Written before
+/// its record so a crash between the two leaves at worst an orphan blob
+/// plus an unreferenced blob-ref frame, never a record whose evidence is
+/// missing. Replaying these frames is what makes orphan-blob GC possible:
+/// artifact hashes are deliberately absent from the canonical record
+/// payload.
+pub const KIND_BLOB_REF: u8 = 2;
+
+/// Decode a [`KIND_BLOB_REF`] payload into its blob addresses. `None` when
+/// the payload length is not a multiple of 16.
+pub fn decode_blob_refs(payload: &[u8]) -> Option<Vec<u128>> {
+    if payload.len() % 16 != 0 {
+        return None;
+    }
+    Some(
+        payload
+            .chunks_exact(16)
+            .map(|c| u128::from_le_bytes(c.try_into().expect("16 bytes")))
+            .collect(),
+    )
+}
+
+/// Encode blob addresses as a [`KIND_BLOB_REF`] payload.
+pub fn encode_blob_refs(hashes: &[u128]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(hashes.len() * 16);
+    for h in hashes {
+        out.extend_from_slice(&h.to_le_bytes());
+    }
+    out
+}
+
 /// Upper bound on a single payload — anything larger reads as corruption
 /// rather than a 4 GiB allocation.
 pub const MAX_PAYLOAD_LEN: u32 = 64 * 1024 * 1024;
@@ -70,7 +102,7 @@ pub fn next_frame(buf: &[u8], at: usize) -> FrameStep<'_> {
         };
     }
     let kind = buf[at];
-    if kind != KIND_RECORD {
+    if kind != KIND_RECORD && kind != KIND_BLOB_REF {
         return FrameStep::Torn { at, reason: format!("unknown frame kind {kind:#x}") };
     }
     let len = u32::from_le_bytes(buf[at + 1..at + 5].try_into().expect("4 bytes"));
@@ -140,6 +172,17 @@ mod tests {
                 other => panic!("cut at {cut}: first frame unreadable: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn blob_ref_payload_round_trips() {
+        let hashes = vec![1u128, u128::MAX, 0xDEAD_BEEF_CAFE];
+        let payload = encode_blob_refs(&hashes);
+        assert_eq!(decode_blob_refs(&payload), Some(hashes));
+        assert_eq!(decode_blob_refs(&[]), Some(Vec::new()));
+        assert_eq!(decode_blob_refs(&[0u8; 15]), None, "partial hash is invalid");
+        let frame = encode_frame(KIND_BLOB_REF, &payload);
+        assert!(matches!(next_frame(&frame, 0), FrameStep::Frame { kind: KIND_BLOB_REF, .. }));
     }
 
     #[test]

@@ -17,16 +17,24 @@
 //! * **Blob store** — content-addressed artifact bytes (raw messages,
 //!   screenshots) keyed on the pipeline's existing fnv128 hashes,
 //!   deduplicating identical bytes across messages and campaigns.
-//! * **Recovery & queries** — [`Store::open`] replays segments, truncates
-//!   a torn tail after a crash, and rebuilds the in-memory [`StoreIndex`]
-//!   (by domain, certificate fingerprint, screenshot phash, class and
-//!   content hash); [`query::cluster_campaigns`] reproduces the paper's
-//!   campaign clustering from disk; [`Store::known_hashes`] +
+//! * **Shards, recovery & queries** — the log is partitioned by
+//!   content-hash prefix into independent [shards](shard), each with its
+//!   own generation pointer. [`Store::open`] replays every shard in
+//!   parallel over the workspace's work-stealing pool, truncates torn
+//!   tails after a crash, quarantines (rather than fails on) corrupted
+//!   shards, and rebuilds the per-shard [`StoreIndex`] (by domain,
+//!   certificate fingerprint, screenshot phash, class and content hash);
+//!   [`Store::campaigns`] reproduces the paper's campaign clustering
+//!   across shards via [`CampaignClusterer`]; [`Store::known_hashes`] +
 //!   [`CrawlerBox::with_known_hashes`](crawlerbox::CrawlerBox::with_known_hashes)
-//!   turn a repeated scan into a cheap delta scan.
+//!   turn a repeated scan into a cheap delta scan, and [`Store::repair`]
+//!   returns a quarantined shard to service from its last valid frames.
 //!
-//! Everything is plain `std` file I/O over the workspace's existing
-//! crates — no new dependencies.
+//! Everything is plain `std` file I/O behind the [`vfs::Vfs`] seam —
+//! [`vfs::FaultVfs`] injects deterministic short writes, fsync failures
+//! and crash points for the crash-consistency sweep in
+//! `tests/store_chaos.rs` — over the workspace's existing crates: no new
+//! dependencies.
 //!
 //! # Example
 //!
@@ -53,14 +61,17 @@ pub mod frame;
 pub mod index;
 pub mod query;
 pub mod segment;
+pub mod shard;
 pub mod sink;
 pub mod store;
+pub mod vfs;
 
 pub use blob::{BlobFault, BlobStore};
 pub use index::{url_token_scheme, RecordMeta, StoreIndex};
-pub use query::{cluster_campaigns, Campaign};
+pub use query::{cluster_campaigns, Campaign, CampaignClusterer};
+pub use shard::{shard_of, RepairReport, Shard, ShardHealth, TornTail};
 pub use sink::StoreSink;
 pub use store::{
-    CompactReport, RecoveryReport, Store, StoreOptions, StoreStats, TornTail, VerifyFault,
-    VerifyReport,
+    CompactReport, RecoveryReport, Store, StoreOptions, StoreStats, VerifyFault, VerifyReport,
 };
+pub use vfs::{FaultVfs, IoFaultKind, IoFaultPlan, RealVfs, Vfs};

@@ -4,25 +4,41 @@
 //! The paper mines its ten-month record for campaign structure by linking
 //! crawls that share evidence: identical screenshot perceptual hashes,
 //! identical TLS certificate fingerprints, and URLs stamped from the same
-//! token template. This module reproduces that as a union-find over the
-//! [`StoreIndex`]'s metas — two records join the same campaign when they
-//! co-occur on any of the three axes. Campaign ids are assigned in order
-//! of each cluster's earliest log entry, so the clustering is
-//! deterministic for a deterministic log.
+//! token template. This module reproduces that as a union-find over
+//! record metas — two records join the same campaign when they co-occur
+//! on any of the three axes.
+//!
+//! With the store sharded by content hash, campaign members scatter
+//! across shards (campaigns share *infrastructure*, not message bytes),
+//! so the union-find is built incrementally: [`CampaignClusterer`] merges
+//! one shard's index at a time, carrying the evidence-key
+//! representatives across shards, and quarantined shards simply
+//! contribute nothing. Campaign ids are assigned in order of each
+//! cluster's earliest member (shard-major, then log order), so the
+//! clustering is deterministic for a deterministic log.
 
-use crate::index::StoreIndex;
+use crate::index::{RecordMeta, StoreIndex};
 use cb_phishgen::MessageClass;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-/// Disjoint-set forest with path halving and union by size.
+/// Disjoint-set forest with path halving and union by size, growable one
+/// node at a time so shards can merge in incrementally.
 struct UnionFind {
     parent: Vec<usize>,
     size: Vec<usize>,
 }
 
 impl UnionFind {
-    fn new(n: usize) -> UnionFind {
-        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+    fn new() -> UnionFind {
+        UnionFind { parent: Vec::new(), size: Vec::new() }
+    }
+
+    /// Add a fresh singleton node; returns its id.
+    fn push(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.size.push(1);
+        id
     }
 
     fn find(&mut self, mut x: usize) -> usize {
@@ -44,16 +60,21 @@ impl UnionFind {
         self.parent[rb] = ra;
         self.size[ra] += self.size[rb];
     }
+
+    fn len(&self) -> usize {
+        self.parent.len()
+    }
 }
 
 /// One campaign cluster and its shared evidence.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Campaign {
-    /// Campaign id (dense, ordered by earliest member's log position).
+    /// Campaign id (dense, ordered by earliest member).
     pub id: usize,
-    /// Log seqs of member records, ascending.
-    pub seqs: Vec<usize>,
-    /// Corpus message ids of members, in seq order.
+    /// Member records as `(shard id, in-shard log seq)`, in merge order
+    /// (shard-major, then ascending seq).
+    pub members: Vec<(usize, usize)>,
+    /// Corpus message ids of members, in member order.
     pub message_ids: Vec<usize>,
     /// Landing domains across members.
     pub domains: BTreeSet<String>,
@@ -70,97 +91,152 @@ pub struct Campaign {
 impl Campaign {
     /// Number of member records.
     pub fn len(&self) -> usize {
-        self.seqs.len()
+        self.members.len()
     }
 
-    /// Whether the campaign has no members (never produced by
-    /// [`cluster_campaigns`]).
+    /// Whether the campaign has no members (never produced by the
+    /// clusterer).
     pub fn is_empty(&self) -> bool {
-        self.seqs.is_empty()
+        self.members.is_empty()
     }
 }
 
-/// Cluster the log into campaigns by shared screenshot phash, certificate
-/// fingerprint and URL token scheme.
+/// Incremental cross-shard campaign clustering: feed each shard's metas
+/// (or any stream of metas) with [`CampaignClusterer::add`], then
+/// [`CampaignClusterer::finish`].
+///
+/// Evidence-key representatives persist across `add` calls, so a phash
+/// seen in shard 0 links a shard 3 record added later — the union-find
+/// merges incrementally instead of requiring one flat index.
+#[derive(Default)]
+pub struct CampaignClusterer {
+    uf: UnionFind,
+    /// `(shard, seq)` of each union-find node, in add order.
+    members: Vec<(usize, usize)>,
+    /// Cloned meta of each node (the aggregation source for `finish`).
+    metas: Vec<RecordMeta>,
+    by_phash: HashMap<u64, usize>,
+    by_cert: HashMap<u64, usize>,
+    by_scheme: HashMap<String, usize>,
+}
+
+impl Default for UnionFind {
+    fn default() -> UnionFind {
+        UnionFind::new()
+    }
+}
+
+impl CampaignClusterer {
+    /// An empty clusterer.
+    pub fn new() -> CampaignClusterer {
+        CampaignClusterer::default()
+    }
+
+    /// Merge one record's meta in, unioning it with the first-seen
+    /// representative of every evidence key it carries.
+    pub fn add(&mut self, shard: usize, meta: &RecordMeta) {
+        let node = self.uf.push();
+        self.members.push((shard, meta.seq));
+        for &p in &meta.phashes {
+            match self.by_phash.get(&p) {
+                Some(&first) => self.uf.union(first, node),
+                None => {
+                    self.by_phash.insert(p, node);
+                }
+            }
+        }
+        for &fp in &meta.cert_fingerprints {
+            match self.by_cert.get(&fp) {
+                Some(&first) => self.uf.union(first, node),
+                None => {
+                    self.by_cert.insert(fp, node);
+                }
+            }
+        }
+        for scheme in &meta.url_schemes {
+            match self.by_scheme.get(scheme.as_str()) {
+                Some(&first) => self.uf.union(first, node),
+                None => {
+                    self.by_scheme.insert(scheme.clone(), node);
+                }
+            }
+        }
+        self.metas.push(meta.clone());
+    }
+
+    /// Merge a whole shard index in, in log order.
+    pub fn add_index(&mut self, shard: usize, index: &StoreIndex) {
+        for meta in index.metas() {
+            self.add(shard, meta);
+        }
+    }
+
+    /// Records merged so far.
+    pub fn len(&self) -> usize {
+        self.uf.len()
+    }
+
+    /// Whether nothing has been merged.
+    pub fn is_empty(&self) -> bool {
+        self.uf.len() == 0
+    }
+
+    /// Resolve the clusters into [`Campaign`]s, ids assigned in order of
+    /// each cluster's earliest member.
+    pub fn finish(mut self) -> Vec<Campaign> {
+        // Group members under their root, keyed by the cluster's earliest
+        // node (BTreeMap gives ascending id assignment for free).
+        let n = self.uf.len();
+        let mut min_of_root: HashMap<usize, usize> = HashMap::new();
+        for node in 0..n {
+            let root = self.uf.find(node);
+            let entry = min_of_root.entry(root).or_insert(node);
+            *entry = (*entry).min(node);
+        }
+        let mut clusters: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for node in 0..n {
+            let root = self.uf.find(node);
+            clusters.entry(min_of_root[&root]).or_default().push(node);
+        }
+
+        clusters
+            .into_values()
+            .enumerate()
+            .map(|(id, nodes)| {
+                let mut campaign = Campaign {
+                    id,
+                    members: nodes.iter().map(|&x| self.members[x]).collect(),
+                    message_ids: nodes.iter().map(|&x| self.metas[x].message_id).collect(),
+                    domains: BTreeSet::new(),
+                    cert_fingerprints: BTreeSet::new(),
+                    phashes: BTreeSet::new(),
+                    url_schemes: BTreeSet::new(),
+                    classes: BTreeMap::new(),
+                };
+                for &node in &nodes {
+                    let meta = &self.metas[node];
+                    campaign.domains.extend(meta.domains.iter().cloned());
+                    campaign.cert_fingerprints.extend(meta.cert_fingerprints.iter().copied());
+                    campaign.phashes.extend(meta.phashes.iter().copied());
+                    campaign.url_schemes.extend(meta.url_schemes.iter().cloned());
+                    *campaign.classes.entry(meta.class).or_insert(0) += 1;
+                }
+                campaign
+            })
+            .collect()
+    }
+}
+
+/// Cluster a single flat index into campaigns (all members report shard
+/// 0). The multi-shard path is [`Store::campaigns`](crate::Store::campaigns).
 ///
 /// Every record lands in exactly one cluster; records sharing no evidence
 /// with anything else come back as singleton campaigns (filter on
 /// [`Campaign::len`] for "real" campaigns).
 pub fn cluster_campaigns(index: &StoreIndex) -> Vec<Campaign> {
-    let metas = index.metas();
-    let mut uf = UnionFind::new(metas.len());
-
-    // Union every pair sharing an evidence key, via first-seen
-    // representatives per key.
-    let mut by_phash: HashMap<u64, usize> = HashMap::new();
-    let mut by_cert: HashMap<u64, usize> = HashMap::new();
-    let mut by_scheme: HashMap<&str, usize> = HashMap::new();
-    for meta in metas {
-        for &p in &meta.phashes {
-            match by_phash.get(&p) {
-                Some(&first) => uf.union(first, meta.seq),
-                None => {
-                    by_phash.insert(p, meta.seq);
-                }
-            }
-        }
-        for &fp in &meta.cert_fingerprints {
-            match by_cert.get(&fp) {
-                Some(&first) => uf.union(first, meta.seq),
-                None => {
-                    by_cert.insert(fp, meta.seq);
-                }
-            }
-        }
-        for scheme in &meta.url_schemes {
-            match by_scheme.get(scheme.as_str()) {
-                Some(&first) => uf.union(first, meta.seq),
-                None => {
-                    by_scheme.insert(scheme, meta.seq);
-                }
-            }
-        }
-    }
-
-    // Group members under their root, keyed by the cluster's earliest seq
-    // (BTreeMap gives ascending id assignment for free).
-    let mut clusters: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-    let mut min_of_root: HashMap<usize, usize> = HashMap::new();
-    for seq in 0..metas.len() {
-        let root = uf.find(seq);
-        let entry = min_of_root.entry(root).or_insert(seq);
-        *entry = (*entry).min(seq);
-    }
-    for seq in 0..metas.len() {
-        let root = uf.find(seq);
-        clusters.entry(min_of_root[&root]).or_default().push(seq);
-    }
-
-    clusters
-        .into_values()
-        .enumerate()
-        .map(|(id, seqs)| {
-            let mut campaign = Campaign {
-                id,
-                message_ids: seqs.iter().map(|&s| metas[s].message_id).collect(),
-                seqs,
-                domains: BTreeSet::new(),
-                cert_fingerprints: BTreeSet::new(),
-                phashes: BTreeSet::new(),
-                url_schemes: BTreeSet::new(),
-                classes: BTreeMap::new(),
-            };
-            for &seq in &campaign.seqs {
-                let meta = &metas[seq];
-                campaign.domains.extend(meta.domains.iter().cloned());
-                campaign.cert_fingerprints.extend(meta.cert_fingerprints.iter().copied());
-                campaign.phashes.extend(meta.phashes.iter().copied());
-                campaign.url_schemes.extend(meta.url_schemes.iter().cloned());
-                *campaign.classes.entry(meta.class).or_insert(0) += 1;
-            }
-            campaign
-        })
-        .collect()
+    let mut clusterer = CampaignClusterer::new();
+    clusterer.add_index(0, index);
+    clusterer.finish()
 }
 
 #[cfg(test)]
@@ -207,9 +283,9 @@ mod tests {
             meta(5, &[0xBB], &[9], &["m9"]),
         ]);
         assert_eq!(campaigns.len(), 3);
-        assert_eq!(campaigns[0].seqs, vec![0, 1, 2], "transitively linked");
-        assert_eq!(campaigns[1].seqs, vec![3, 4]);
-        assert_eq!(campaigns[2].seqs, vec![5], "singleton survives as its own cluster");
+        assert_eq!(campaigns[0].members, vec![(0, 0), (0, 1), (0, 2)], "transitively linked");
+        assert_eq!(campaigns[1].members, vec![(0, 3), (0, 4)]);
+        assert_eq!(campaigns[2].members, vec![(0, 5)], "singleton survives as its own cluster");
         assert_eq!(campaigns[0].id, 0);
         assert_eq!(campaigns[2].id, 2);
         assert_eq!(campaigns[0].phashes.len(), 1);
@@ -220,5 +296,33 @@ mod tests {
     #[test]
     fn empty_index_clusters_to_nothing() {
         assert!(cluster_campaigns(&StoreIndex::new()).is_empty());
+    }
+
+    #[test]
+    fn evidence_links_across_shards() {
+        // Shard 0 seq 0 and shard 3 seq 1 share a cert; shard 1 seq 0 is
+        // alone. The representative from the first add_index must survive
+        // into the later one.
+        let mut a = StoreIndex::new();
+        a.insert_meta_for_test(meta(0, &[], &[42], &[]));
+        let mut b = StoreIndex::new();
+        b.insert_meta_for_test(meta(0, &[0xCC], &[], &[]));
+        let mut c = StoreIndex::new();
+        c.insert_meta_for_test(meta(0, &[], &[], &[]));
+        c.insert_meta_for_test(meta(1, &[], &[42], &[]));
+
+        let mut clusterer = CampaignClusterer::new();
+        clusterer.add_index(0, &a);
+        clusterer.add_index(1, &b);
+        clusterer.add_index(3, &c);
+        let campaigns = clusterer.finish();
+        assert_eq!(campaigns.len(), 3);
+        assert_eq!(
+            campaigns[0].members,
+            vec![(0, 0), (3, 1)],
+            "cert 42 links shard 0 to shard 3"
+        );
+        assert_eq!(campaigns[1].members, vec![(1, 0)]);
+        assert_eq!(campaigns[2].members, vec![(3, 0)]);
     }
 }

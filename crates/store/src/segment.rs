@@ -1,15 +1,19 @@
 //! Segment files: the append-only units of the record log.
 //!
-//! A store's log is a directory of `seg-NNNNN.cbl` files, each a plain
+//! A shard's log is a directory of `seg-NNNNN.cbl` files, each a plain
 //! concatenation of [frames](crate::frame). Writers only ever append to the
 //! highest-numbered segment and roll to a fresh one once it passes the
 //! configured target size; readers replay segments in index order. Only the
 //! last segment can legitimately end in a torn tail (a crash mid-append) —
-//! a bad frame anywhere else is corruption, not a crash artifact.
+//! a bad frame anywhere else is corruption, which quarantines the shard.
+//!
+//! All I/O goes through the store's [`Vfs`](crate::vfs::Vfs) so the
+//! crash-point sweep can drive it through
+//! [`FaultVfs`](crate::vfs::FaultVfs).
 
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Write};
+use crate::vfs::{Vfs, VfsFile};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// File name of segment `index` (fixed-width so lexicographic order is
 /// numeric order).
@@ -28,22 +32,21 @@ pub fn parse_segment_name(name: &str) -> Option<u32> {
 
 /// Segment files under `dir`, sorted by index. Non-segment files are
 /// ignored (editors, temp files).
-pub fn list_segments(dir: &Path) -> std::io::Result<Vec<(u32, PathBuf)>> {
+pub fn list_segments(vfs: &dyn Vfs, dir: &Path) -> std::io::Result<Vec<(u32, PathBuf)>> {
     let mut out = Vec::new();
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        if let Some(index) = entry.file_name().to_str().and_then(parse_segment_name) {
-            out.push((index, entry.path()));
+    for name in vfs.read_dir_names(dir)? {
+        if let Some(index) = parse_segment_name(&name) {
+            out.push((index, dir.join(name)));
         }
     }
     out.sort_by_key(|(i, _)| *i);
     Ok(out)
 }
 
-/// Buffered appender over one segment file.
+/// Appender over one segment file, writing through the store's VFS.
 #[derive(Debug)]
 pub struct SegmentWriter {
-    writer: BufWriter<File>,
+    file: Box<dyn VfsFile>,
     index: u32,
     bytes: u64,
 }
@@ -51,37 +54,38 @@ pub struct SegmentWriter {
 impl SegmentWriter {
     /// Create segment `index` in `dir` (fails if it already exists — a
     /// writer never silently clobbers a segment).
-    pub fn create(dir: &Path, index: u32) -> std::io::Result<SegmentWriter> {
-        let file = OpenOptions::new()
-            .write(true)
-            .create_new(true)
-            .open(dir.join(segment_file_name(index)))?;
-        Ok(SegmentWriter { writer: BufWriter::new(file), index, bytes: 0 })
+    pub fn create(vfs: &Arc<dyn Vfs>, dir: &Path, index: u32) -> std::io::Result<SegmentWriter> {
+        let file = vfs.create_new(&dir.join(segment_file_name(index)))?;
+        Ok(SegmentWriter { file, index, bytes: 0 })
     }
 
     /// Reopen an existing segment for append; `bytes` is its current
     /// (post-recovery) length.
-    pub fn open_append(path: &Path, index: u32, bytes: u64) -> std::io::Result<SegmentWriter> {
-        let file = OpenOptions::new().append(true).open(path)?;
-        Ok(SegmentWriter { writer: BufWriter::new(file), index, bytes })
+    pub fn open_append(
+        vfs: &Arc<dyn Vfs>,
+        path: &Path,
+        index: u32,
+        bytes: u64,
+    ) -> std::io::Result<SegmentWriter> {
+        let file = vfs.open_append(path)?;
+        Ok(SegmentWriter { file, index, bytes })
     }
 
     /// Append one encoded frame; returns the frame's size in bytes.
     pub fn append(&mut self, frame: &[u8]) -> std::io::Result<u64> {
-        self.writer.write_all(frame)?;
+        self.file.write_all(frame)?;
         self.bytes += frame.len() as u64;
         Ok(frame.len() as u64)
     }
 
     /// Flush buffered frames to the OS.
     pub fn flush(&mut self) -> std::io::Result<()> {
-        self.writer.flush()
+        self.file.flush()
     }
 
     /// Flush and fsync — the durable-write barrier.
     pub fn sync(&mut self) -> std::io::Result<()> {
-        self.writer.flush()?;
-        self.writer.get_ref().sync_data()
+        self.file.sync()
     }
 
     /// This segment's index.

@@ -1,44 +1,62 @@
-//! The persistent crawl store: append-only record log + blob store +
-//! crash-safe open/recovery + compaction.
+//! The persistent crawl store: a hash-prefix-sharded append-only record
+//! log + blob store + crash-safe parallel recovery, quarantine and repair.
 //!
-//! # Layout
+//! # Layout (format v2)
 //!
 //! ```text
 //! <root>/
-//!   CURRENT              # name of the active segment generation (atomic pointer)
-//!   segments-00000/      # the active generation: seg-NNNNN.cbl frame files
-//!   blobs/               # content-addressed artifacts, <fnv128:032x>.blob
+//!   STORE                # manifest: "v2 shards=N" (written once, durably)
+//!   blobs/               # shared content-addressed artifacts, <fnv128:032x>.blob
+//!   shard-00/
+//!     CURRENT            # name of this shard's active generation (atomic pointer)
+//!     segments-00000/    # the active generation: seg-NNNNN.cbl frame files
+//!   shard-01/ ...
 //! ```
+//!
+//! Records are routed to shards by content-hash prefix
+//! ([`shard_of`](crate::shard::shard_of)); each shard is an independent
+//! segment log with its own generation pointer, so shards recover, compact
+//! and fail independently. A v1 store (`CURRENT` at the root) is migrated
+//! in place to a single-shard v2 layout on open.
 //!
 //! # Recovery contract
 //!
-//! [`Store::open`] replays every segment of the active generation in index
-//! order, CRC-checking each frame and rebuilding the in-memory
-//! [`StoreIndex`]. A bad frame at the tail of the **last** segment is a
-//! torn write from a crash: it is truncated away (and reported in the
-//! [`RecoveryReport`]), losing at most the record that was mid-append.
-//! A bad frame anywhere else is corruption and fails the open. Blob writes
-//! happen *before* the record frame that references them, so a recovered
-//! record's artifacts are always present; a crash can only orphan blobs,
-//! never dangle references.
+//! [`Store::open`] replays every shard — fanned out over the workspace's
+//! work-stealing pool, so recovery wall-clock scales with ~1/workers — and
+//! never hard-fails on corruption: a torn tail in a shard's last segment
+//! is truncated away (a crash artifact); anything worse quarantines that
+//! shard only. Queries, campaign clustering and `known_hashes` are served
+//! from the healthy shards, appends routed to a quarantined shard fail
+//! with an explicit error, and [`Store::repair`] re-adjudicates a
+//! quarantined shard from its last valid frames. [`Store::stats`] and the
+//! `store.shards.*` telemetry gauges surface the degraded state.
 //!
-//! # Compaction
+//! # Durability discipline
 //!
-//! [`Store::compact`] rewrites the log keeping the newest record per
-//! content hash, into a fresh generation directory, then atomically swaps
-//! the `CURRENT` pointer — a crash at any instant leaves `CURRENT` naming
-//! a complete generation. Blobs are never deleted by compaction (they are
-//! shared, content-addressed evidence).
+//! Blob bytes are written (temp + fsync + rename) *before* the record
+//! frame that references them; [`Store::sync`] fsyncs the blob directory,
+//! then each dirty shard's active segment, then any generation directory
+//! with freshly created segment files. `CURRENT` swaps write the new
+//! pointer to a temp file, fsync it, rename, and fsync the parent
+//! directory — rename alone is not durable across a crash. The crash-point
+//! sweep in `tests/store_chaos.rs` drives all of this through
+//! [`FaultVfs`](crate::vfs::FaultVfs) and fails if any acknowledged record
+//! can be lost.
 
 use crate::blob::BlobStore;
-use crate::frame::{encode_frame, next_frame, FrameStep, KIND_RECORD};
-use crate::index::StoreIndex;
-use crate::segment::{list_segments, SegmentWriter};
-use cb_telemetry::{with_active, CounterHandle, Determinism, MetricsRegistry, Trace, Tracer};
+use crate::index::RecordMeta;
+use crate::query::{Campaign, CampaignClusterer};
+use crate::shard::{shard_of, RepairReport, Shard, ShardHealth, TornTail};
+use crate::vfs::{RealVfs, Vfs};
+use cb_phishgen::MessageClass;
+use cb_telemetry::{
+    with_active, CounterHandle, Determinism, GaugeHandle, MetricsRegistry, Trace, Tracer,
+};
 use crawlerbox::ScanRecord;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Trace "message id" used for store-level (non-per-record) events like
 /// fsync, so they sort after every per-record span in the merged trace.
@@ -55,6 +73,11 @@ pub struct StoreOptions {
     pub fsync_each_append: bool,
     /// Record `store.*` telemetry spans (metrics counters are always on).
     pub tracing: bool,
+    /// Shard count for a store created by this open. An existing store's
+    /// manifest always wins — the count is fixed at creation.
+    pub shards: usize,
+    /// Worker threads for parallel shard recovery and compaction.
+    pub recovery_workers: usize,
 }
 
 impl Default for StoreOptions {
@@ -63,34 +86,27 @@ impl Default for StoreOptions {
             segment_target_bytes: 4 * 1024 * 1024,
             fsync_each_append: false,
             tracing: false,
+            shards: 4,
+            recovery_workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
         }
     }
 }
 
-/// What a torn tail looked like when [`Store::open`] truncated it.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TornTail {
-    /// The segment file that was truncated.
-    pub segment: PathBuf,
-    /// Valid bytes kept.
-    pub kept_bytes: u64,
-    /// Trailing bytes dropped.
-    pub dropped_bytes: u64,
-    /// Why the tail failed to parse.
-    pub reason: String,
-}
-
-/// What [`Store::open`] found and did.
+/// What [`Store::open`] found and did, across all shards.
 #[derive(Debug, Clone, Default)]
 pub struct RecoveryReport {
-    /// Segments replayed.
+    /// Segments replayed (all shards).
     pub segments: usize,
-    /// Records recovered into the index.
+    /// Records recovered into the indexes (healthy shards only).
     pub records: usize,
     /// Blobs indexed from the blob directory.
     pub blobs: usize,
-    /// The torn tail, when one was truncated.
-    pub torn: Option<TornTail>,
+    /// Torn tails truncated (at most one per shard).
+    pub torn: Vec<TornTail>,
+    /// Shards quarantined on open: `(shard id, reason)`.
+    pub quarantined: Vec<(usize, String)>,
 }
 
 /// One fault found by [`Store::verify`].
@@ -122,7 +138,7 @@ impl VerifyReport {
     }
 }
 
-/// What [`Store::compact`] rewrote.
+/// What [`Store::compact`] rewrote, summed over shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompactReport {
     /// Records kept (newest per content hash).
@@ -135,18 +151,23 @@ pub struct CompactReport {
     pub segments_after: usize,
 }
 
-/// Counter handles for the store's metric registry.
+/// Counter and gauge handles for the store's metric registry.
 #[derive(Debug)]
-struct StoreMetrics {
-    append_records: CounterHandle,
-    append_bytes: CounterHandle,
-    fsync_calls: CounterHandle,
-    recover_segments: CounterHandle,
-    recover_records: CounterHandle,
-    recover_truncated_bytes: CounterHandle,
-    blob_writes: CounterHandle,
-    blob_bytes: CounterHandle,
-    blob_dedup_hits: CounterHandle,
+pub(crate) struct StoreMetrics {
+    pub(crate) append_records: CounterHandle,
+    pub(crate) append_bytes: CounterHandle,
+    pub(crate) fsync_calls: CounterHandle,
+    pub(crate) recover_segments: CounterHandle,
+    pub(crate) recover_records: CounterHandle,
+    pub(crate) recover_truncated_bytes: CounterHandle,
+    pub(crate) blob_writes: CounterHandle,
+    pub(crate) blob_bytes: CounterHandle,
+    pub(crate) blob_dedup_hits: CounterHandle,
+    pub(crate) shards_total: GaugeHandle,
+    pub(crate) shards_quarantined: GaugeHandle,
+    pub(crate) repair_calls: CounterHandle,
+    pub(crate) repair_records: CounterHandle,
+    pub(crate) gc_blobs: CounterHandle,
 }
 
 impl StoreMetrics {
@@ -162,6 +183,11 @@ impl StoreMetrics {
             blob_writes: reg.counter("store.blob.writes", Deterministic),
             blob_bytes: reg.counter("store.blob.bytes", Deterministic),
             blob_dedup_hits: reg.counter("store.blob.dedup_hits", Deterministic),
+            shards_total: reg.gauge("store.shards.total", Deterministic),
+            shards_quarantined: reg.gauge("store.shards.quarantined", Deterministic),
+            repair_calls: reg.counter("store.repair.calls", Deterministic),
+            repair_records: reg.counter("store.repair.records", Deterministic),
+            gc_blobs: reg.counter("store.gc.blobs", Deterministic),
         }
     }
 }
@@ -169,14 +195,18 @@ impl StoreMetrics {
 /// Point-in-time store shape, assembled from the live counters (no I/O).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub struct StoreStats {
-    /// Records in the index (log entries).
+    /// Records served (healthy shards).
     pub records: usize,
-    /// Segment files in the active generation.
+    /// Segment files across all shards.
     pub segments: usize,
     /// Total log bytes (recovered + appended this session).
     pub log_bytes: u64,
     /// Distinct blobs stored.
     pub blobs: usize,
+    /// Shards in the store.
+    pub shards: usize,
+    /// Shards currently quarantined.
+    pub quarantined: usize,
     /// Records appended this session.
     pub appended: u64,
     /// Fsyncs issued this session.
@@ -185,29 +215,46 @@ pub struct StoreStats {
     pub blob_dedup_hits: u64,
 }
 
+impl StoreStats {
+    /// Whether any shard is quarantined.
+    pub fn is_degraded(&self) -> bool {
+        self.quarantined > 0
+    }
+}
+
 fn corrupt(path: &Path, what: impl std::fmt::Display) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("{}: {what}", path.display()))
 }
 
-/// Name of generation `n`'s segment directory.
-fn generation_dir_name(n: u32) -> String {
-    format!("segments-{n:05}")
+/// Parse the `STORE` manifest: `v2 shards=N`.
+fn parse_manifest(text: &str) -> Option<usize> {
+    let rest = text.trim().strip_prefix("v2 shards=")?;
+    let n: usize = rest.parse().ok()?;
+    (1..=256).contains(&n).then_some(n)
 }
 
-/// Parse a generation directory name.
-fn parse_generation_name(name: &str) -> Option<u32> {
-    let stem = name.strip_prefix("segments-")?;
-    if stem.len() != 5 || !stem.bytes().all(|b| b.is_ascii_digit()) {
-        return None;
+/// Durably create the `STORE` manifest.
+fn write_manifest(vfs: &Arc<dyn Vfs>, root: &Path, shards: usize) -> io::Result<()> {
+    let tmp = root.join("STORE.tmp");
+    vfs.write(&tmp, format!("v2 shards={shards}\n").as_bytes())?;
+    vfs.fsync(&tmp)?;
+    vfs.rename(&tmp, &root.join("STORE"))?;
+    vfs.sync_dir(root)
+}
+
+/// Migrate a v1 single-log store (`CURRENT` + `segments-*` at the root)
+/// into shard 0 of a 1-shard v2 layout.
+fn migrate_v1(vfs: &Arc<dyn Vfs>, root: &Path) -> io::Result<()> {
+    let shard0 = root.join(crate::shard::shard_dir_name(0));
+    vfs.create_dir_all(&shard0)?;
+    for name in vfs.read_dir_names(root)? {
+        if name == "CURRENT" || crate::shard::parse_generation_name(&name).is_some() {
+            vfs.rename(&root.join(&name), &shard0.join(&name))?;
+        }
     }
-    stem.parse().ok()
-}
-
-/// Atomically (write temp + rename) point `CURRENT` at generation `n`.
-fn write_current(root: &Path, n: u32) -> io::Result<()> {
-    let tmp = root.join("CURRENT.tmp");
-    std::fs::write(&tmp, generation_dir_name(n))?;
-    std::fs::rename(&tmp, root.join("CURRENT"))
+    vfs.sync_dir(&shard0)?;
+    vfs.sync_dir(root)?;
+    write_manifest(vfs, root, 1)
 }
 
 /// The persistent content-addressed crawl store.
@@ -215,13 +262,9 @@ fn write_current(root: &Path, n: u32) -> io::Result<()> {
 pub struct Store {
     root: PathBuf,
     opts: StoreOptions,
-    generation: u32,
-    writer: Option<SegmentWriter>,
-    next_segment: u32,
+    shards: Vec<Shard>,
     blobs: BlobStore,
-    index: StoreIndex,
     recovery: RecoveryReport,
-    log_bytes: u64,
     metrics: MetricsRegistry,
     m: StoreMetrics,
     tracer: Tracer,
@@ -233,7 +276,8 @@ impl Store {
     ///
     /// # Errors
     ///
-    /// I/O failure, or corruption outside the recoverable torn-tail case.
+    /// I/O failure. Corruption never fails the open — it quarantines the
+    /// affected shard (see [`Store::recovery`]).
     pub fn open(root: &Path) -> io::Result<Store> {
         Store::open_with(root, StoreOptions::default())
     }
@@ -243,119 +287,83 @@ impl Store {
     ///
     /// # Errors
     ///
-    /// I/O failure, or corruption outside the recoverable torn-tail case.
+    /// I/O failure, or an unreadable store manifest.
     pub fn open_with(root: &Path, opts: StoreOptions) -> io::Result<Store> {
-        std::fs::create_dir_all(root)?;
+        Store::open_with_vfs(root, opts, RealVfs::arc())
+    }
+
+    /// Open against an explicit [`Vfs`] — the injection point for
+    /// [`FaultVfs`](crate::vfs::FaultVfs)-driven crash and fault testing.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or an unreadable store manifest.
+    pub fn open_with_vfs(
+        root: &Path,
+        opts: StoreOptions,
+        vfs: Arc<dyn Vfs>,
+    ) -> io::Result<Store> {
+        assert!(opts.shards >= 1, "a store needs at least one shard");
+        vfs.create_dir_all(root)?;
         let metrics = MetricsRegistry::new();
         let m = StoreMetrics::register(&metrics);
         let tracer = Tracer::new(opts.tracing);
 
-        // Resolve the active generation; first open creates generation 0.
-        let current_path = root.join("CURRENT");
-        let generation = match std::fs::read_to_string(&current_path) {
-            Ok(name) => parse_generation_name(name.trim())
-                .ok_or_else(|| corrupt(&current_path, format!("bad generation name {name:?}")))?,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                std::fs::create_dir_all(root.join(generation_dir_name(0)))?;
-                write_current(root, 0)?;
-                0
-            }
-            Err(e) => return Err(e),
+        // Resolve the shard count: manifest > legacy migration > creation.
+        let manifest_path = root.join("STORE");
+        let shard_count = if vfs.exists(&manifest_path) {
+            let text = String::from_utf8_lossy(&vfs.read(&manifest_path)?).to_string();
+            parse_manifest(&text)
+                .ok_or_else(|| corrupt(&manifest_path, format!("bad manifest {text:?}")))?
+        } else if vfs.exists(&root.join("CURRENT")) {
+            migrate_v1(&vfs, root)?;
+            1
+        } else {
+            write_manifest(&vfs, root, opts.shards)?;
+            opts.shards
         };
-        let seg_dir = root.join(generation_dir_name(generation));
-        if !seg_dir.is_dir() {
-            return Err(corrupt(&current_path, "CURRENT names a missing generation"));
-        }
-        // Orphan generations (an interrupted compaction's leftovers, or an
-        // already-superseded log) are dead weight: remove them.
-        for entry in std::fs::read_dir(root)? {
-            let entry = entry?;
-            if let Some(g) = entry.file_name().to_str().and_then(parse_generation_name) {
-                if g != generation {
-                    std::fs::remove_dir_all(entry.path())?;
+
+        let blobs = BlobStore::open(Arc::clone(&vfs), &root.join("blobs"))?;
+
+        // Replay every shard over the work-stealing pool.
+        let workers = opts.recovery_workers.max(1).min(shard_count);
+        let opened = crawlerbox::run_stealing(workers, shard_count, |_, i| {
+            Shard::open(Arc::clone(&vfs), root, i, &opts, &blobs, &m, &tracer)
+        });
+        let mut shards = Vec::with_capacity(shard_count);
+        for (i, slot) in opened.into_iter().enumerate() {
+            match slot {
+                Some(Ok(shard)) => shards.push(shard),
+                Some(Err(e)) => return Err(e),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Other,
+                        format!("recovery worker died opening shard {i}"),
+                    ))
                 }
             }
         }
 
-        let blobs = BlobStore::open(&root.join("blobs"))?;
-
-        // Replay the log.
-        let segments = list_segments(&seg_dir)?;
-        let mut index = StoreIndex::new();
         let mut recovery = RecoveryReport { blobs: blobs.len(), ..RecoveryReport::default() };
-        let mut log_bytes = 0u64;
-        for (pos, (seg_index, path)) in segments.iter().enumerate() {
-            let last = pos + 1 == segments.len();
-            let buf = std::fs::read(path)?;
-            let mut at = 0usize;
-            let mut seg_records = 0usize;
-            let torn = loop {
-                match next_frame(&buf, at) {
-                    FrameStep::Frame { payload, next, .. } => {
-                        let record: ScanRecord = serde_json::from_slice(payload)
-                            .map_err(|e| corrupt(path, format!("undecodable record: {e}")))?;
-                        index.insert(&record);
-                        seg_records += 1;
-                        at = next;
-                    }
-                    FrameStep::End => break None,
-                    FrameStep::Torn { at: bad, reason } => {
-                        if !last {
-                            return Err(corrupt(
-                                path,
-                                format!("bad frame at {bad} in interior segment: {reason}"),
-                            ));
-                        }
-                        break Some((bad, reason));
-                    }
-                }
-            };
-            recovery.segments += 1;
-            recovery.records += seg_records;
-            self_trace_recover(&tracer, *seg_index, &buf, seg_records, torn.as_ref());
-            match torn {
-                None => log_bytes += buf.len() as u64,
-                Some((bad, reason)) => {
-                    let file = std::fs::OpenOptions::new().write(true).open(path)?;
-                    file.set_len(bad as u64)?;
-                    file.sync_data()?;
-                    let dropped = (buf.len() - bad) as u64;
-                    m.recover_truncated_bytes.add(dropped);
-                    recovery.torn = Some(TornTail {
-                        segment: path.clone(),
-                        kept_bytes: bad as u64,
-                        dropped_bytes: dropped,
-                        reason,
-                    });
-                    log_bytes += bad as u64;
-                }
+        for shard in &shards {
+            recovery.segments += shard.segments();
+            recovery.records += shard.len();
+            if let Some(torn) = shard.torn() {
+                recovery.torn.push(torn.clone());
+            }
+            if let ShardHealth::Quarantined { reason, .. } = shard.health() {
+                recovery.quarantined.push((shard.id(), reason.clone()));
             }
         }
-        m.recover_segments.add(recovery.segments as u64);
-        m.recover_records.add(recovery.records as u64);
-
-        // Continue appending to the last segment unless it is already at
-        // its target size.
-        let mut writer = None;
-        let mut next_segment = 0u32;
-        if let Some((seg_index, path)) = segments.last() {
-            next_segment = seg_index + 1;
-            let size = std::fs::metadata(path)?.len();
-            if size < opts.segment_target_bytes {
-                writer = Some(SegmentWriter::open_append(path, *seg_index, size)?);
-            }
-        }
+        m.shards_total.add(shard_count as u64);
+        m.shards_quarantined.add(recovery.quarantined.len() as u64);
 
         Ok(Store {
             root: root.to_path_buf(),
             opts,
-            generation,
-            writer,
-            next_segment,
+            shards,
             blobs,
-            index,
             recovery,
-            log_bytes,
             metrics,
             m,
             tracer,
@@ -363,14 +371,25 @@ impl Store {
     }
 
     /// Append one record: its artifacts go to the blob store first, then
-    /// the canonically encoded record is framed onto the log.
+    /// the canonically encoded record (preceded by a blob-ref frame when
+    /// artifacts are present) is framed onto its shard's log.
     ///
     /// # Errors
     ///
-    /// I/O failure writing blobs or the segment.
+    /// I/O failure writing blobs or the segment, or the record routing to
+    /// a quarantined shard (repair it first, or re-scan after repair).
     pub fn append(&mut self, record: &ScanRecord) -> io::Result<()> {
+        let shard_id = shard_of(record.content_hash, self.shards.len());
+        if !self.shards[shard_id].health().is_healthy() {
+            // Check health before writing blobs, so a refused append has
+            // no side effects.
+            return self.shards[shard_id].append_payload(&[], &[]).map(|_| ());
+        }
+
         // Blobs before the record frame: recovery must never surface a
-        // record whose artifacts are missing.
+        // record whose artifacts are missing. A crash in this window
+        // leaves orphan blobs for gc_orphan_blobs, never dangling refs.
+        let mut refs = Vec::with_capacity(record.artifacts.len());
         let mut blob_fields = Vec::with_capacity(record.artifacts.len());
         for artifact in &record.artifacts {
             let written = self.blobs.put(artifact.hash, &artifact.bytes)?;
@@ -380,24 +399,23 @@ impl Store {
             } else {
                 self.m.blob_dedup_hits.incr();
             }
+            refs.push(artifact.hash);
             blob_fields.push((artifact.kind.label(), artifact.bytes.len(), written));
         }
 
         let payload =
             serde_json::to_vec(record).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let frame = encode_frame(KIND_RECORD, &payload);
-        if self.writer.is_none() {
-            let seg_dir = self.root.join(generation_dir_name(self.generation));
-            self.writer = Some(SegmentWriter::create(&seg_dir, self.next_segment)?);
-            self.next_segment += 1;
-        }
-        let writer = self.writer.as_mut().expect("writer just ensured");
-        let wrote = writer.append(&frame)?;
-        self.log_bytes += wrote;
+        let wrote = self.shards[shard_id].append_payload(&payload, &refs)?;
         self.m.append_records.incr();
         self.m.append_bytes.add(wrote);
-        let rolled = writer.bytes() >= self.opts.segment_target_bytes;
-        self.index.insert(record);
+        self.shards[shard_id].index_record(record, refs);
+        if self.shards[shard_id].segment_full() {
+            // Seal the full segment durably — blobs first, so a frame can
+            // never become durable ahead of the evidence it references.
+            self.blobs.sync()?;
+            self.shards[shard_id].seal_active_segment()?;
+            self.m.fsync_calls.incr();
+        }
 
         if let Some(_guard) = self.tracer.message(record.message_id) {
             with_active(|t| {
@@ -405,6 +423,7 @@ impl Store {
                     "store.append",
                     vec![
                         ("bytes", payload.len().to_string()),
+                        ("shard", shard_id.to_string()),
                         ("hash", format!("{:032x}", record.content_hash)),
                     ],
                 );
@@ -425,13 +444,6 @@ impl Store {
         if self.opts.fsync_each_append {
             self.sync()?;
         }
-        if rolled {
-            // Seal the full segment (flush so the file is complete on disk)
-            // and start the next one lazily on the next append.
-            if let Some(mut w) = self.writer.take() {
-                w.flush()?;
-            }
-        }
         Ok(())
     }
 
@@ -439,41 +451,49 @@ impl Store {
     ///
     /// # Errors
     ///
-    /// I/O failure flushing the segment writer.
+    /// I/O failure flushing a segment writer.
     pub fn flush(&mut self) -> io::Result<()> {
-        if let Some(w) = self.writer.as_mut() {
-            w.flush()?;
+        for shard in &mut self.shards {
+            shard.flush()?;
         }
         Ok(())
     }
 
-    /// Flush and fsync the active segment — the durable-write barrier.
+    /// The durable-write barrier: fsync the blob directory (blob renames
+    /// become durable *before* the frames referencing them), then every
+    /// dirty shard's segment and generation directory.
     ///
     /// # Errors
     ///
     /// I/O failure flushing or syncing.
     pub fn sync(&mut self) -> io::Result<()> {
-        if let Some(w) = self.writer.as_mut() {
-            w.sync()?;
-            self.m.fsync_calls.incr();
+        self.blobs.sync()?;
+        let mut synced = 0u64;
+        for shard in &mut self.shards {
+            if shard.sync()? {
+                synced += 1;
+            }
+        }
+        if synced > 0 {
+            self.m.fsync_calls.add(synced);
             if let Some(_guard) = self.tracer.message(STORE_OP_TRACE_ID) {
                 with_active(|t| {
-                    t.instant("store.fsync", vec![("records", "1".to_string())]);
+                    t.instant("store.fsync", vec![("shards", synced.to_string())]);
                 });
             }
         }
         Ok(())
     }
 
-    /// Decode every record from disk, in log order.
+    /// Decode every record from disk, shard by shard in shard order (log
+    /// order within each shard).
     ///
     /// # Errors
     ///
-    /// I/O failure, or frames that fail CRC/decoding (a store that opened
-    /// cleanly and was not tampered with reads back cleanly).
+    /// I/O failure, frames that fail CRC/decoding, or any quarantined
+    /// shard (repair first).
     pub fn read_all(&mut self) -> io::Result<Vec<ScanRecord>> {
-        self.flush()?;
-        let mut out = Vec::with_capacity(self.index.len());
+        let mut out = Vec::new();
         for payload in self.read_payloads()? {
             out.push(
                 serde_json::from_slice(&payload)
@@ -483,82 +503,37 @@ impl Store {
         Ok(out)
     }
 
-    /// Raw canonical payload bytes of every record, in log order — the
-    /// byte-identity primitive the determinism tests compare.
+    /// Raw canonical payload bytes of every record, shard by shard in
+    /// shard order — the byte-identity primitive the determinism tests
+    /// compare. Blob-ref frames are not included.
     ///
     /// # Errors
     ///
-    /// I/O failure or non-clean frames.
+    /// I/O failure, non-clean frames, or any quarantined shard.
     pub fn read_payloads(&mut self) -> io::Result<Vec<Vec<u8>>> {
-        self.flush()?;
-        let seg_dir = self.root.join(generation_dir_name(self.generation));
-        let mut out = Vec::with_capacity(self.index.len());
-        for (_, path) in list_segments(&seg_dir)? {
-            let buf = std::fs::read(&path)?;
-            let mut at = 0usize;
-            loop {
-                match next_frame(&buf, at) {
-                    FrameStep::Frame { payload, next, .. } => {
-                        out.push(payload.to_vec());
-                        at = next;
-                    }
-                    FrameStep::End => break,
-                    FrameStep::Torn { at, reason } => {
-                        return Err(corrupt(&path, format!("bad frame at {at}: {reason}")));
-                    }
-                }
-            }
+        let mut out = Vec::new();
+        for shard in &mut self.shards {
+            out.extend(shard.read_payloads()?);
         }
         Ok(out)
     }
 
-    /// Walk every segment frame and every blob, CRC/hash-checking all of
-    /// it.
+    /// Walk every shard's frames and every blob, CRC/hash-checking all of
+    /// it, including that every blob ref on disk resolves to a stored
+    /// blob. A quarantined shard contributes a fault, not an error.
     ///
     /// # Errors
     ///
     /// Only on I/O failure listing directories; integrity problems are
-    /// returned as faults in the report, not errors.
+    /// returned as faults in the report.
     pub fn verify(&mut self) -> io::Result<VerifyReport> {
-        self.flush()?;
-        let seg_dir = self.root.join(generation_dir_name(self.generation));
         let mut report = VerifyReport::default();
-        for (_, path) in list_segments(&seg_dir)? {
-            report.segments += 1;
-            let buf = match std::fs::read(&path) {
-                Ok(b) => b,
-                Err(e) => {
-                    report
-                        .faults
-                        .push(VerifyFault { path, reason: format!("unreadable: {e}") });
-                    continue;
-                }
-            };
-            let mut at = 0usize;
-            loop {
-                match next_frame(&buf, at) {
-                    FrameStep::Frame { payload, next, .. } => {
-                        if let Err(e) = serde_json::from_slice::<ScanRecord>(payload) {
-                            report.faults.push(VerifyFault {
-                                path: path.clone(),
-                                reason: format!("undecodable record at {at}: {e}"),
-                            });
-                        } else {
-                            report.records += 1;
-                        }
-                        at = next;
-                    }
-                    FrameStep::End => break,
-                    FrameStep::Torn { at, reason } => {
-                        report.faults.push(VerifyFault {
-                            path: path.clone(),
-                            reason: format!("bad frame at {at}: {reason}"),
-                        });
-                        break;
-                    }
-                }
-            }
+        let mut faults: Vec<(PathBuf, String)> = Vec::new();
+        for shard in &mut self.shards {
+            shard.verify_into(&self.blobs, &mut report.records, &mut report.segments, &mut faults)?;
         }
+        report.faults =
+            faults.into_iter().map(|(path, reason)| VerifyFault { path, reason }).collect();
         report.blobs = self.blobs.len();
         for fault in self.blobs.verify()? {
             report.faults.push(VerifyFault {
@@ -569,116 +544,170 @@ impl Store {
         Ok(report)
     }
 
-    /// Rewrite the log keeping only the newest record per content hash,
-    /// into a fresh generation, and atomically swap `CURRENT` to it.
+    /// Compact every healthy shard (newest record per content hash), in
+    /// parallel over the recovery pool.
     ///
     /// # Errors
     ///
-    /// I/O failure; on error the old generation remains the active one.
+    /// I/O failure, or any shard quarantined (repair first — compaction
+    /// must not silently discard a quarantined shard's salvageable data).
     pub fn compact(&mut self) -> io::Result<CompactReport> {
+        if let Some((id, reason)) = self.quarantined().into_iter().next() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("cannot compact: shard {id} is quarantined ({reason})"),
+            ));
+        }
+        // Rewritten generations re-reference existing blobs; any pending
+        // blob renames must be durable before a new generation can be.
+        self.blobs.sync()?;
         self.flush()?;
-        let payloads = self.read_payloads()?;
-        let segments_before = {
-            let seg_dir = self.root.join(generation_dir_name(self.generation));
-            list_segments(&seg_dir)?.len()
+        let workers = self.opts.recovery_workers.max(1).min(self.shards.len());
+        let slots: Vec<std::sync::Mutex<&mut Shard>> =
+            self.shards.iter_mut().map(std::sync::Mutex::new).collect();
+        let results = crawlerbox::run_stealing(workers, slots.len(), |_, i| {
+            slots[i].lock().expect("shard slot").compact()
+        });
+        let mut report = CompactReport { kept: 0, dropped: 0, segments_before: 0, segments_after: 0 };
+        for (i, slot) in results.into_iter().enumerate() {
+            let (kept, dropped, before, after) = match slot {
+                Some(r) => r?,
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Other,
+                        format!("compaction worker died on shard {i}"),
+                    ))
+                }
+            };
+            report.kept += kept;
+            report.dropped += dropped;
+            report.segments_before += before;
+            report.segments_after += after;
+        }
+        Ok(report)
+    }
+
+    /// Repair shard `id`, or every quarantined shard when `None`:
+    /// re-adjudicate from the last valid frames, rewrite into a fresh
+    /// generation, return the shard(s) to service.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or an out-of-range shard id.
+    pub fn repair(&mut self, id: Option<usize>) -> io::Result<Vec<RepairReport>> {
+        let targets: Vec<usize> = match id {
+            Some(i) => {
+                if i >= self.shards.len() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("no shard {i}: store has {} shard(s)", self.shards.len()),
+                    ));
+                }
+                vec![i]
+            }
+            None => self
+                .shards
+                .iter()
+                .filter(|s| !s.health().is_healthy())
+                .map(Shard::id)
+                .collect(),
         };
-
-        // The newest record per content hash survives; order is preserved.
-        let mut latest: HashMap<u128, usize> = HashMap::new();
-        for (seq, meta) in self.index.metas().iter().enumerate() {
-            latest.insert(meta.content_hash, seq);
+        self.blobs.sync()?;
+        let mut reports = Vec::with_capacity(targets.len());
+        for i in targets {
+            reports.push(self.shards[i].repair(&self.blobs, &self.m)?);
         }
-        let survivors: Vec<usize> = (0..payloads.len())
-            .filter(|&seq| latest.get(&self.index.metas()[seq].content_hash) == Some(&seq))
-            .collect();
-
-        // Write the new generation fully before touching the pointer.
-        let new_generation = self.generation + 1;
-        let new_dir = self.root.join(generation_dir_name(new_generation));
-        std::fs::create_dir_all(&new_dir)?;
-        let mut seg_index = 0u32;
-        let mut writer: Option<SegmentWriter> = None;
-        for &seq in &survivors {
-            let frame = encode_frame(KIND_RECORD, &payloads[seq]);
-            if writer.is_none() {
-                writer = Some(SegmentWriter::create(&new_dir, seg_index)?);
-                seg_index += 1;
-            }
-            let w = writer.as_mut().expect("writer just ensured");
-            w.append(&frame)?;
-            if w.bytes() >= self.opts.segment_target_bytes {
-                w.sync()?;
-                writer = None;
-            }
-        }
-        if let Some(mut w) = writer {
-            w.sync()?;
-        }
-        if survivors.is_empty() {
-            // An empty generation still needs to exist for CURRENT.
-            std::fs::create_dir_all(&new_dir)?;
-        }
-
-        // The atomic swap: after this rename, reopen sees the new log.
-        write_current(&self.root, new_generation)?;
-        let old_dir = self.root.join(generation_dir_name(self.generation));
-        let _ = std::fs::remove_dir_all(&old_dir);
-
-        // Swap in-memory state: decode survivors into a fresh index.
-        let kept = survivors.len();
-        let dropped = payloads.len() - kept;
-        let mut index = StoreIndex::new();
-        let mut log_bytes = 0u64;
-        for &seq in &survivors {
-            let record: ScanRecord = serde_json::from_slice(&payloads[seq])
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-            index.insert(&record);
-            log_bytes += (payloads[seq].len() + crate::frame::FRAME_HEADER_LEN) as u64;
-        }
-        self.generation = new_generation;
-        self.index = index;
-        self.log_bytes = log_bytes;
-        self.writer = None;
-        self.next_segment = seg_index;
-        // A partially filled final segment stays open for future appends.
-        let segs = list_segments(&new_dir)?;
-        if let Some((idx, path)) = segs.last() {
-            let size = std::fs::metadata(path)?.len();
-            if size < self.opts.segment_target_bytes {
-                self.writer = Some(SegmentWriter::open_append(path, *idx, size)?);
-            }
-        }
-        Ok(CompactReport {
-            kept,
-            dropped,
-            segments_before,
-            segments_after: segs.len(),
-        })
+        Ok(reports)
     }
 
-    /// The in-memory index over the log.
-    pub fn index(&self) -> &StoreIndex {
-        &self.index
+    /// Remove blobs referenced by no record of any shard. Refuses while
+    /// any shard is quarantined — its references are unknown, and deleting
+    /// its evidence would turn a recoverable corruption into data loss.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or a quarantined shard.
+    pub fn gc_orphan_blobs(&mut self) -> io::Result<Vec<u128>> {
+        if let Some((id, reason)) = self.quarantined().into_iter().next() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("cannot gc blobs: shard {id} is quarantined ({reason})"),
+            ));
+        }
+        let mut live: HashSet<u128> = HashSet::new();
+        for shard in &self.shards {
+            live.extend(shard.live_blob_refs());
+        }
+        let removed = self.blobs.remove_except(&live)?;
+        self.m.gc_blobs.add(removed.len() as u64);
+        Ok(removed)
     }
 
-    /// All recorded content hashes (the incremental re-scan skip set).
+    /// Cluster the healthy shards' records into campaigns, merging the
+    /// union-find incrementally shard by shard.
+    pub fn campaigns(&self) -> Vec<Campaign> {
+        let mut clusterer = CampaignClusterer::new();
+        for shard in &self.shards {
+            clusterer.add_index(shard.id(), shard.index());
+        }
+        clusterer.finish()
+    }
+
+    /// Every served record's meta, as `(shard id, meta)`, shard by shard
+    /// in per-shard log order.
+    pub fn metas(&self) -> impl Iterator<Item = (usize, &RecordMeta)> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.index().metas().iter().map(move |m| (s.id(), m)))
+    }
+
+    /// Class histogram over all healthy shards.
+    pub fn class_counts(&self) -> BTreeMap<MessageClass, usize> {
+        let mut out = BTreeMap::new();
+        for shard in &self.shards {
+            for (class, n) in shard.index().class_counts() {
+                *out.entry(class).or_insert(0) += n;
+            }
+        }
+        out
+    }
+
+    /// Landing-domain counts over all healthy shards.
+    pub fn domain_counts(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for shard in &self.shards {
+            for (domain, n) in shard.index().domain_counts() {
+                *out.entry(domain.to_string()).or_insert(0) += n;
+            }
+        }
+        out
+    }
+
+    /// All recorded content hashes across healthy shards (the incremental
+    /// re-scan skip set — a quarantined shard's records re-scan as new,
+    /// which is how its data gets refilled after repair).
     pub fn known_hashes(&self) -> HashSet<u128> {
-        self.index.known_hashes()
+        let mut out = HashSet::new();
+        for shard in &self.shards {
+            shard.known_hashes_into(&mut out);
+        }
+        out
     }
 
-    /// Whether `hash` is already recorded.
+    /// Whether `hash` is already recorded in a healthy shard.
     pub fn contains_hash(&self, hash: u128) -> bool {
-        self.index.contains_hash(hash)
+        let shard = shard_of(hash, self.shards.len());
+        self.shards[shard].index().contains_hash(hash)
     }
 
-    /// Records in the log.
+    /// Records served (healthy shards).
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.shards.iter().map(Shard::len).sum()
     }
 
-    /// Whether the log is empty.
+    /// Whether no records are served.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.len() == 0
     }
 
     /// Read a stored blob by content hash.
@@ -695,12 +724,44 @@ impl Store {
         &self.blobs
     }
 
+    /// The shards, in id order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Shard `id`, if in range.
+    pub fn shard(&self, id: usize) -> Option<&Shard> {
+        self.shards.get(id)
+    }
+
+    /// Number of shards (fixed at store creation).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Quarantined shards as `(id, reason)`.
+    pub fn quarantined(&self) -> Vec<(usize, String)> {
+        self.shards
+            .iter()
+            .filter_map(|s| match s.health() {
+                ShardHealth::Quarantined { reason, .. } => Some((s.id(), reason.clone())),
+                ShardHealth::Healthy => None,
+            })
+            .collect()
+    }
+
+    /// Whether any shard is quarantined (the store still serves healthy
+    /// shards, but writes to the quarantined ones fail).
+    pub fn is_degraded(&self) -> bool {
+        self.shards.iter().any(|s| !s.health().is_healthy())
+    }
+
     /// What the last open found and recovered.
     pub fn recovery(&self) -> &RecoveryReport {
         &self.recovery
     }
 
-    /// The store's metric registry (`store.*` counters).
+    /// The store's metric registry (`store.*` counters and gauges).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
     }
@@ -714,10 +775,12 @@ impl Store {
     /// Counter-derived shape summary (no I/O).
     pub fn stats(&self) -> StoreStats {
         StoreStats {
-            records: self.index.len(),
-            segments: self.next_segment as usize,
-            log_bytes: self.log_bytes,
+            records: self.len(),
+            segments: self.shards.iter().map(Shard::segments).sum(),
+            log_bytes: self.shards.iter().map(Shard::log_bytes).sum(),
             blobs: self.blobs.len(),
+            shards: self.shards.len(),
+            quarantined: self.shards.iter().filter(|s| !s.health().is_healthy()).count(),
             appended: self.m.append_records.get(),
             fsyncs: self.m.fsync_calls.get(),
             blob_dedup_hits: self.m.blob_dedup_hits.get(),
@@ -727,34 +790,5 @@ impl Store {
     /// The store's root directory.
     pub fn root(&self) -> &Path {
         &self.root
-    }
-}
-
-/// Emit the per-segment recovery span on `tracer` (no-op when disabled).
-fn self_trace_recover(
-    tracer: &Tracer,
-    seg_index: u32,
-    buf: &[u8],
-    records: usize,
-    torn: Option<&(usize, String)>,
-) {
-    if let Some(_guard) = tracer.message(seg_index as usize) {
-        with_active(|t| {
-            t.begin(
-                "store.recover",
-                vec![
-                    ("segment", seg_index.to_string()),
-                    ("bytes", buf.len().to_string()),
-                ],
-            );
-            t.instant(
-                "store.recover.result",
-                vec![
-                    ("records", records.to_string()),
-                    ("torn", torn.is_some().to_string()),
-                ],
-            );
-            t.end();
-        });
     }
 }

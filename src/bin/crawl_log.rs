@@ -7,8 +7,9 @@
 //! crawl-log trace TRACE.jsonl [--msg ID] [--limit N]
 //! crawl-log store DIR stats
 //! crawl-log store DIR verify
+//! crawl-log store DIR repair [--shard N]
 //! crawl-log store DIR query [--class CLASS] [--domain D] [--cert HEX]
-//!                           [--phash HEX] [--limit N]
+//!                           [--phash HEX] [--shard N] [--limit N]
 //! crawl-log store DIR campaigns [--min-size N] [--limit N]
 //! ```
 //!
@@ -16,14 +17,16 @@
 //! and (when filters are given) the matching records. The `trace`
 //! subcommand renders a span trace as an indented per-message tree. The
 //! `store` family queries the durable record log: `stats` summarizes the
-//! store, `verify` CRC-checks every frame and re-hashes every blob
-//! (nonzero exit on faults), `query` looks records up by index axes, and
-//! `campaigns` reproduces the paper-style campaign clustering (shared
-//! screenshot phash / certificate fingerprint / URL token scheme) from
-//! disk.
+//! store (including a per-shard health table — a DEGRADED store keeps
+//! serving its healthy shards), `verify` CRC-checks every frame and
+//! re-hashes every blob (nonzero exit on faults), `repair`
+//! re-adjudicates quarantined shards from their last valid frames,
+//! `query` looks records up by index axes, and `campaigns` reproduces
+//! the paper-style campaign clustering (shared screenshot phash /
+//! certificate fingerprint / URL token scheme) across shards from disk.
 
 use cb_phishgen::MessageClass;
-use cb_store::{cluster_campaigns, Store};
+use cb_store::{ShardHealth, Store};
 use crawlerbox::logging::{read_jsonl, ScanRecord};
 use std::collections::BTreeMap;
 
@@ -32,7 +35,8 @@ fn usage_exit(message: &str) -> ! {
     eprintln!("usage: crawl-log FILE.jsonl [--class noresource|error|interaction|download|active] [--domain SUBSTR] [--limit N]");
     eprintln!("       crawl-log trace TRACE.jsonl [--msg ID] [--limit N]");
     eprintln!("       crawl-log store DIR stats|verify");
-    eprintln!("       crawl-log store DIR query [--class CLASS] [--domain D] [--cert HEX] [--phash HEX] [--limit N]");
+    eprintln!("       crawl-log store DIR repair [--shard N]");
+    eprintln!("       crawl-log store DIR query [--class CLASS] [--domain D] [--cert HEX] [--phash HEX] [--shard N] [--limit N]");
     eprintln!("       crawl-log store DIR campaigns [--min-size N] [--limit N]");
     std::process::exit(2);
 }
@@ -149,7 +153,7 @@ fn open_store_or_exit(dir: &str) -> Store {
         Err(e) => usage_exit(&format!("cannot open store {dir}: {e}")),
     };
     let recovery = store.recovery();
-    if let Some(torn) = &recovery.torn {
+    for torn in &recovery.torn {
         eprintln!(
             "recovered torn tail in {}: dropped {} trailing bytes ({})",
             torn.segment.display(),
@@ -157,7 +161,25 @@ fn open_store_or_exit(dir: &str) -> Store {
             torn.reason
         );
     }
+    for (id, reason) in &recovery.quarantined {
+        eprintln!("shard {id} QUARANTINED: {reason}");
+    }
     store
+}
+
+/// Validate a `--shard N` argument against the opened store or die with
+/// usage (nonzero exit) — an out-of-range shard is an operator typo, not
+/// an empty result.
+fn check_shard_or_exit(store: &Store, shard: Option<usize>) {
+    if let Some(s) = shard {
+        if s >= store.shard_count() {
+            usage_exit(&format!(
+                "no shard {s}: store has {} shard(s) (0..={})",
+                store.shard_count(),
+                store.shard_count() - 1
+            ));
+        }
+    }
 }
 
 /// Parse a hex argument (with or without `0x`) or die with usage.
@@ -181,7 +203,7 @@ fn store_main(mut iter: impl Iterator<Item = String>) {
         usage_exit(&format!("store needs a directory before flags, got {dir}"));
     }
     let Some(cmd) = iter.next() else {
-        usage_exit("store needs a subcommand: stats|verify|query|campaigns");
+        usage_exit("store needs a subcommand: stats|verify|repair|query|campaigns");
     };
     match cmd.as_str() {
         "stats" => {
@@ -191,15 +213,39 @@ fn store_main(mut iter: impl Iterator<Item = String>) {
             let store = open_store_or_exit(&dir);
             let stats = store.stats();
             println!(
-                "{} records in {} segment(s), {} log bytes, {} blob(s)",
-                stats.records, stats.segments, stats.log_bytes, stats.blobs
+                "{} records in {} segment(s) across {} shard(s), {} log bytes, {} blob(s)",
+                stats.records, stats.segments, stats.shards, stats.log_bytes, stats.blobs
             );
+            if stats.is_degraded() {
+                println!(
+                    "status: DEGRADED ({} of {} shard(s) quarantined; run `crawl-log store {dir} repair`)",
+                    stats.quarantined, stats.shards
+                );
+            } else {
+                println!("status: healthy");
+            }
+            println!("shards:");
+            for shard in store.shards() {
+                match shard.health() {
+                    ShardHealth::Healthy => println!(
+                        "  shard {:>2}  {:>6} record(s)  {:>9} log bytes  healthy",
+                        shard.id(),
+                        shard.len(),
+                        shard.log_bytes()
+                    ),
+                    ShardHealth::Quarantined { segment, at, reason } => println!(
+                        "  shard {:>2}  QUARANTINED at {}+{at}: {reason}",
+                        shard.id(),
+                        segment.display()
+                    ),
+                }
+            }
             println!("class mix:");
-            for (class, n) in store.index().class_counts() {
+            for (class, n) in store.class_counts() {
                 println!("  {:<22} {n}", format!("{class:?}"));
             }
-            let mut domains: Vec<(&str, usize)> = store.index().domain_counts().collect();
-            domains.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+            let mut domains: Vec<(String, usize)> = store.domain_counts().into_iter().collect();
+            domains.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
             println!("top landing domains:");
             for (d, n) in domains.into_iter().take(10) {
                 println!("  {n:>5}  {d}");
@@ -228,11 +274,47 @@ fn store_main(mut iter: impl Iterator<Item = String>) {
                 std::process::exit(1);
             }
         }
+        "repair" => {
+            let mut shard: Option<usize> = None;
+            while let Some(a) = iter.next() {
+                match a.as_str() {
+                    "--shard" => {
+                        shard = match iter.next().and_then(|v| v.parse().ok()) {
+                            Some(s) => Some(s),
+                            None => usage_exit("--shard needs a shard id"),
+                        }
+                    }
+                    other => usage_exit(&format!("unknown store repair flag {other}")),
+                }
+            }
+            let mut store = open_store_or_exit(&dir);
+            check_shard_or_exit(&store, shard);
+            let reports = match store.repair(shard) {
+                Ok(r) => r,
+                Err(e) => usage_exit(&format!("repair failed: {e}")),
+            };
+            if reports.is_empty() {
+                println!("nothing to repair: no shard is quarantined");
+            }
+            for r in &reports {
+                println!(
+                    "shard {}: salvaged {} record(s){}",
+                    r.shard,
+                    r.salvaged,
+                    if r.was_quarantined { ", returned to service" } else { "" }
+                );
+            }
+            if store.is_degraded() {
+                eprintln!("store is still degraded after repair");
+                std::process::exit(1);
+            }
+        }
         "query" => {
             let mut class: Option<MessageClass> = None;
             let mut domain: Option<String> = None;
             let mut cert: Option<u64> = None;
             let mut phash: Option<u64> = None;
+            let mut shard: Option<usize> = None;
             let mut limit = 20usize;
             while let Some(a) = iter.next() {
                 match a.as_str() {
@@ -249,6 +331,12 @@ fn store_main(mut iter: impl Iterator<Item = String>) {
                     }
                     "--cert" => cert = Some(parse_hex_u64("--cert", iter.next())),
                     "--phash" => phash = Some(parse_hex_u64("--phash", iter.next())),
+                    "--shard" => {
+                        shard = match iter.next().and_then(|v| v.parse().ok()) {
+                            Some(s) => Some(s),
+                            None => usage_exit("--shard needs a shard id"),
+                        }
+                    }
                     "--limit" => {
                         limit = iter
                             .next()
@@ -259,24 +347,24 @@ fn store_main(mut iter: impl Iterator<Item = String>) {
                 }
             }
             let store = open_store_or_exit(&dir);
-            let index = store.index();
-            let matches: Vec<_> = index
+            check_shard_or_exit(&store, shard);
+            let matches: Vec<_> = store
                 .metas()
-                .iter()
-                .filter(|m| class.map(|c| m.class == c).unwrap_or(true))
-                .filter(|m| {
+                .filter(|(s, _)| shard.map(|want| *s == want).unwrap_or(true))
+                .filter(|(_, m)| class.map(|c| m.class == c).unwrap_or(true))
+                .filter(|(_, m)| {
                     domain
                         .as_ref()
                         .map(|d| m.domains.iter().any(|have| have.contains(d.as_str())))
                         .unwrap_or(true)
                 })
-                .filter(|m| cert.map(|fp| m.cert_fingerprints.contains(&fp)).unwrap_or(true))
-                .filter(|m| phash.map(|p| m.phashes.contains(&p)).unwrap_or(true))
+                .filter(|(_, m)| cert.map(|fp| m.cert_fingerprints.contains(&fp)).unwrap_or(true))
+                .filter(|(_, m)| phash.map(|p| m.phashes.contains(&p)).unwrap_or(true))
                 .collect();
             println!("{} matching record(s):", matches.len());
-            for m in matches.into_iter().take(limit) {
+            for (s, m) in matches.into_iter().take(limit) {
                 println!(
-                    "  seq {:>5}  msg {:>5}  {:?}  hash {:032x}  domains [{}]  certs [{}]",
+                    "  shard {s:>2} seq {:>5}  msg {:>5}  {:?}  hash {:032x}  domains [{}]  certs [{}]",
                     m.seq,
                     m.message_id,
                     m.class,
@@ -311,7 +399,7 @@ fn store_main(mut iter: impl Iterator<Item = String>) {
                 }
             }
             let store = open_store_or_exit(&dir);
-            let campaigns = cluster_campaigns(store.index());
+            let campaigns = store.campaigns();
             let mut real: Vec<_> = campaigns.iter().filter(|c| c.len() >= min_size).collect();
             real.sort_by(|a, b| b.len().cmp(&a.len()).then(a.id.cmp(&b.id)));
             let clustered: usize = real.iter().map(|c| c.len()).sum();
@@ -345,7 +433,7 @@ fn store_main(mut iter: impl Iterator<Item = String>) {
             }
         }
         other => usage_exit(&format!(
-            "unknown store subcommand {other}; expected stats|verify|query|campaigns"
+            "unknown store subcommand {other}; expected stats|verify|repair|query|campaigns"
         )),
     }
 }

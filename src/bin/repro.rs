@@ -4,7 +4,7 @@
 //! ```text
 //! repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl]
 //!       [--scheduler serial|chunked|stealing] [--no-cache]
-//!       [--stream] [--stream-capacity N] [--store DIR]
+//!       [--stream] [--stream-capacity N] [--store DIR] [--store-shards N]
 //!       [--trace FILE.jsonl] [--trace-chrome FILE.json] [--metrics FILE.json]
 //!
 //! EXPERIMENT: all (default) | table1 | ablation | table2 | figure2 |
@@ -30,6 +30,10 @@
 //!                 messages whose content hash is already stored are
 //!                 skipped — rerunning against the same DIR is a delta
 //!                 scan. Requires --stream. Inspect with `crawl-log store`.
+//!                 A store with quarantined (corrupted) shards is refused:
+//!                 run `crawl-log store DIR repair` first.
+//! --store-shards N: shard count when DIR is created (default 4; an
+//!                 existing store's shard count is fixed at creation)
 //! --trace FILE:        write the sim-time span trace as JSONL (full mode:
 //!                      advisory worker/cache fields included)
 //! --trace-chrome FILE: write the trace in Chrome `trace_event` format —
@@ -68,6 +72,7 @@ struct Args {
     stream: bool,
     stream_capacity: usize,
     store: Option<String>,
+    store_shards: usize,
     trace: Option<String>,
     trace_chrome: Option<String>,
     metrics: Option<String>,
@@ -82,7 +87,7 @@ impl Args {
 fn usage_exit(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
-        "usage: repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl] [--scheduler serial|chunked|stealing] [--no-cache] [--stream] [--stream-capacity N] [--store DIR] [--trace FILE.jsonl] [--trace-chrome FILE.json] [--metrics FILE.json]"
+        "usage: repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl] [--scheduler serial|chunked|stealing] [--no-cache] [--stream] [--stream-capacity N] [--store DIR] [--store-shards N] [--trace FILE.jsonl] [--trace-chrome FILE.json] [--metrics FILE.json]"
     );
     std::process::exit(2);
 }
@@ -99,6 +104,7 @@ fn parse_args() -> Args {
         stream: false,
         stream_capacity: 32,
         store: None,
+        store_shards: cb_store::StoreOptions::default().shards,
         trace: None,
         trace_chrome: None,
         metrics: None,
@@ -146,6 +152,12 @@ fn parse_args() -> Args {
                 args.store = match iter.next() {
                     Some(p) => Some(p),
                     None => usage_exit("--store needs a directory path"),
+                };
+            }
+            "--store-shards" => {
+                args.store_shards = match iter.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if (1..=256).contains(&n) => n,
+                    _ => usage_exit("--store-shards needs an integer in 1..=256"),
                 };
             }
             "--trace" => {
@@ -340,20 +352,31 @@ fn run_stream(args: &Args, spec: &CorpusSpec) {
         .map(|n| n.get())
         .unwrap_or(4);
     let store = args.store.as_ref().map(|dir| {
-        match Store::open(std::path::Path::new(dir)) {
+        let opts = cb_store::StoreOptions { shards: args.store_shards, ..Default::default() };
+        match Store::open_with(std::path::Path::new(dir), opts) {
             Ok(s) => s,
             Err(e) => usage_exit(&format!("cannot open store {dir}: {e}")),
         }
     });
     if let Some(store) = &store {
         let recovery = store.recovery();
-        if let Some(torn) = &recovery.torn {
+        for torn in &recovery.torn {
             eprintln!(
                 "store: recovered torn tail in {} (dropped {} bytes: {})",
                 torn.segment.display(),
                 torn.dropped_bytes,
                 torn.reason
             );
+        }
+        if store.is_degraded() {
+            for (id, reason) in store.quarantined() {
+                eprintln!("store: shard {id} QUARANTINED: {reason}");
+            }
+            usage_exit(&format!(
+                "store at {} is degraded; run `crawl-log store {} repair` before writing",
+                store.root().display(),
+                store.root().display()
+            ));
         }
         eprintln!(
             "store: {} record(s), {} blob(s) already on disk — re-recorded messages will be skipped",
@@ -385,8 +408,9 @@ fn run_stream(args: &Args, spec: &CorpusSpec) {
             sink = inner;
             let stats = store.stats();
             eprintln!(
-                "store: {} record(s) in {} segment(s) ({} log bytes), {} blob(s), {} dedup hit(s)",
-                stats.records, stats.segments, stats.log_bytes, stats.blobs, stats.blob_dedup_hits
+                "store: {} record(s) in {} segment(s) across {} shard(s) ({} log bytes), {} blob(s), {} dedup hit(s)",
+                stats.records, stats.segments, stats.shards, stats.log_bytes, stats.blobs,
+                stats.blob_dedup_hits
             );
             (delivered, Some(stats))
         }

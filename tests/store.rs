@@ -1,13 +1,14 @@
 //! End-to-end tests for the persistent crawl store: on-disk byte
 //! determinism across schedulers and cache settings, torn-tail crash
-//! recovery with incremental re-scan, blob dedup, compaction, corruption
-//! detection, campaign clustering from disk, and the `crawl-log store` /
+//! recovery with incremental re-scan, blob dedup and orphan GC, shard
+//! quarantine + repair degradation, v1 layout migration, compaction,
+//! campaign clustering from disk, and the `crawl-log store` /
 //! `repro --store` CLI surfaces.
 
 use cb_artifacts::fingerprint;
 use cb_phishgen::{Corpus, CorpusSpec, MessageClass, ReportedMessage};
 use cb_sim::SimTime;
-use cb_store::{cluster_campaigns, Store, StoreOptions, StoreSink};
+use cb_store::{shard_of, Store, StoreOptions, StoreSink};
 use crawlerbox::{ArtifactKind, CapturedArtifact, CrawlerBox, ScanRecord, Scheduler};
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -33,14 +34,37 @@ fn corpus_subset(seed: u64, n: usize) -> (Corpus, Vec<ReportedMessage>) {
     (corpus, subset)
 }
 
-/// Raw bytes of every segment file in the (first-generation) log, in
-/// segment order — the strongest possible determinism witness.
+/// One-shard options: tests that reason about "the last record in the
+/// log" or exact segment paths pin the layout to a single shard.
+fn one_shard() -> StoreOptions {
+    StoreOptions { shards: 1, ..StoreOptions::default() }
+}
+
+/// Raw bytes of every segment file across every shard's active
+/// generation, in (shard, segment) order — the strongest possible
+/// determinism witness for the v2 layout.
 fn segment_bytes(root: &Path) -> Vec<Vec<u8>> {
-    cb_store::segment::list_segments(&root.join("segments-00000"))
+    let mut shards: Vec<String> = std::fs::read_dir(root)
         .unwrap()
-        .into_iter()
-        .map(|(_, path)| std::fs::read(path).unwrap())
-        .collect()
+        .filter_map(|e| e.unwrap().file_name().into_string().ok())
+        .filter(|n| n.starts_with("shard-"))
+        .collect();
+    shards.sort();
+    let mut out = Vec::new();
+    for shard in shards {
+        let shard_dir = root.join(&shard);
+        let generation = std::fs::read_to_string(shard_dir.join("CURRENT")).unwrap();
+        let seg_dir = shard_dir.join(generation.trim());
+        let mut segments: Vec<String> = std::fs::read_dir(&seg_dir)
+            .unwrap()
+            .filter_map(|e| e.unwrap().file_name().into_string().ok())
+            .collect();
+        segments.sort();
+        for seg in segments {
+            out.push(std::fs::read(seg_dir.join(seg)).unwrap());
+        }
+    }
+    out
 }
 
 fn synthetic_record(id: usize, hash: u128, class: MessageClass) -> ScanRecord {
@@ -59,11 +83,23 @@ fn synthetic_record(id: usize, hash: u128, class: MessageClass) -> ScanRecord {
     }
 }
 
+/// A content hash whose top byte routes it to shard `shard` of `n`.
+fn hash_in_shard(shard: usize, n: usize, salt: u128) -> u128 {
+    for top in 0u128..256 {
+        let h = (top << 120) | (salt & ((1u128 << 120) - 1));
+        if shard_of(h, n) == shard {
+            return h;
+        }
+    }
+    unreachable!("every shard owns at least one top byte");
+}
+
 /// The tentpole acceptance check: streaming a corpus through `StoreSink`
 /// writes byte-identical segment files for every scheduler, with caches on
 /// or off, and the payloads read back equal to the canonical encoding of
-/// an in-memory reference capture. Reopening the store reproduces the same
-/// log with a clean verify.
+/// an in-memory reference capture (grouped by shard, delivery order within
+/// each shard). Reopening the store reproduces the same log with a clean
+/// verify.
 #[test]
 fn store_round_trip_is_byte_identical_across_configs() {
     let (corpus, subset) = corpus_subset(11, 24);
@@ -79,10 +115,15 @@ fn store_round_trip_is_byte_identical_across_configs() {
         reference.iter().any(|r| !r.artifacts.is_empty()),
         "capture should attach at least message artifacts"
     );
-    let expected: Vec<Vec<u8>> = reference
-        .iter()
-        .map(|r| serde_json::to_vec(r).unwrap())
-        .collect();
+    let shards = StoreOptions::default().shards;
+    let mut expected: Vec<Vec<u8>> = Vec::new();
+    for shard in 0..shards {
+        for r in &reference {
+            if shard_of(r.content_hash, shards) == shard {
+                expected.push(serde_json::to_vec(r).unwrap());
+            }
+        }
+    }
 
     let mut golden: Option<Vec<Vec<u8>>> = None;
     for scheduler in SCHEDULERS {
@@ -98,6 +139,7 @@ fn store_round_trip_is_byte_identical_across_configs() {
             assert_eq!(delivered, subset.len(), "{scheduler:?} caching {caching}");
             assert_eq!(sink.appended(), subset.len());
             let (mut store, ()) = sink.finish().unwrap();
+            assert_eq!(store.shard_count(), shards);
             assert_eq!(
                 store.read_payloads().unwrap(),
                 expected,
@@ -106,7 +148,8 @@ fn store_round_trip_is_byte_identical_across_configs() {
             drop(store);
 
             let mut reopened = Store::open(&dir).unwrap();
-            assert!(reopened.recovery().torn.is_none());
+            assert!(reopened.recovery().torn.is_empty());
+            assert!(reopened.recovery().quarantined.is_empty());
             assert_eq!(reopened.len(), subset.len());
             assert_eq!(
                 reopened.read_payloads().unwrap(),
@@ -139,7 +182,7 @@ fn torn_tail_is_truncated_and_incremental_rescan_fills_the_gap() {
     let cbx = CrawlerBox::new(&corpus.world)
         .with_artifact_capture(true)
         .with_stream_capacity(4);
-    let mut sink = StoreSink::new(Store::open(&dir).unwrap());
+    let mut sink = StoreSink::new(Store::open_with(&dir, one_shard()).unwrap());
     cbx.scan_stream(subset.iter().cloned(), &mut sink);
     let (store, ()) = sink.finish().unwrap();
     let total = store.len();
@@ -147,16 +190,22 @@ fn torn_tail_is_truncated_and_incremental_rescan_fills_the_gap() {
     drop(store);
 
     // Tear the tail: the crash happened mid-append of the last frame.
-    let segments = cb_store::segment::list_segments(&dir.join("segments-00000")).unwrap();
-    let (_, last_segment) = segments.last().unwrap();
-    let len = std::fs::metadata(last_segment).unwrap().len();
-    let file = std::fs::OpenOptions::new().write(true).open(last_segment).unwrap();
+    let seg_dir = dir.join("shard-00").join("segments-00000");
+    let mut names: Vec<String> = std::fs::read_dir(&seg_dir)
+        .unwrap()
+        .filter_map(|e| e.unwrap().file_name().into_string().ok())
+        .collect();
+    names.sort();
+    let last_segment = seg_dir.join(names.last().unwrap());
+    let len = std::fs::metadata(&last_segment).unwrap().len();
+    let file = std::fs::OpenOptions::new().write(true).open(&last_segment).unwrap();
     file.set_len(len - 7).unwrap();
     drop(file);
 
     let mut store = Store::open(&dir).unwrap();
-    let torn = store.recovery().torn.clone().expect("torn tail must be reported");
-    assert_eq!(torn.segment, *last_segment);
+    assert_eq!(store.shard_count(), 1, "manifest shard count survives reopen");
+    let torn = store.recovery().torn.first().cloned().expect("torn tail must be reported");
+    assert_eq!(torn.segment, last_segment);
     assert!(torn.dropped_bytes > 0);
     assert_eq!(store.len(), total - 1, "exactly the mid-append record is lost");
     assert!(
@@ -185,9 +234,10 @@ fn torn_tail_is_truncated_and_incremental_rescan_fills_the_gap() {
 }
 
 /// Blob-store contract: artifacts are content-addressed, deduplicated
-/// across records, and read back byte-identical.
+/// across records, read back byte-identical, and orphans (referenced by
+/// no record) are GC-able without touching live blobs.
 #[test]
-fn blob_store_dedups_and_reads_back() {
+fn blob_store_dedups_reads_back_and_gcs_orphans() {
     let dir = scratch("blob");
     let mut store = Store::open(&dir).unwrap();
     let shared = b"the same screenshot bitmap".to_vec();
@@ -215,12 +265,23 @@ fn blob_store_dedups_and_reads_back() {
     assert_eq!(store.blob(shared_hash).unwrap().as_deref(), Some(shared.as_slice()));
     assert_eq!(store.blob(0xdead_beef).unwrap(), None);
     assert!(store.verify().unwrap().is_clean());
-
-    // Reopen re-indexes the blob directory.
+    store.sync().unwrap();
     drop(store);
-    let store = Store::open(&dir).unwrap();
-    assert_eq!(store.recovery().blobs, 4);
+
+    // An orphan blob (e.g. left by a crash between blob write and frame
+    // append) reopens fine and is collected by GC; live blobs survive.
+    let orphan = b"orphaned by a crash".to_vec();
+    let orphan_hash = fingerprint::fnv128(&orphan);
+    std::fs::write(dir.join("blobs").join(format!("{orphan_hash:032x}.blob")), &orphan).unwrap();
+
+    let mut store = Store::open(&dir).unwrap();
+    assert_eq!(store.recovery().blobs, 5);
     assert!(store.blobs().contains(shared_hash));
+    let removed = store.gc_orphan_blobs().unwrap();
+    assert_eq!(removed, vec![orphan_hash]);
+    assert_eq!(store.blobs().len(), 4);
+    assert!(store.blob(shared_hash).unwrap().is_some(), "live blob survives GC");
+    assert!(store.verify().unwrap().is_clean());
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -230,7 +291,7 @@ fn blob_store_dedups_and_reads_back() {
 #[test]
 fn compaction_keeps_newest_record_per_content_hash() {
     let dir = scratch("compact");
-    let mut store = Store::open(&dir).unwrap();
+    let mut store = Store::open_with(&dir, one_shard()).unwrap();
     store.append(&synthetic_record(0, 1, MessageClass::NoResource)).unwrap();
     store.append(&synthetic_record(1, 2, MessageClass::ErrorPage)).unwrap();
     // Same content hash as seq 0: a re-record that supersedes it.
@@ -245,8 +306,9 @@ fn compaction_keeps_newest_record_per_content_hash() {
     assert_eq!(records[1].class, MessageClass::ActivePhish);
 
     // The generation swap is visible on disk and survives reopen.
-    assert!(!dir.join("segments-00000").exists(), "old generation removed");
-    assert!(dir.join("segments-00001").is_dir());
+    let shard = dir.join("shard-00");
+    assert!(!shard.join("segments-00000").exists(), "old generation removed");
+    assert!(shard.join("segments-00001").is_dir());
     drop(store);
     let mut store = Store::open(&dir).unwrap();
     assert_eq!(store.len(), 2);
@@ -258,38 +320,124 @@ fn compaction_keeps_newest_record_per_content_hash() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
-/// Corruption that is not a torn tail must never be silently dropped:
-/// `verify` reports it as a fault and a fresh open refuses the store.
+/// Graceful degradation tentpole: interior corruption in one shard
+/// quarantines that shard only. The store opens, serves the healthy
+/// shards' records and campaigns, fails appends routed to the quarantined
+/// shard with a repair hint, refuses GC, and `repair` salvages the valid
+/// prefix and returns the shard to service.
 #[test]
-fn interior_corruption_fails_open_and_verify_flags_it() {
-    let dir = scratch("corrupt");
-    // A 1-byte segment target seals one record per segment file.
-    let opts = StoreOptions { segment_target_bytes: 1, ..StoreOptions::default() };
-    let mut store = Store::open_with(&dir, opts.clone()).unwrap();
+fn interior_corruption_quarantines_one_shard_and_repair_restores_it() {
+    let dir = scratch("quarantine");
+    let shards = 4usize;
+    // A 1-byte segment target seals one record per segment file, so the
+    // flipped byte lands in an *interior* segment of shard 1.
+    let opts = StoreOptions {
+        segment_target_bytes: 1,
+        shards,
+        ..StoreOptions::default()
+    };
+    let mut store = Store::open_with(&dir, opts).unwrap();
     for id in 0..3usize {
-        store.append(&synthetic_record(id, id as u128 + 10, MessageClass::NoResource)).unwrap();
+        let h = hash_in_shard(1, shards, id as u128 + 10);
+        store.append(&synthetic_record(id, h, MessageClass::NoResource)).unwrap();
     }
-    let seg0 = dir.join("segments-00000").join("seg-00000.cbl");
+    let healthy_hash = hash_in_shard(3, shards, 77);
+    store.append(&synthetic_record(9, healthy_hash, MessageClass::ActivePhish)).unwrap();
+    store.sync().unwrap();
+    drop(store);
+
+    let seg0 = dir.join("shard-01").join("segments-00000").join("seg-00000.cbl");
     let mut bytes = std::fs::read(&seg0).unwrap();
     let at = bytes.len() - 2;
     bytes[at] ^= 0xFF;
     std::fs::write(&seg0, &bytes).unwrap();
 
+    // Open succeeds degraded; only shard 1 is fenced off.
+    let mut store = Store::open(&dir).unwrap();
+    assert!(store.is_degraded());
+    assert_eq!(store.quarantined().len(), 1);
+    assert_eq!(store.recovery().quarantined[0].0, 1);
+    assert_eq!(store.len(), 1, "healthy shards keep serving");
+    assert!(store.contains_hash(healthy_hash));
+    assert_eq!(store.campaigns().len(), 1, "clustering runs on healthy shards");
+    let stats = store.stats();
+    assert!(stats.is_degraded());
+    assert_eq!((stats.shards, stats.quarantined), (shards, 1));
+
+    // Appends routed to the quarantined shard fail loudly with the repair
+    // hint; appends to healthy shards still work.
+    let err = store
+        .append(&synthetic_record(20, hash_in_shard(1, shards, 500), MessageClass::Download))
+        .unwrap_err();
+    assert!(err.to_string().contains("repair"), "{err}");
+    store
+        .append(&synthetic_record(21, hash_in_shard(0, shards, 501), MessageClass::Download))
+        .unwrap();
+    assert!(store.gc_orphan_blobs().is_err(), "GC must refuse while degraded");
+    assert!(store.compact().is_err(), "compaction must refuse while degraded");
+
+    // Verify reports the corruption as a fault rather than an error.
     let report = store.verify().unwrap();
     assert!(!report.is_clean());
-    assert!(report.faults.iter().any(|f| f.path == seg0), "{report:?}");
-    assert_eq!(report.records, 2, "the other segments still verify");
+    assert!(report.faults.iter().any(|f| f.reason.contains("quarantined")), "{report:?}");
 
-    // A flipped byte in an interior segment is corruption, not a crash.
+    // Repair salvages the two clean records of shard 1 (the third is in
+    // the corrupted segment's suffix... each segment holds one record, so
+    // the two untouched segments survive) and clears the degradation.
+    let reports = store.repair(None).unwrap();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].shard, 1);
+    assert!(reports[0].was_quarantined);
+    assert_eq!(reports[0].salvaged, 2, "valid frames are re-adjudicated");
+    assert!(!store.is_degraded());
+    assert_eq!(store.len(), 4, "2 salvaged + healthy shards");
+    assert!(store.verify().unwrap().is_clean());
+    store.gc_orphan_blobs().unwrap();
+
+    // The repaired store reopens healthy.
     drop(store);
-    let err = Store::open_with(&dir, opts).unwrap_err();
-    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let store = Store::open(&dir).unwrap();
+    assert!(!store.is_degraded());
+    assert_eq!(store.len(), 4);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A v1 store (CURRENT + segments-* at the root) migrates in place to a
+/// single-shard v2 layout on open, with every record preserved.
+#[test]
+fn v1_layout_migrates_to_single_shard_v2() {
+    use cb_store::frame::{encode_frame, KIND_RECORD};
+    let dir = scratch("migrate");
+    let seg_dir = dir.join("segments-00000");
+    std::fs::create_dir_all(&seg_dir).unwrap();
+    let mut bytes = Vec::new();
+    for id in 0..3usize {
+        let record = synthetic_record(id, id as u128 + 40, MessageClass::ErrorPage);
+        bytes.extend_from_slice(&encode_frame(KIND_RECORD, &serde_json::to_vec(&record).unwrap()));
+    }
+    std::fs::write(seg_dir.join("seg-00000.cbl"), &bytes).unwrap();
+    std::fs::write(dir.join("CURRENT"), b"segments-00000").unwrap();
+
+    let mut store = Store::open(&dir).unwrap();
+    assert_eq!(store.shard_count(), 1, "legacy stores migrate to one shard");
+    assert_eq!(store.len(), 3);
+    assert!(!store.is_degraded());
+    assert!(dir.join("shard-00").join("CURRENT").exists());
+    assert!(!dir.join("CURRENT").exists(), "root pointer moved into shard 0");
+    assert!(store.verify().unwrap().is_clean());
+
+    // The migrated store accepts appends and reopens as v2.
+    store.append(&synthetic_record(3, 99, MessageClass::Download)).unwrap();
+    store.sync().unwrap();
+    drop(store);
+    let store = Store::open(&dir).unwrap();
+    assert_eq!(store.len(), 4);
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
 /// The forensics layer runs against a store reopened from disk alone:
-/// campaign clustering partitions every record and is a pure function of
-/// the rebuilt index.
+/// campaign clustering partitions every record across shards and is a
+/// pure function of the rebuilt indexes.
 #[test]
 fn campaign_clustering_runs_from_a_reopened_store() {
     let (corpus, subset) = corpus_subset(3, 30);
@@ -303,28 +451,35 @@ fn campaign_clustering_runs_from_a_reopened_store() {
     drop(store);
 
     let store = Store::open(&dir).unwrap();
-    let campaigns = cluster_campaigns(store.index());
+    let campaigns = store.campaigns();
     let clustered: usize = campaigns.iter().map(|c| c.len()).sum();
     assert_eq!(clustered, store.len(), "every record is in exactly one campaign");
     for (i, c) in campaigns.iter().enumerate() {
         assert_eq!(c.id, i, "campaign ids are dense and ordered");
         assert!(!c.is_empty());
+        for &(shard, seq) in &c.members {
+            assert!(shard < store.shard_count());
+            assert!(seq < store.shard(shard).unwrap().len());
+        }
     }
-    let again = cluster_campaigns(store.index());
-    let seqs: Vec<_> = campaigns.iter().map(|c| c.seqs.clone()).collect();
-    let seqs_again: Vec<_> = again.iter().map(|c| c.seqs.clone()).collect();
-    assert_eq!(seqs, seqs_again, "clustering is deterministic");
+    let again = store.campaigns();
+    let members: Vec<_> = campaigns.iter().map(|c| c.members.clone()).collect();
+    let members_again: Vec<_> = again.iter().map(|c| c.members.clone()).collect();
+    assert_eq!(members, members_again, "clustering is deterministic");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
-/// CLI satellite: unknown subcommands and flags exit nonzero with a usage
-/// message on stderr.
+/// CLI satellite: unknown subcommands, unknown flags, missing store
+/// directories and out-of-range shard ids all exit 2 with a usage message
+/// on stderr.
 #[test]
 fn crawl_log_cli_rejects_unknown_input() {
     let bin = env!("CARGO_BIN_EXE_crawl-log");
     for args in [
         vec!["store", "/nonexistent", "frobnicate"],
         vec!["store"],
+        vec!["store", "/nonexistent", "stats"],
+        vec!["store", "/nonexistent", "repair"],
         vec!["store", "/nonexistent", "query", "--wat"],
         vec!["--bogus"],
     ] {
@@ -337,8 +492,8 @@ fn crawl_log_cli_rejects_unknown_input() {
 }
 
 /// CLI satellite: the store query surface runs clean against a real store
-/// written by the library, and `repro` refuses `--store` without
-/// `--stream`.
+/// written by the library; shard ids are validated; `repro` refuses
+/// `--store` without `--stream`.
 #[test]
 fn crawl_log_cli_store_queries_run_clean() {
     let (corpus, subset) = corpus_subset(7, 8);
@@ -358,6 +513,8 @@ fn crawl_log_cli_store_queries_run_clean() {
     assert!(out.status.success(), "stats failed: {}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("8 records"), "{stdout}");
+    assert!(stdout.contains("status: healthy"), "{stdout}");
+    assert!(stdout.contains("shard  0"), "{stdout}");
     assert!(stdout.contains("class mix:"), "{stdout}");
 
     let out = Command::new(bin).args(["store", dir_arg, "verify"]).output().unwrap();
@@ -377,6 +534,24 @@ fn crawl_log_cli_store_queries_run_clean() {
         .unwrap();
     assert!(out.status.success(), "query failed: {}", String::from_utf8_lossy(&out.stderr));
     assert!(String::from_utf8_lossy(&out.stdout).contains("matching record(s)"));
+
+    // Out-of-range shard ids are a usage error, not an empty result.
+    let out = Command::new(bin)
+        .args(["store", dir_arg, "query", "--shard", "99"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "unknown shard id must exit 2");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no shard 99"));
+    let out = Command::new(bin)
+        .args(["store", dir_arg, "repair", "--shard", "99"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "repair of unknown shard must exit 2");
+
+    // Repairing a healthy store is a clean no-op.
+    let out = Command::new(bin).args(["store", dir_arg, "repair"]).output().unwrap();
+    assert!(out.status.success(), "repair failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("nothing to repair"));
 
     let out = Command::new(env!("CARGO_BIN_EXE_repro"))
         .args(["classmix", "--store", dir_arg])
