@@ -191,6 +191,31 @@ impl Bitmap {
         })
     }
 
+    /// Run `f` over this image's word-packed ink mask (`luma < threshold`,
+    /// see [`crate::inkmask::InkMask`]). Like [`Bitmap::with_ink_mask`] the
+    /// mask and its luma scratch live in thread-local buffers reused across
+    /// calls; nested calls from within `f` fall back to fresh buffers. The
+    /// analysis kernels (OCR, QR detection) run on this packed form — the
+    /// bool-slice variant remains as the reference representation and the
+    /// micro-bench "before" arm.
+    pub fn with_ink_words<R>(&self, threshold: u8, f: impl FnOnce(&crate::inkmask::InkMask) -> R) -> R {
+        use crate::inkmask::InkMask;
+        use std::cell::RefCell;
+        thread_local! {
+            static WORD_SCRATCH: RefCell<(InkMask, Vec<u8>)> =
+                const { RefCell::new((InkMask::new(), Vec::new())) };
+        }
+        WORD_SCRATCH.with(|cell| {
+            // Take the buffers out of the cell: a nested call then sees
+            // empty scratch and allocates its own.
+            let (mut mask, mut luma) = cell.take();
+            mask.fill_from(self, threshold, &mut luma);
+            let out = f(&mask);
+            *cell.borrow_mut() = (mask, luma);
+            out
+        })
+    }
+
     /// Nearest-neighbour resample to `w`×`h`.
     ///
     /// # Panics
@@ -466,6 +491,32 @@ mod serialization_tests {
         });
         assert_eq!(outer, expected);
         assert_eq!(inner, vec![true; 4]);
+    }
+
+    #[test]
+    fn word_mask_agrees_with_bool_mask() {
+        let img = Bitmap::new(70, 9, Rgb::WHITE).add_noise(31, 200);
+        for threshold in [0u8, 64, 128, 255] {
+            let bools = img.with_ink_mask(threshold, |m| m.to_vec());
+            img.with_ink_words(threshold, |words| {
+                for y in 0..img.height() {
+                    for x in 0..img.width() {
+                        assert_eq!(
+                            words.get(x, y),
+                            bools[y * img.width() + x],
+                            "({x},{y}) t={threshold}"
+                        );
+                    }
+                }
+            });
+        }
+        // nesting the two variants must not corrupt either scratch buffer
+        let other = Bitmap::new(3, 3, Rgb::BLACK);
+        img.with_ink_words(128, |outer| {
+            let outer_ink = outer.count_ink();
+            other.with_ink_words(128, |inner| assert_eq!(inner.count_ink(), 9));
+            assert_eq!(outer.count_ink(), outer_ink);
+        });
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   so text (and URLs) can be *drawn into* images…
 //! * [`ocr`] — …and recovered back out by template matching, closing the
 //!   loop that real OCR libraries close in the paper's pipeline.
+//! * [`inkmask`] — word-packed binarization masks; the chunked-`u64`
+//!   kernels OCR and QR detection scan 64 pixels at a time.
 //! * [`qrimage`] — rendering [`cb_qr::QrMatrix`] symbols into bitmaps and
 //!   detecting/sampling them back (upright, uniform-scale detector).
 //! * [`zip`] — a store-only ZIP reader/writer with real local-file headers,
@@ -27,6 +29,7 @@
 pub mod bitmap;
 pub mod fingerprint;
 pub mod font;
+pub mod inkmask;
 pub mod magic;
 pub mod ocr;
 pub mod pdf;
@@ -34,6 +37,7 @@ pub mod qrimage;
 pub mod zip;
 
 pub use bitmap::{Bitmap, Rgb};
+pub use inkmask::InkMask;
 pub use magic::FileKind;
 pub use pdf::PdfDocument;
 pub use zip::{ZipArchive, ZipEntry};

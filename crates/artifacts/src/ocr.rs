@@ -11,6 +11,7 @@
 
 use crate::bitmap::Bitmap;
 use crate::font::{self, ADVANCE, GLYPH_H, GLYPH_W};
+use crate::inkmask::InkMask;
 
 /// Binarization threshold on luma: darker is "ink".
 const INK_THRESHOLD: u8 = 128;
@@ -20,11 +21,10 @@ const INK_THRESHOLD: u8 = 128;
 ///
 /// Recognition scans every vertical offset, so text can start anywhere; the
 /// horizontal origin is found by locating the leftmost ink column of each
-/// candidate line band.
+/// candidate line band — a word-scan over the packed mask, so a blank band
+/// is rejected 64 columns at a time.
 pub fn recognize_lines(img: &Bitmap, scale: usize) -> Vec<String> {
-    img.with_ink_mask(INK_THRESHOLD, |ink| {
-        lines_in_mask(ink, img.width(), img.height(), scale)
-    })
+    img.with_ink_words(INK_THRESHOLD, |ink| lines_in_mask(ink, scale))
 }
 
 /// Recognize all text and return it joined with newlines.
@@ -34,14 +34,14 @@ pub fn recognize_text(img: &Bitmap, scale: usize) -> String {
 
 /// Line recognition over an already-binarized mask — lets scale probing
 /// reuse one mask instead of re-binarizing the image per scale.
-fn lines_in_mask(ink: &[bool], width: usize, height: usize, scale: usize) -> Vec<String> {
+fn lines_in_mask(ink: &InkMask, scale: usize) -> Vec<String> {
     assert!(scale > 0, "scale must be nonzero");
     let glyph_h = GLYPH_H * scale;
     let mut lines = Vec::new();
     let mut y = 0usize;
-    while y + glyph_h <= height {
+    while y + glyph_h <= ink.height() {
         // A candidate band must contain ink in its first row-of-glyph region.
-        if let Some(line) = recognize_band(ink, width, y, scale) {
+        if let Some(line) = recognize_band(ink, y, scale) {
             if !line.trim().is_empty() {
                 lines.push(line);
                 y += glyph_h; // skip past this band
@@ -54,24 +54,15 @@ fn lines_in_mask(ink: &[bool], width: usize, height: usize, scale: usize) -> Vec
 }
 
 /// Attempt to read one text line whose glyph tops sit at row `y`.
-fn recognize_band(ink: &[bool], width: usize, y: usize, scale: usize) -> Option<String> {
-    // Find the leftmost ink pixel in the band.
+fn recognize_band(ink: &InkMask, y: usize, scale: usize) -> Option<String> {
+    let width = ink.width();
     let glyph_h = GLYPH_H * scale;
-    let mut left = None;
-    'outer: for x in 0..width {
-        for yy in y..y + glyph_h {
-            if ink[yy * width + x] {
-                left = Some(x);
-                break 'outer;
-            }
-        }
-    }
-    let left = left?;
+    let left = ink.leftmost_ink_in_band(y, y + glyph_h)?;
     let mut out = String::new();
     let mut x = left;
     let mut trailing_spaces = 0usize;
     while x + GLYPH_W * scale <= width {
-        match match_glyph(ink, width, x, y, scale) {
+        match match_glyph(ink, x, y, scale) {
             Some(c) => {
                 if c == ' ' {
                     trailing_spaces += 1;
@@ -98,7 +89,7 @@ fn recognize_band(ink: &[bool], width: usize, y: usize, scale: usize) -> Option<
 /// Match the glyph cell at `(x, y)`; returns the recognized character or
 /// `None` if nothing matches exactly.
 #[allow(clippy::needless_range_loop)] // gx/gy address both the pattern and pixels
-fn match_glyph(ink: &[bool], width: usize, x: usize, y: usize, scale: usize) -> Option<char> {
+fn match_glyph(ink: &InkMask, x: usize, y: usize, scale: usize) -> Option<char> {
     for c in font::CHARSET.chars() {
         let pat = font::glyph_pattern(c).expect("charset glyph");
         let mut ok = true;
@@ -107,7 +98,7 @@ fn match_glyph(ink: &[bool], width: usize, x: usize, y: usize, scale: usize) -> 
                 // sample the centre pixel of the scaled cell
                 let px = x + gx * scale + scale / 2;
                 let py = y + gy * scale + scale / 2;
-                if ink[py * width + px] != pat[gy][gx] {
+                if ink.get(px, py) != pat[gy][gx] {
                     ok = false;
                     break 'cell;
                 }
@@ -124,9 +115,9 @@ fn match_glyph(ink: &[bool], width: usize, x: usize, y: usize, scale: usize) -> 
 /// result (the pipeline does not know the attacker's render scale). The
 /// image is binarized once and the mask is shared across scale probes.
 pub fn recognize_any_scale(img: &Bitmap) -> String {
-    img.with_ink_mask(INK_THRESHOLD, |ink| {
+    img.with_ink_words(INK_THRESHOLD, |ink| {
         for scale in 1..=3 {
-            let lines = lines_in_mask(ink, img.width(), img.height(), scale);
+            let lines = lines_in_mask(ink, scale);
             if !lines.is_empty() {
                 return lines.join("\n");
             }

@@ -8,6 +8,7 @@
 //! run-length signature, exactly how real detectors seed their search.
 
 use crate::bitmap::{Bitmap, Rgb};
+use crate::inkmask::InkMask;
 use cb_qr::{QrMatrix, tables};
 
 /// Quiet-zone width in modules mandated by the spec.
@@ -45,13 +46,13 @@ pub fn draw_at(img: &mut Bitmap, matrix: &QrMatrix, x0: usize, y0: usize, module
 /// Returns the reconstructed [`QrMatrix`] (with its version inferred from
 /// the sampled size), or `None` if no plausible symbol is found.
 pub fn detect(img: &Bitmap) -> Option<QrMatrix> {
-    // Binarize into the shared thread-local scratch mask (no per-image
+    // Binarize into the shared thread-local word-packed mask (no per-image
     // allocation; the OCR pass over the same image reuses the buffer).
-    img.with_ink_mask(128, |dark| {
+    img.with_ink_words(128, |dark| {
         let (w, h) = (img.width(), img.height());
 
         // Find a finder pattern via horizontal 1:1:3:1:1 run-length scan.
-        let (cx, cy, module_px) = find_finder(dark, w, h)?;
+        let (cx, cy, module_px) = find_finder(dark)?;
 
         // The finder centre sits 3.5 modules in from the symbol corner.
         let x0 = (cx as isize - (3.5 * module_px as f64) as isize).max(0) as usize;
@@ -64,7 +65,7 @@ pub fn detect(img: &Bitmap) -> Option<QrMatrix> {
             if x0 + n * module_px > w || y0 + n * module_px > h {
                 continue;
             }
-            if let Some(m) = sample_grid(dark, w, x0, y0, module_px, version) {
+            if let Some(m) = sample_grid(dark, x0, y0, module_px, version) {
                 return Some(m);
             }
         }
@@ -81,38 +82,46 @@ pub fn decode_from_image(img: &Bitmap) -> Option<Vec<u8>> {
 
 /// Scan rows for the finder signature; returns (center_x, center_y,
 /// module_px).
-fn find_finder(dark: &[bool], w: usize, h: usize) -> Option<(usize, usize, usize)> {
+///
+/// Rows are walked as runs via [`InkMask::next_transition`] — run
+/// boundaries come from word scans (64 pixels per load) and a five-slot
+/// ring buffer replaces the per-row `Vec` of runs the bool-mask
+/// implementation materialized.
+fn find_finder(dark: &InkMask) -> Option<(usize, usize, usize)> {
+    let (w, h) = (dark.width(), dark.height());
     for y in 0..h {
-        // run-length encode the row
-        let mut runs: Vec<(bool, usize, usize)> = Vec::new(); // (value, start, len)
-        let mut x = 0;
+        // last five runs, oldest first: (value, start, len)
+        let mut runs = [(false, 0usize, 0usize); 5];
+        let mut filled = 0usize;
+        let mut x = 0usize;
         while x < w {
-            let v = dark[y * w + x];
-            let start = x;
-            while x < w && dark[y * w + x] == v {
-                x += 1;
-            }
-            runs.push((v, start, x - start));
-        }
-        // look for dark-light-dark-light-dark with 1:1:3:1:1
-        for win in runs.windows(5) {
-            if !(win[0].0 && !win[1].0 && win[2].0 && !win[3].0 && win[4].0) {
+            let v = dark.get(x, y);
+            let end = dark.next_transition(y, x, v);
+            runs.rotate_left(1);
+            runs[4] = (v, x, end - x);
+            filled += 1;
+            x = end;
+            if filled < 5 {
                 continue;
             }
-            let unit = win[0].2;
+            // look for dark-light-dark-light-dark with 1:1:3:1:1
+            if !(runs[0].0 && !runs[1].0 && runs[2].0 && !runs[3].0 && runs[4].0) {
+                continue;
+            }
+            let unit = runs[0].2;
             if unit == 0 {
                 continue;
             }
-            let ratios_ok = win[1].2 == unit
-                && win[2].2 == 3 * unit
-                && win[3].2 == unit
-                && win[4].2 == unit;
+            let ratios_ok = runs[1].2 == unit
+                && runs[2].2 == 3 * unit
+                && runs[3].2 == unit
+                && runs[4].2 == unit;
             if !ratios_ok {
                 continue;
             }
-            let cx = win[2].1 + win[2].2 / 2;
+            let cx = runs[2].1 + runs[2].2 / 2;
             // verify vertically at cx: same signature centred at y
-            if verify_vertical(dark, w, h, cx, y, unit) {
+            if verify_vertical(dark, cx, y, unit) {
                 // centre y: middle of the 3-unit vertical core
                 return Some((cx, y, unit));
             }
@@ -122,13 +131,13 @@ fn find_finder(dark: &[bool], w: usize, h: usize) -> Option<(usize, usize, usize
 }
 
 /// Check the vertical 1:1:3:1:1 signature through (cx, y).
-fn verify_vertical(dark: &[bool], w: usize, h: usize, cx: usize, y: usize, unit: usize) -> bool {
+fn verify_vertical(dark: &InkMask, cx: usize, y: usize, unit: usize) -> bool {
     // Expect dark for 3 units around y (the core), then light 1, dark 1.
     let get = |yy: isize| -> Option<bool> {
-        if yy < 0 || yy as usize >= h {
+        if yy < 0 || yy as usize >= dark.height() {
             None
         } else {
-            Some(dark[yy as usize * w + cx])
+            Some(dark.get(cx, yy as usize))
         }
     };
     let u = unit as isize;
@@ -145,8 +154,7 @@ fn verify_vertical(dark: &[bool], w: usize, h: usize, cx: usize, y: usize, unit:
 /// Sample an n×n grid and validate its timing pattern; returns the matrix if
 /// plausible.
 fn sample_grid(
-    dark: &[bool],
-    w: usize,
+    dark: &InkMask,
     x0: usize,
     y0: usize,
     module_px: usize,
@@ -158,7 +166,7 @@ fn sample_grid(
         for c in 0..n {
             let px = x0 + c * module_px + module_px / 2;
             let py = y0 + r * module_px + module_px / 2;
-            m.set(r, c, dark[py * w + px]);
+            m.set(r, c, dark.get(px, py));
         }
     }
     // Validate: horizontal+vertical timing patterns must alternate, and the

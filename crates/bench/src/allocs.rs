@@ -1,0 +1,75 @@
+//! A counting global allocator for the micro-benches.
+//!
+//! The zero-copy kernels (borrowed MIME views, the HTML token stream,
+//! word-packed mask reductions) claim *zero steady-state allocations*; the
+//! only trustworthy way to hold that claim is to count real allocator
+//! calls. [`CountingAlloc`] wraps [`std::alloc::System`] and bumps a
+//! thread-local counter on every `alloc`/`alloc_zeroed`/`realloc` (frees
+//! are not counted — the claim is about acquisition, and counting both
+//! would double-bill reallocs).
+//!
+//! The counter only advances in binaries that register the wrapper:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: cb_bench::allocs::CountingAlloc = cb_bench::allocs::CountingAlloc;
+//! ```
+//!
+//! `substrate_micro` does; ordinary test binaries do not, and there
+//! [`allocations_during`] reports 0 — callers must treat the count as
+//! meaningful only behind the registration.
+//!
+//! Everything here is `std`-only and thread-local, so the counter imposes
+//! no synchronization on the multi-threaded scheduler benches sharing the
+//! process.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// System-allocator wrapper that counts acquisitions per thread.
+pub struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn bump() {
+    // try_with: the allocator may be called during TLS teardown.
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Allocations recorded on this thread so far (0 unless [`CountingAlloc`]
+/// is the registered global allocator).
+pub fn thread_allocations() -> u64 {
+    ALLOCS.try_with(Cell::get).unwrap_or(0)
+}
+
+/// Run `f` and return its result together with the number of allocator
+/// acquisitions it performed on this thread.
+pub fn allocations_during<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = thread_allocations();
+    let out = f();
+    (out, thread_allocations() - before)
+}

@@ -16,6 +16,8 @@
 //! Criterion measures throughput; correctness of the regenerated numbers is
 //! asserted by the test suite and the `repro` binary.
 
+pub mod allocs;
+
 use cb_phishgen::{Corpus, CorpusSpec, ReportedMessage};
 use crawlerbox::{CrawlerBox, ScanRecord};
 

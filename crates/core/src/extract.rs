@@ -304,8 +304,11 @@ fn extract_from_html(
     container: Option<&ExtractionSource>,
     out: &mut Vec<ExtractedResource>,
 ) {
-    let doc = cb_web::Document::parse(html);
-    for href in doc.anchor_urls() {
+    // One token-stream pass instead of DOM materialization + three walks;
+    // cb_web::PageScan is differentially tested to emit the identical
+    // values in the identical order.
+    let page = cb_web::PageScan::of(html);
+    for href in page.anchor_hrefs {
         if href.starts_with("http") {
             out.push(ExtractedResource {
                 source: wrap(ExtractionSource::HtmlHref, container),
@@ -313,7 +316,7 @@ fn extract_from_html(
             });
         }
     }
-    if let Some(url) = doc.meta_refresh_url() {
+    if let Some(url) = page.meta_refresh {
         if url.starts_with("http") {
             out.push(ExtractedResource {
                 source: wrap(ExtractionSource::HtmlHref, container),
@@ -325,7 +328,7 @@ fn extract_from_html(
     // observe navigations (the paper: "any discovered HTML or JavaScript
     // code is dynamically loaded … fundamental given the use of
     // obfuscation").
-    for src in doc.inline_scripts() {
+    for src in page.inline_scripts {
         if let Ok(script) = cb_script::Script::parse(&src) {
             let mut host = cb_script::hosts::RecordingHost::new();
             let _ = cb_script::run(&script, &mut host);

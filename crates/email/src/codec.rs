@@ -91,6 +91,19 @@ fn b64_value(b: u8) -> Option<u8> {
 /// Returns [`Base64Error`] on alphabet violations or bad padding.
 pub fn base64_decode(text: &str) -> Result<Vec<u8>, Base64Error> {
     let mut out = Vec::with_capacity(text.len() / 4 * 3);
+    base64_decode_into(text, &mut out)?;
+    Ok(out)
+}
+
+/// [`base64_decode`] into a caller-provided buffer, appending to `out` —
+/// the zero-allocation variant for callers that reuse one scratch buffer
+/// across many bodies.
+///
+/// # Errors
+///
+/// Returns [`Base64Error`] on alphabet violations or bad padding; `out` may
+/// hold partially decoded data after an error.
+pub fn base64_decode_into(text: &str, out: &mut Vec<u8>) -> Result<(), Base64Error> {
     let mut quad = [0u8; 4];
     let mut fill = 0usize;
     let mut pad = 0usize;
@@ -135,7 +148,7 @@ pub fn base64_decode(text: &str) -> Result<Vec<u8>, Base64Error> {
     if fill != 0 {
         return Err(Base64Error::InvalidLength);
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Encode text as Quoted-Printable (RFC 2045 §6.7), wrapping at 76 columns
@@ -192,8 +205,15 @@ pub fn quoted_printable_encode(data: &[u8]) -> String {
 /// Decode Quoted-Printable text. Invalid escape sequences are passed through
 /// literally, matching the leniency of real mail software.
 pub fn quoted_printable_decode(text: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(text.len());
+    quoted_printable_decode_into(text, &mut out);
+    out
+}
+
+/// [`quoted_printable_decode`] into a caller-provided buffer, appending to
+/// `out` — the zero-allocation variant for reusable scratch buffers.
+pub fn quoted_printable_decode_into(text: &str, out: &mut Vec<u8>) {
     let bytes = text.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
         if bytes[i] == b'=' {
@@ -228,7 +248,6 @@ pub fn quoted_printable_decode(text: &str) -> Vec<u8> {
             i += 1;
         }
     }
-    out
 }
 
 #[cfg(test)]

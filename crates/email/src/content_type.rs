@@ -49,26 +49,13 @@ impl ContentType {
     ///
     /// Unparseable input degrades to `text/plain`, matching the RFC 2045
     /// default and the leniency of real mail clients.
+    ///
+    /// Thin materializing wrapper over
+    /// [`crate::view::ContentTypeRef::parse`]; call sites that only need
+    /// the media type or one parameter can use the borrowed ref directly
+    /// and skip building the parameter map.
     pub fn parse(value: &str) -> ContentType {
-        let mut parts = value.split(';');
-        let mime = parts.next().unwrap_or("").trim();
-        let (top, sub) = match mime.split_once('/') {
-            Some((t, s)) if !t.is_empty() && !s.is_empty() => {
-                (t.trim().to_ascii_lowercase(), s.trim().to_ascii_lowercase())
-            }
-            _ => ("text".to_string(), "plain".to_string()),
-        };
-        let mut params = BTreeMap::new();
-        for p in parts {
-            if let Some((k, v)) = p.split_once('=') {
-                let key = k.trim().to_ascii_lowercase();
-                let val = v.trim().trim_matches('"').to_string();
-                if !key.is_empty() {
-                    params.insert(key, val);
-                }
-            }
-        }
-        ContentType { top, sub, params }
+        crate::view::ContentTypeRef::parse(value).to_content_type()
     }
 
     /// The default content type mandated by RFC 2045: `text/plain`.

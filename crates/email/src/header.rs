@@ -51,11 +51,6 @@ impl fmt::Display for ParseHeaderError {
 
 impl std::error::Error for ParseHeaderError {}
 
-fn is_valid_field_name_byte(b: u8) -> bool {
-    // RFC 5322 ftext: printable US-ASCII except ':'
-    (0x21..=0x7e).contains(&b) && b != b':'
-}
-
 impl HeaderMap {
     /// An empty header map.
     pub fn new() -> Self {
@@ -65,38 +60,19 @@ impl HeaderMap {
     /// Parse a header block (everything before the blank line separating
     /// headers from body). Folded lines are unfolded with a single space.
     ///
+    /// Thin materializing wrapper over [`crate::view::HeaderIter`]: the
+    /// borrowed iterator does the line walk and validation; this collects
+    /// each field into owned strings.
+    ///
     /// # Errors
     ///
     /// Returns [`ParseHeaderError`] on malformed lines.
     pub fn parse(block: &str) -> Result<Self, ParseHeaderError> {
         let mut map = HeaderMap::new();
-        for (idx, line) in block.split("\r\n").flat_map(|l| l.split('\n')).enumerate() {
-            if line.is_empty() {
-                continue;
-            }
-            if line.starts_with(' ') || line.starts_with('\t') {
-                // continuation of previous field
-                match map.fields.last_mut() {
-                    Some((_, value)) => {
-                        value.push(' ');
-                        value.push_str(line.trim_start());
-                    }
-                    None => return Err(ParseHeaderError::LeadingContinuation),
-                }
-                continue;
-            }
-            let colon = line
-                .find(':')
-                .ok_or(ParseHeaderError::MissingColon { line: idx })?;
-            let (name, rest) = line.split_at(colon);
-            if name.is_empty() {
-                return Err(ParseHeaderError::MissingColon { line: idx });
-            }
-            if let Some(&bad) = name.bytes().collect::<Vec<_>>().iter().find(|b| !is_valid_field_name_byte(**b)) {
-                return Err(ParseHeaderError::InvalidFieldName { line: idx, byte: bad });
-            }
+        for field in crate::view::HeaderIter::new(block) {
+            let field = field?;
             map.fields
-                .push((name.to_string(), rest[1..].trim().to_string()));
+                .push((field.name().to_string(), field.value().into_owned()));
         }
         Ok(map)
     }
@@ -253,5 +229,23 @@ mod tests {
     fn lf_only_input_accepted() {
         let h = HeaderMap::parse("A: 1\nB: 2\n").unwrap();
         assert_eq!(h.get("B"), Some("2"));
+    }
+
+    #[test]
+    fn name_with_trailing_space_before_colon_is_rejected() {
+        // RFC 5322 §3.6.8: ftext excludes WSP, so `"Subject : x"` is a
+        // malformed name, not a field named "Subject " or "Subject".
+        assert_eq!(
+            HeaderMap::parse("Subject : trailing space"),
+            Err(ParseHeaderError::InvalidFieldName { line: 0, byte: b' ' })
+        );
+    }
+
+    #[test]
+    fn name_with_trailing_tab_before_colon_is_rejected() {
+        assert_eq!(
+            HeaderMap::parse("From: a@x.example\r\nSubject\t: tabbed"),
+            Err(ParseHeaderError::InvalidFieldName { line: 1, byte: b'\t' })
+        );
     }
 }

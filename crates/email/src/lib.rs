@@ -34,9 +34,13 @@ pub mod codec;
 pub mod content_type;
 pub mod header;
 pub mod message;
+#[doc(hidden)]
+pub mod reference;
+pub mod view;
 
 pub use address::EmailAddress;
 pub use auth::{AuthResults, AuthVerdict};
 pub use content_type::{ContentType, MediaType};
 pub use header::{HeaderMap, ParseHeaderError};
 pub use message::{MessageBuilder, MimeBody, MimeEntity, ParseMessageError};
+pub use view::{ContentTypeRef, EntityRef, HeaderField, HeaderIter, MimeArena, MimeView};

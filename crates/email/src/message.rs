@@ -10,6 +10,7 @@
 use crate::codec;
 use crate::content_type::{ContentType, MediaType};
 use crate::header::{HeaderMap, ParseHeaderError};
+use crate::view;
 use std::fmt;
 
 /// Maximum multipart nesting the parser will follow. Attackers nest EMLs in
@@ -66,22 +67,6 @@ impl From<ParseHeaderError> for ParseMessageError {
     }
 }
 
-/// Split raw message text into (header block, body) at the first blank
-/// line — whichever line-ending convention produces the *earliest* split
-/// (an LF-delimited message may contain CRLF blank lines in its body).
-fn split_header_body(raw: &str) -> (&str, &str) {
-    let crlf = raw.find("\r\n\r\n").map(|p| (p, 4));
-    let lf = raw.find("\n\n").map(|p| (p, 2));
-    let best = match (crlf, lf) {
-        (Some(a), Some(b)) => Some(if a.0 <= b.0 { a } else { b }),
-        (a, b) => a.or(b),
-    };
-    match best {
-        Some((pos, len)) => (&raw[..pos], &raw[pos + len..]),
-        None => (raw, ""),
-    }
-}
-
 impl MimeEntity {
     /// Parse a wire-format message.
     ///
@@ -97,28 +82,34 @@ impl MimeEntity {
         if depth > MAX_DEPTH {
             return Err(ParseMessageError::TooDeep);
         }
-        let (header_block, body_text) = split_header_body(raw);
+        let (header_block, body_text) = view::split_header_body(raw);
         let headers = HeaderMap::parse(header_block)?;
-        let ct = headers
-            .get("Content-Type")
-            .map(ContentType::parse)
-            .unwrap_or_default();
+        // The borrowed content-type ref answers "is this multipart, and
+        // with what boundary" without building the parameter map the owned
+        // parse would allocate per entity.
+        let ct = headers.get("Content-Type").map(view::ContentTypeRef::parse);
 
-        let body = if ct.media_type() == MediaType::Multipart {
-            let boundary = ct.boundary().ok_or(ParseMessageError::MissingBoundary)?;
-            let mut children = Vec::new();
-            for part in split_multipart(body_text, boundary) {
-                children.push(Self::parse_at_depth(part, depth + 1)?);
+        let body = match ct {
+            Some(ct) if ct.media_type() == MediaType::Multipart => {
+                let boundary = ct.boundary().ok_or(ParseMessageError::MissingBoundary)?;
+                let mut spans = Vec::new();
+                view::split_multipart_offsets(body_text, boundary, &mut spans);
+                let mut children = Vec::with_capacity(spans.len());
+                for (s, e) in spans {
+                    children
+                        .push(Self::parse_at_depth(&body_text[s as usize..e as usize], depth + 1)?);
+                }
+                MimeBody::Multipart(children)
             }
-            MimeBody::Multipart(children)
-        } else {
-            let decoded = decode_transfer(
-                body_text,
-                headers
-                    .get("Content-Transfer-Encoding")
-                    .unwrap_or("7bit"),
-            );
-            MimeBody::Leaf(decoded)
+            _ => {
+                let decoded = decode_transfer(
+                    body_text,
+                    headers
+                        .get("Content-Transfer-Encoding")
+                        .unwrap_or("7bit"),
+                );
+                MimeBody::Leaf(decoded)
+            }
         };
         Ok(MimeEntity { headers, body })
     }
@@ -186,61 +177,6 @@ impl MimeEntity {
             .filter(|e| matches!(e.body, MimeBody::Leaf(_)))
             .collect()
     }
-}
-
-/// Split a multipart body into its parts given the boundary string.
-/// Returns slices between `--boundary` delimiters, stopping at
-/// `--boundary--`.
-fn split_multipart<'a>(body: &'a str, boundary: &str) -> Vec<&'a str> {
-    let delim = format!("--{boundary}");
-    let close = format!("--{boundary}--");
-    let mut parts = Vec::new();
-    let mut cursor = 0usize;
-    let mut in_part: Option<usize> = None;
-    // Walk line starts to find delimiter lines exactly.
-    let bytes = body.as_bytes();
-    while cursor <= body.len() {
-        let line_end = body[cursor..]
-            .find('\n')
-            .map(|p| cursor + p)
-            .unwrap_or(body.len());
-        // RFC 2046 §5.1.1 allows transport padding (trailing whitespace)
-        // after the boundary delimiter.
-        let line = body[cursor..line_end].trim_end_matches(['\r', ' ', '\t']);
-        let is_close = line == close;
-        let is_delim = line == delim || is_close;
-        if is_delim {
-            if let Some(start) = in_part {
-                // Part content ends just before this delimiter line
-                // (excluding the CRLF that precedes it). An empty part puts
-                // the delimiter immediately after the previous one, so the
-                // backed-up end can precede start — clamp.
-                let mut end = cursor;
-                if end >= 1 && bytes[end - 1] == b'\n' {
-                    end -= 1;
-                    if end >= 1 && bytes[end - 1] == b'\r' {
-                        end -= 1;
-                    }
-                }
-                parts.push(&body[start..end.max(start)]);
-            }
-            in_part = if is_close { None } else { Some(line_end + 1) };
-            if is_close {
-                break;
-            }
-        }
-        if line_end == body.len() {
-            break;
-        }
-        cursor = line_end + 1;
-    }
-    // Unterminated final part (missing close delimiter): be lenient.
-    if let Some(start) = in_part {
-        if start <= body.len() {
-            parts.push(body[start..].trim_end_matches(['\r', '\n']));
-        }
-    }
-    parts
 }
 
 /// Decode a body per its `Content-Transfer-Encoding`.

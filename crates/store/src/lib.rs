@@ -59,6 +59,7 @@ pub mod blob;
 pub mod crc;
 pub mod frame;
 pub mod index;
+pub(crate) mod metascan;
 pub mod query;
 pub mod segment;
 pub mod shard;

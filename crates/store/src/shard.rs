@@ -25,13 +25,23 @@
 //!   corruption: the shard is quarantined. Appends to it fail, its records
 //!   drop out of queries and `known_hashes`, and [`Shard::repair`]
 //!   re-adjudicates it from its last valid frames.
+//!
+//! Replay adjudicates payloads with the borrowed meta scan
+//! ([`metascan`](crate::metascan)) rather than a full record
+//! deserialization: the index only needs each record's
+//! [`RecordMeta`](crate::index::RecordMeta), so opening a store — which is
+//! all `crawl-log store stats` does for its counts — never materializes
+//! the records themselves. Debug builds cross-check every scanned payload
+//! against the full decode, so the two adjudications cannot drift
+//! silently.
 
 use crate::blob::BlobStore;
 use crate::frame::{
     decode_blob_refs, encode_blob_refs, encode_frame, next_frame, FrameStep, KIND_BLOB_REF,
     KIND_RECORD,
 };
-use crate::index::StoreIndex;
+use crate::index::{RecordMeta, StoreIndex};
+use crate::metascan;
 use crate::segment::{list_segments, SegmentWriter};
 use crate::store::{StoreMetrics, StoreOptions};
 use crate::vfs::Vfs;
@@ -124,9 +134,10 @@ pub struct RepairReport {
 
 /// One frame-walk step outcome classified by the replay rules.
 struct SegmentReplay {
-    /// Decoded records with their blob refs and the byte offset of each
-    /// blob-ref/record pair's first frame, in frame order.
-    records: Vec<(ScanRecord, Vec<u128>, usize)>,
+    /// Scanned record metas (segment-local seq) with their blob refs and
+    /// the byte offset of each blob-ref/record pair's first frame, in
+    /// frame order.
+    records: Vec<(RecordMeta, Vec<u128>, usize)>,
     /// Offset just past the last complete blob-ref/record pair.
     valid_end: usize,
     /// First bad byte, its reason, and whether it is *corruption* (true)
@@ -166,10 +177,10 @@ fn replay_segment(buf: &[u8]) -> SegmentReplay {
                 }
             }
             FrameStep::Frame { payload, next, .. } => {
-                match serde_json::from_slice::<ScanRecord>(payload) {
-                    Ok(record) => {
+                match scan_meta(payload, out.records.len()) {
+                    Ok(meta) => {
                         let start = if pending.is_some() { pending_at } else { at };
-                        out.records.push((record, pending.take().unwrap_or_default(), start));
+                        out.records.push((meta, pending.take().unwrap_or_default(), start));
                         out.valid_end = next;
                         at = next;
                     }
@@ -203,6 +214,37 @@ fn replay_segment(buf: &[u8]) -> SegmentReplay {
             }
         }
     }
+}
+
+/// Adjudicate one record payload during replay: a borrowed meta scan in
+/// place of the full deserialization, yielding the `RecordMeta` the index
+/// needs (with the segment-local `seq`) or the reason the payload is not
+/// a record.
+///
+/// Debug builds re-decode the payload with serde and assert that both
+/// adjudications agree — on accept/reject and on the derived meta — so
+/// the scanner cannot drift from the record schema unnoticed.
+fn scan_meta(payload: &[u8], seq: usize) -> Result<RecordMeta, String> {
+    let meta = metascan::scan_record(payload).map_err(|e| e.to_string()).and_then(|s| {
+        RecordMeta::of_scanned(seq, &s)
+            .ok_or_else(|| format!("unknown class {:?}", s.class))
+    });
+    #[cfg(debug_assertions)]
+    match (&meta, serde_json::from_slice::<ScanRecord>(payload)) {
+        (Ok(got), Ok(record)) => {
+            let want = RecordMeta::of(seq, &record);
+            assert_eq!(
+                *got, want,
+                "meta scan and record decode derived different metas"
+            );
+        }
+        (Ok(_), Err(e)) => {
+            panic!("meta scan accepted a payload the record decode rejects: {e}")
+        }
+        (Err(e), Ok(_)) => panic!("meta scan rejected a decodable record: {e}"),
+        (Err(_), Err(_)) => {}
+    }
+    meta
 }
 
 /// One shard: an independent generation-pointered segment log.
@@ -327,9 +369,9 @@ impl Shard {
                 records.truncate(i);
             }
             let seg_records = records.len();
-            for (record, refs, _) in &records {
-                shard.index.insert(record);
-                shard.blob_refs.push(refs.clone());
+            for (meta, refs, _) in records {
+                shard.index.push_recovered(meta);
+                shard.blob_refs.push(refs);
             }
             m.recover_segments.incr();
             m.recover_records.add(seg_records as u64);

@@ -325,6 +325,9 @@ impl FaultVfs {
     /// directory with a fresh VFS afterwards.
     pub fn apply_crash(&self) -> io::Result<()> {
         let mut st = self.state.lock().expect("fault state");
+        // Reborrow through the guard once so the loop's `pending_renames`
+        // drain and the `files` updates are disjoint field borrows.
+        let st = &mut *st;
         let fork = SeedFork::new(self.plan.seed);
         // Renames first: a rolled-back rename re-exposes `from`, whose
         // unsynced tail is then truncated like any other file.

@@ -37,6 +37,8 @@
 pub mod dom;
 pub mod html;
 pub mod render;
+pub mod scan;
 
 pub use dom::Document;
 pub use html::Node;
+pub use scan::PageScan;

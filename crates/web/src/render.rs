@@ -12,27 +12,41 @@
 use crate::dom::Document;
 use crate::html::Node;
 use cb_artifacts::{Bitmap, Rgb};
+use std::collections::HashMap;
 
 /// Vertical advance per rendered block row.
 const ROW_H: usize = 14;
 /// Left margin for content.
 const MARGIN: usize = 8;
 
-/// Parse `#rrggbb` (or `#rgb`).
+/// Parse `#rrggbb`, `#rgb`, or `rgb(r, g, b)` — entirely on borrowed
+/// slices, with no intermediate `String`. Named colors are out of scope
+/// and return `None`.
 fn parse_color(s: &str) -> Option<Rgb> {
-    let hex = s.trim().strip_prefix('#')?;
-    match hex.len() {
-        6 => {
-            let v = u32::from_str_radix(hex, 16).ok()?;
-            Some(Rgb::new((v >> 16) as u8, (v >> 8) as u8, v as u8))
-        }
-        3 => {
-            let v = u32::from_str_radix(hex, 16).ok()?;
-            let (r, g, b) = ((v >> 8) & 0xF, (v >> 4) & 0xF, v & 0xF);
-            Some(Rgb::new((r * 17) as u8, (g * 17) as u8, (b * 17) as u8))
-        }
-        _ => None,
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix('#') {
+        return match hex.len() {
+            6 => {
+                let v = u32::from_str_radix(hex, 16).ok()?;
+                Some(Rgb::new((v >> 16) as u8, (v >> 8) as u8, v as u8))
+            }
+            3 => {
+                let v = u32::from_str_radix(hex, 16).ok()?;
+                let (r, g, b) = ((v >> 8) & 0xF, (v >> 4) & 0xF, v & 0xF);
+                Some(Rgb::new((r * 17) as u8, (g * 17) as u8, (b * 17) as u8))
+            }
+            _ => None,
+        };
     }
+    let body = s.strip_prefix("rgb(")?.strip_suffix(')')?;
+    let mut channels = body.split(',');
+    let r = channels.next()?.trim().parse::<u8>().ok()?;
+    let g = channels.next()?.trim().parse::<u8>().ok()?;
+    let b = channels.next()?.trim().parse::<u8>().ok()?;
+    if channels.next().is_some() {
+        return None;
+    }
+    Some(Rgb::new(r, g, b))
 }
 
 /// Extract `background-color` from an inline style attribute.
@@ -58,8 +72,13 @@ fn style_hue_rotate(style: &str) -> Option<f64> {
 pub fn rasterize(doc: &Document, width: usize, height: usize) -> Bitmap {
     let mut img = Bitmap::new(width, height, Rgb::WHITE);
     let mut y = MARGIN;
+    // Inline styles repeat heavily across a page (every input in a form,
+    // every cell in a brand band tends to carry the identical attribute),
+    // so background-color extraction is memoized per raster pass, keyed by
+    // the borrowed style string.
+    let mut bg_cache: HashMap<&str, Option<Rgb>> = HashMap::new();
     for root in doc.roots() {
-        render_node(root, &mut img, &mut y, width);
+        render_node(root, &mut img, &mut y, width, &mut bg_cache);
     }
     // Document-level filter: a hue-rotate style on <html> or <body> rotates
     // the final screenshot (the §V-C2(d) trick).
@@ -73,7 +92,13 @@ pub fn rasterize(doc: &Document, width: usize, height: usize) -> Bitmap {
     img
 }
 
-fn render_node(node: &Node, img: &mut Bitmap, y: &mut usize, width: usize) {
+fn render_node<'a>(
+    node: &'a Node,
+    img: &mut Bitmap,
+    y: &mut usize,
+    width: usize,
+    bg_cache: &mut HashMap<&'a str, Option<Rgb>>,
+) {
     if *y >= img.height() {
         return;
     }
@@ -90,8 +115,12 @@ fn render_node(node: &Node, img: &mut Bitmap, y: &mut usize, width: usize) {
             attrs,
             children,
         } => {
-            let style = attrs.get("style").map(String::as_str).unwrap_or("");
-            let bg = style_bg(style);
+            let bg = match attrs.get("style") {
+                Some(style) => *bg_cache
+                    .entry(style.as_str())
+                    .or_insert_with(|| style_bg(style)),
+                None => None,
+            };
             match tag.as_str() {
                 "script" | "style" | "head" | "title" | "meta" | "link" => {
                     // invisible; <head> children like <title> do not paint
@@ -139,7 +168,7 @@ fn render_node(node: &Node, img: &mut Bitmap, y: &mut usize, width: usize) {
                         let block_top = *y;
                         let mut inner_y = *y + 2;
                         for c in children {
-                            render_node(c, img, &mut inner_y, width);
+                            render_node(c, img, &mut inner_y, width, bg_cache);
                         }
                         let block_h = (inner_y - block_top).max(ROW_H);
                         // paint behind: cheap approach — repaint band then content
@@ -149,7 +178,7 @@ fn render_node(node: &Node, img: &mut Bitmap, y: &mut usize, width: usize) {
                         return;
                     }
                     for c in children {
-                        render_node(c, img, y, width);
+                        render_node(c, img, y, width, bg_cache);
                     }
                 }
             }
@@ -223,7 +252,13 @@ mod tests {
         assert_eq!(parse_color("#ff0080"), Some(Rgb::new(255, 0, 128)));
         assert_eq!(parse_color("#fff"), Some(Rgb::new(255, 255, 255)));
         assert_eq!(parse_color("red"), None);
+        assert_eq!(parse_color("rgb(255, 0, 128)"), Some(Rgb::new(255, 0, 128)));
+        assert_eq!(parse_color(" rgb(1,2,3) "), Some(Rgb::new(1, 2, 3)));
+        assert_eq!(parse_color("rgb(1,2)"), None);
+        assert_eq!(parse_color("rgb(1,2,3,4)"), None);
+        assert_eq!(parse_color("rgb(256,0,0)"), None);
         assert_eq!(style_bg("background-color: #102030; x: y"), Some(Rgb::new(0x10, 0x20, 0x30)));
+        assert_eq!(style_bg("background-color: rgb(16, 32, 48)"), Some(Rgb::new(0x10, 0x20, 0x30)));
         assert_eq!(style_hue_rotate("filter: hue-rotate(4deg)"), Some(4.0));
         assert_eq!(style_hue_rotate("color: red"), None);
     }

@@ -156,3 +156,210 @@ fn image_noise_does_not_create_phantom_urls() {
     let found = extract_resources(&parsed);
     assert!(found.is_empty(), "phantom URLs: {found:?}");
 }
+
+// ---------------------------------------------------------------------------
+// Zero-copy substrate equivalence: the borrowed-span MIME parser, the LUT
+// HTML tokenizer, and the word-packed ink kernels must agree with the
+// frozen pre-change implementations (kept in-tree as differential oracles)
+// on *every* input — including inputs where a fraction of the bytes has
+// been faulted, since corrupted messages are exactly where a hand-rolled
+// byte scanner and the original char-by-char code could diverge.
+// ---------------------------------------------------------------------------
+
+use cb_email::reference as email_oracle;
+use cb_web::html;
+use proptest::prelude::*;
+
+/// Structural MIME fragments: boundaries, folded headers, encodings, and
+/// the separators whose misplacement stresses part splitting.
+const MIME_ATOMS: &[&str] = &[
+    "Content-Type: multipart/mixed; boundary=bb\r\n",
+    "Content-Type: multipart/alternative; boundary=\"q q\"\r\n",
+    "Content-Type: text/html; charset=utf-8\r\n",
+    "Content-Type: text/plain\r\n",
+    "Content-Transfer-Encoding: base64\r\n",
+    "Content-Transfer-Encoding: quoted-printable\r\n",
+    "Subject: spanning\r\n",
+    "Subject: fold\r\n\tcontinues\r\n",
+    "X-Loop: a\n",
+    "\r\n",
+    "\n",
+    "--bb\r\n",
+    "--bb--\r\n",
+    "--bb\n",
+    "--bb--",
+    "--q q\r\n",
+    "Zm9vYmFy\r\n",
+    "caf=C3=A9=\r\n",
+    "plain body text\r\n",
+    "<p>inline html</p>\r\n",
+    ": no name\r\n",
+    " leading continuation\r\n",
+];
+
+/// HTML soup fragments for the tokenizer: tags, attribute quoting styles,
+/// rawtext elements, comments, entities and truncation points.
+const HTML_ATOMS: &[&str] = &[
+    "<div>", "</div>", "<p ", "<a href=", "\"u\"", "'v'", "bare", ">", "/>", "=",
+    "</p>", "<script>", "</script>", "<style>", "</style>", "<!--", "-->", "<!",
+    "<br>", "text", " ", "&amp;", "&#65;", "<", "</", "<img src=x>", "\t",
+    "<B CLASS=upper>", "</B>", "<sPaN a=1 a=2>", "</span >",
+];
+
+/// Overwrite roughly `rate` of the single-byte positions of `text` with
+/// structure-bearing ASCII, deterministically from `seed`. Only ASCII
+/// positions are rewritten so the result stays valid UTF-8.
+fn inject_faults(text: &str, rate: f64, seed: u64) -> String {
+    const FAULTS: &[u8] = b"-=\r\n<>\"';:& b";
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut bytes = text.as_bytes().to_vec();
+    for b in bytes.iter_mut() {
+        if b.is_ascii() && (next() % 10_000) as f64 / 10_000.0 < rate {
+            *b = FAULTS[(next() as usize) % FAULTS.len()];
+        }
+    }
+    String::from_utf8(bytes).expect("ASCII-only rewrites preserve UTF-8")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn span_mime_parser_matches_oracle_under_faults(
+        atoms in proptest::collection::vec(prop::sample::select(MIME_ATOMS), 0..12),
+        rate in 0.0..0.30f64,
+        seed in any::<u64>(),
+    ) {
+        let raw = inject_faults(&atoms.concat(), rate, seed);
+        prop_assert_eq!(
+            cb_email::MimeEntity::parse(&raw),
+            email_oracle::parse_message(&raw),
+            "raw {:?}", raw
+        );
+    }
+
+    #[test]
+    fn lut_tokenizer_matches_oracle_under_faults(
+        atoms in proptest::collection::vec(prop::sample::select(HTML_ATOMS), 0..16),
+        rate in 0.0..0.30f64,
+        seed in any::<u64>(),
+    ) {
+        let input = inject_faults(&atoms.concat(), rate, seed);
+        prop_assert_eq!(
+            html::parse_fragment(&input),
+            html::reference::parse_fragment(&input),
+            "input {:?}", input
+        );
+    }
+
+    #[test]
+    fn word_packed_masks_match_bool_reference(
+        w in 1usize..40,
+        h in 1usize..24,
+        threshold in any::<u8>(),
+        seed in any::<u64>(),
+        noise in 0usize..400,
+    ) {
+        let img = Bitmap::new(w, h, Rgb::WHITE).add_noise(seed, noise);
+        let reference = img.with_ink_mask(threshold, |m| m.to_vec());
+        img.with_ink_words(threshold, |ink| {
+            prop_assert_eq!(ink.width(), w);
+            prop_assert_eq!(ink.height(), h);
+            for y in 0..h {
+                for x in 0..w {
+                    prop_assert_eq!(
+                        ink.get(x, y), reference[y * w + x],
+                        "pixel ({}, {}) under threshold {}", x, y, threshold
+                    );
+                }
+            }
+            prop_assert_eq!(ink.count_ink(), reference.iter().filter(|&&b| b).count());
+            Ok(())
+        })?;
+    }
+
+    #[test]
+    fn word_packed_hamming_matches_bool_xor(
+        w in 1usize..40,
+        h in 1usize..24,
+        threshold in any::<u8>(),
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        // Well-separated noise seeds: add_noise derives its stream from
+        // `seed | 1`, so adjacent seeds would collide.
+        let a = Bitmap::new(w, h, Rgb::WHITE).add_noise(seed_a.wrapping_mul(2), 300);
+        let b = Bitmap::new(w, h, Rgb::WHITE).add_noise(seed_b.wrapping_mul(2) ^ 0x5bd1, 300);
+        let bools_a = a.with_ink_mask(threshold, |m| m.to_vec());
+        let bools_b = b.with_ink_mask(threshold, |m| m.to_vec());
+        let expected = bools_a.iter().zip(&bools_b).filter(|(x, y)| x != y).count();
+        let got = a.with_ink_words(threshold, |ma| {
+            b.with_ink_words(threshold, |mb| ma.hamming(mb))
+        });
+        prop_assert_eq!(got, expected);
+    }
+}
+
+// Named regressions promoted from the fuzz corpus: the MIME boundary edges
+// where span arithmetic is easiest to get wrong.
+
+#[test]
+fn mime_equivalence_empty_boundary() {
+    // boundary="" makes every line a candidate delimiter ("--" prefix).
+    let raw = concat!(
+        "Content-Type: multipart/mixed; boundary=\"\"\r\n",
+        "\r\n",
+        "--\r\n",
+        "Content-Type: text/plain\r\n",
+        "\r\n",
+        "body\r\n",
+        "----\r\n",
+    );
+    assert_eq!(cb_email::MimeEntity::parse(raw), email_oracle::parse_message(raw));
+}
+
+#[test]
+fn mime_equivalence_crlf_vs_lf() {
+    // The same multipart message in CRLF and bare-LF framing must parse
+    // to the same shape decisions under both parsers.
+    let crlf = concat!(
+        "Content-Type: multipart/mixed; boundary=bb\r\n",
+        "\r\n",
+        "--bb\r\n",
+        "Content-Type: text/plain\r\n",
+        "\r\n",
+        "one\r\n",
+        "--bb--\r\n",
+    );
+    let lf = crlf.replace("\r\n", "\n");
+    assert_eq!(cb_email::MimeEntity::parse(crlf), email_oracle::parse_message(crlf));
+    assert_eq!(cb_email::MimeEntity::parse(&lf), email_oracle::parse_message(&lf));
+}
+
+#[test]
+fn mime_equivalence_truncated_final_part() {
+    // Closing delimiter missing entirely, and cut mid-way through it.
+    let whole = concat!(
+        "Content-Type: multipart/mixed; boundary=bb\r\n",
+        "\r\n",
+        "--bb\r\n",
+        "Content-Type: text/plain\r\n",
+        "\r\n",
+        "tail that never closes\r\n",
+        "--bb--\r\n",
+    );
+    for cut in ["--bb--\r\n", "--bb--", "--bb", "--b", "-", ""] {
+        let raw = whole.strip_suffix("--bb--\r\n").unwrap().to_string() + cut;
+        assert_eq!(
+            cb_email::MimeEntity::parse(&raw),
+            email_oracle::parse_message(&raw),
+            "cut {cut:?}"
+        );
+    }
+}
