@@ -15,9 +15,16 @@
 //! JSON serialization) to the serial cache-free reference — the bench
 //! doubles as a determinism check on exactly the batch shape the
 //! schedulers disagree about most.
+//!
+//! The store section exercises the group-commit ingest pipeline
+//! (DESIGN.md §14): the overhead arm runs the encoded path at commit
+//! batch 256 over 4 shards against the < 15% persistence-overhead
+//! target, and the `ingest_arms` grid sweeps commit batch {1, 16, 256}
+//! × shards {1, 4, 8} in durable mode, asserting < 1.0 fsyncs/record
+//! whenever the batch is ≥ 16 — so the CI smoke run is the gate.
 
 use cb_bench::{bench_corpus, skewed_batch};
-use cb_store::{Store, StoreOptions, StoreSink};
+use cb_store::{EncodedStoreSink, Store, StoreEncoder, StoreOptions, StoreSink};
 use crawlerbox::{CrawlerBox, ScanRecord, Scheduler};
 use std::time::Instant;
 
@@ -57,6 +64,24 @@ struct RecoveryArm {
     secs: f64,
     records_per_sec: f64,
 }
+
+/// One group-commit ingest arm: the encoded pipeline (worker-side
+/// encoding, batched durable barriers, parallel shard fan-out) at a given
+/// commit batch size × shard count, in durable ingest mode.
+struct IngestArm {
+    commit_batch: usize,
+    shards: usize,
+    iters: usize,
+    records: usize,
+    secs: f64,
+    msgs_per_sec: f64,
+    fsyncs_per_record: f64,
+}
+
+/// Commit batch × shard count of the store-overhead arm: the headline
+/// configuration the < 15% persistence-overhead target is measured at.
+const OVERHEAD_COMMIT_BATCH: usize = 256;
+const OVERHEAD_SHARDS: usize = 4;
 
 fn scheduler_name(s: Scheduler) -> &'static str {
     match s {
@@ -269,16 +294,21 @@ fn main() {
     eprintln!("tracing overhead (work_stealing, caches on): {tracing_overhead_pct:.1}% (target < 10%)");
 
     // Store arms: the work-stealing streaming configuration (capacity 32)
-    // with and without a persistent StoreSink, each iteration against a
-    // fresh store directory so every run pays the same cold-store cost.
-    // The persisted log is asserted record-identical to the serial
-    // cache-free reference, and a final arm times crash-free recovery
-    // (reopen + full replay) of the last store written. ISSUE 5 targets a
-    // < 15% streaming throughput overhead for persistence.
+    // with and without persistence, each iteration against a fresh store
+    // directory so every run pays the same cold-store cost. The store-on
+    // arm is the group-commit ingest pipeline at its headline
+    // configuration — worker-side encoding (`StoreEncoder`), batched
+    // appends (`EncodedStoreSink`, commit batch 256) and parallel shard
+    // fan-out over 4 shards, in durable ingest mode. The persisted log is
+    // asserted record-identical to the serial cache-free reference; the
+    // target is < 15% streaming throughput overhead for durable
+    // persistence.
     let store_root = std::env::temp_dir().join(format!("cb-bench-store-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&store_root);
     let store_capacity = 32usize;
     let mut store_rates = Vec::new(); // [persist=false, persist=true]
+    let mut store_fsyncs = 0u64;
+    let mut store_appended = 0u64;
     for persist in [false, true] {
         let mut secs = 0.0f64;
         for iteration in 0..iters {
@@ -290,12 +320,21 @@ fn main() {
             cbx.parallelism = WORKERS;
             if persist {
                 let dir = store_root.join(format!("iter-{iteration}"));
-                let store = Store::open(&dir).expect("open bench store");
-                let mut sink = StoreSink::new(store);
+                let opts = StoreOptions {
+                    shards: OVERHEAD_SHARDS,
+                    fsync_each_append: true,
+                    commit_batch: OVERHEAD_COMMIT_BATCH,
+                    ..StoreOptions::default()
+                };
+                let store = Store::open_with(&dir, opts).expect("open bench store");
+                let mut sink = EncodedStoreSink::new(store);
                 let started = Instant::now();
-                cbx.scan_stream(batch.iter().cloned(), &mut sink);
+                cbx.scan_stream_encoded(batch.iter().cloned(), &StoreEncoder, &mut sink);
                 let (mut store, ()) = sink.finish().expect("finish bench store");
                 secs += started.elapsed().as_secs_f64();
+                let stats = store.stats();
+                store_fsyncs += stats.fsyncs;
+                store_appended += stats.appended;
                 let mut persisted: Vec<String> = store
                     .read_all()
                     .expect("read back bench store")
@@ -321,7 +360,16 @@ fn main() {
         store_rates.push(msgs_per_sec);
     }
     let store_overhead_pct = (1.0 - store_rates[1] / store_rates[0]) * 100.0;
-    eprintln!("store-sink overhead (work_stealing streaming): {store_overhead_pct:.1}% (target < 15%)");
+    let store_fsyncs_per_record = store_fsyncs as f64 / store_appended.max(1) as f64;
+    eprintln!(
+        "store overhead (encoded ingest, batch {OVERHEAD_COMMIT_BATCH}, {OVERHEAD_SHARDS} shards): \
+         {store_overhead_pct:.1}% (target < 15%), {store_fsyncs_per_record:.3} fsyncs/record"
+    );
+    assert!(
+        store_fsyncs_per_record < 1.0,
+        "group commit at batch {OVERHEAD_COMMIT_BATCH} must amortize the barrier: \
+         {store_fsyncs_per_record:.3} fsyncs/record"
+    );
 
     // Recovery-replay arms: persist the same batch once per shard count,
     // then time a cold reopen — segment replay + index rebuild fanned over
@@ -366,6 +414,83 @@ fn main() {
         );
         recovery_arms.push(arm);
     }
+
+    // Ingest arms: the group-commit pipeline across the commit-batch ×
+    // shard-count grid, all in durable ingest mode (fsync_each_append) so
+    // the arms measure how group commit amortizes the durability barrier.
+    // Batch 1 is the fsync-per-record baseline; batch ≥ 16 must come in
+    // under 1.0 fsyncs/record — asserted here so CI's bench-smoke run is
+    // the gate. Arm 0 also re-checks record identity against the serial
+    // cache-free reference.
+    let mut ingest_arms: Vec<IngestArm> = Vec::new();
+    for commit_batch in [1usize, 16, 256] {
+        for shards in [1usize, 4, 8] {
+            let mut secs = 0.0f64;
+            let mut fsyncs = 0u64;
+            let mut appended = 0u64;
+            for iteration in 0..iters {
+                let dir = store_root.join(format!("ingest-{commit_batch}-{shards}-{iteration}"));
+                let opts = StoreOptions {
+                    shards,
+                    fsync_each_append: true,
+                    commit_batch,
+                    ..StoreOptions::default()
+                };
+                let store = Store::open_with(&dir, opts).expect("open ingest store");
+                let mut sink = EncodedStoreSink::new(store);
+                let mut cbx = CrawlerBox::new(&corpus.world)
+                    .with_scheduler(Scheduler::WorkStealing)
+                    .with_caching(true)
+                    .with_stream_capacity(store_capacity)
+                    .with_artifact_capture(true);
+                cbx.parallelism = WORKERS;
+                let started = Instant::now();
+                cbx.scan_stream_encoded(batch.iter().cloned(), &StoreEncoder, &mut sink);
+                let (mut store, ()) = sink.finish().expect("finish ingest store");
+                secs += started.elapsed().as_secs_f64();
+                let stats = store.stats();
+                fsyncs += stats.fsyncs;
+                appended += stats.appended;
+                assert_eq!(stats.pending, 0, "finish must leave no unacked records");
+                if iteration == 0 {
+                    let mut persisted: Vec<String> = store
+                        .read_all()
+                        .expect("read back ingest store")
+                        .iter()
+                        .map(|r| serde_json::to_string(r).expect("serialize persisted record"))
+                        .collect();
+                    persisted.sort();
+                    assert_eq!(
+                        persisted, reference_sorted,
+                        "batch {commit_batch} x {shards} shards diverged from the reference"
+                    );
+                }
+            }
+            let records = batch.len() * iters;
+            let msgs_per_sec = if secs > 0.0 { records as f64 / secs } else { f64::INFINITY };
+            let fsyncs_per_record = fsyncs as f64 / appended.max(1) as f64;
+            if commit_batch >= 16 {
+                assert!(
+                    fsyncs_per_record < 1.0,
+                    "batch {commit_batch} x {shards} shards: group commit must amortize \
+                     the barrier, got {fsyncs_per_record:.3} fsyncs/record"
+                );
+            }
+            eprintln!(
+                "  ingest batch={commit_batch:<3} shards={shards} {secs:8.3}s  \
+                 {msgs_per_sec:9.1} msgs/sec  {fsyncs_per_record:.3} fsyncs/record"
+            );
+            ingest_arms.push(IngestArm {
+                commit_batch,
+                shards,
+                iters,
+                records,
+                secs,
+                msgs_per_sec,
+                fsyncs_per_record,
+            });
+        }
+    }
     let _ = std::fs::remove_dir_all(&store_root);
 
     let report = serde_json::json!({
@@ -407,15 +532,27 @@ fn main() {
         "store": {
             "scheduler": "work_stealing",
             "capacity": store_capacity,
+            "commit_batch": OVERHEAD_COMMIT_BATCH,
+            "shards": OVERHEAD_SHARDS,
             "off_msgs_per_sec": store_rates[0],
             "on_msgs_per_sec": store_rates[1],
             "overhead_pct": store_overhead_pct,
+            "fsyncs_per_record": store_fsyncs_per_record,
             "target_pct": 15.0,
             "recovery_arms": recovery_arms.iter().map(|r| serde_json::json!({
                 "shards": r.shards,
                 "records": r.records,
                 "secs": r.secs,
                 "records_per_sec": r.records_per_sec,
+            })).collect::<Vec<_>>(),
+            "ingest_arms": ingest_arms.iter().map(|r| serde_json::json!({
+                "commit_batch": r.commit_batch,
+                "shards": r.shards,
+                "iters": r.iters,
+                "records": r.records,
+                "secs": r.secs,
+                "msgs_per_sec": r.msgs_per_sec,
+                "fsyncs_per_record": r.fsyncs_per_record,
             })).collect::<Vec<_>>(),
         },
         "speedup_stealing_cached_vs_chunked_uncached": speedup,

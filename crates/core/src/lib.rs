@@ -48,4 +48,6 @@ pub use logging::{ArtifactKind, CapturedArtifact, ScanRecord, ScanStats, VisitLo
 pub use cb_telemetry::{ExportMode, MetricsRegistry, Trace};
 pub use pipeline::{message_content_hash, CrawlerBox, ScanPolicy, Scheduler};
 pub use pool::run_stealing;
-pub use sink::{ClassMixSink, CountingSink, RecordSink, TruthLedger};
+pub use sink::{
+    ClassMixSink, CountingSink, EncodedSink, NoopEncoder, RecordEncoder, RecordSink, TruthLedger,
+};

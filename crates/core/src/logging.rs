@@ -147,6 +147,12 @@ pub struct ScanStats {
     /// scans). Zero unless a known-hash set was installed.
     #[serde(default)]
     pub skipped_known: u64,
+    /// Records a persistence sink dropped after its store was poisoned by
+    /// an append error (the sink stops writing; drops are counted, not
+    /// silent). The pipeline itself never drops records — runs that
+    /// persist fill this in from the store sink after the stream ends.
+    #[serde(default)]
+    pub store_dropped: u64,
 }
 
 impl ScanStats {
@@ -168,10 +174,11 @@ impl std::fmt::Display for ScanStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "messages {} steals {} skipped {} | enrich {}/{} artifact {}/{} screenshot {}/{} (hits/misses) | peak in-flight {} reorder {} bytes {}",
+            "messages {} steals {} skipped {} dropped {} | enrich {}/{} artifact {}/{} screenshot {}/{} (hits/misses) | peak in-flight {} reorder {} bytes {}",
             self.messages,
             self.steals,
             self.skipped_known,
+            self.store_dropped,
             self.enrich_hits,
             self.enrich_misses,
             self.artifact_hits,

@@ -8,7 +8,7 @@
 use crate::classify::{SpearClassifier, SpearMatch};
 use crate::extract::{extract_resources_memo, ArtifactMemo};
 use crate::logging::{ArtifactKind, AttemptLog, CapturedArtifact, ScanRecord, ScanStats, VisitLog};
-use crate::sink::RecordSink;
+use crate::sink::{EncodedSink, RecordEncoder, RecordSink};
 use cb_artifacts::fingerprint;
 use cb_browser::engine::VisitOutcome;
 use cb_browser::{Browser, CrawlerProfile, Visit, DEFAULT_VISIT_BUDGET};
@@ -489,6 +489,7 @@ impl<'a> CrawlerBox<'a> {
             peak_reorder: self.m.reorder.peak(),
             peak_bytes_retained: self.m.bytes_retained.peak(),
             skipped_known: self.m.skipped.get(),
+            store_dropped: 0,
         }
     }
 
@@ -776,6 +777,27 @@ impl<'a> CrawlerBox<'a> {
         I::IntoIter: Send,
         S: RecordSink,
     {
+        self.scan_stream_encoded(messages, &crate::sink::NoopEncoder, sink)
+    }
+
+    /// [`scan_stream`](Self::scan_stream) with producer-side encoding: each
+    /// scan worker runs `encoder` on the record it just produced, and the
+    /// sink receives the record *and* the worker-built encoding, still in
+    /// message order on the calling thread.
+    ///
+    /// This is how CPU-heavy sink preparation (canonical serialization,
+    /// content checksums, frame building) moves off the delivery thread:
+    /// the collector only routes bytes the workers already encoded. The
+    /// plain [`RecordSink`] path is this pipeline with
+    /// [`NoopEncoder`](crate::sink::NoopEncoder), so the owned-record sink
+    /// path stays the reference oracle for the encoded one.
+    pub fn scan_stream_encoded<I, E, S>(&self, messages: I, encoder: &E, sink: &mut S) -> usize
+    where
+        I: IntoIterator<Item = ReportedMessage>,
+        I::IntoIter: Send,
+        E: RecordEncoder,
+        S: EncodedSink<E::Encoded>,
+    {
         match self.scheduler {
             // Serial streaming is the inline pipeline: one message resident
             // at a time, delivered as soon as it is scanned.
@@ -789,10 +811,11 @@ impl<'a> CrawlerBox<'a> {
                     let bytes = message.raw.len() as u64;
                     self.m.messages.incr();
                     self.note_admitted(bytes);
-                    let record = self.scan_caught(&message);
+                    let mut record = self.scan_caught(&message);
+                    let encoded = encoder.encode(&mut record);
                     let mid = record.message_id;
                     drop(message);
-                    sink.accept(record);
+                    sink.accept_encoded(record, encoded);
                     self.tracer.delivery(mid, vec![("order", delivered.to_string())]);
                     self.note_delivered(bytes);
                     delivered += 1;
@@ -801,7 +824,7 @@ impl<'a> CrawlerBox<'a> {
                 delivered
             }
             Scheduler::StaticChunk | Scheduler::WorkStealing => {
-                self.scan_stream_parallel(messages.into_iter(), sink)
+                self.scan_stream_parallel(messages.into_iter(), encoder, sink)
             }
         }
     }
@@ -815,10 +838,11 @@ impl<'a> CrawlerBox<'a> {
     /// always drains it — so workers never block on a full output channel
     /// forever, and the producer's token wait is always resolved by the
     /// next in-order delivery.
-    fn scan_stream_parallel<I, S>(&self, messages: I, sink: &mut S) -> usize
+    fn scan_stream_parallel<I, E, S>(&self, messages: I, encoder: &E, sink: &mut S) -> usize
     where
         I: Iterator<Item = ReportedMessage> + Send,
-        S: RecordSink,
+        E: RecordEncoder,
+        S: EncodedSink<E::Encoded>,
     {
         let workers = self.parallelism.max(1);
         let capacity = self.stream_capacity.max(1);
@@ -831,7 +855,8 @@ impl<'a> CrawlerBox<'a> {
         for _ in 0..window {
             token_tx.send(()).expect("fresh token channel has room");
         }
-        let (out_tx, out_rx) = crossbeam::channel::bounded::<(usize, u64, ScanRecord)>(window);
+        let (out_tx, out_rx) =
+            crossbeam::channel::bounded::<(usize, u64, ScanRecord, E::Encoded)>(window);
 
         let mut delivered = 0usize;
         let _ = crossbeam::thread::scope(|scope| {
@@ -849,10 +874,11 @@ impl<'a> CrawlerBox<'a> {
                         scope.spawn(move |_| {
                             cb_telemetry::set_worker(Some(w));
                             for (idx, message) in in_rx.iter() {
-                                let record = self.scan_caught(&message);
+                                let mut record = self.scan_caught(&message);
+                                let encoded = encoder.encode(&mut record);
                                 let bytes = message.raw.len() as u64;
                                 drop(message);
-                                if out_tx.send((idx, bytes, record)).is_err() {
+                                if out_tx.send((idx, bytes, record, encoded)).is_err() {
                                     break;
                                 }
                             }
@@ -895,10 +921,11 @@ impl<'a> CrawlerBox<'a> {
                         scope.spawn(move |_| {
                             cb_telemetry::set_worker(Some(w));
                             for (idx, message) in rx.iter() {
-                                let record = self.scan_caught(&message);
+                                let mut record = self.scan_caught(&message);
+                                let encoded = encoder.encode(&mut record);
                                 let bytes = message.raw.len() as u64;
                                 drop(message);
-                                if out_tx.send((idx, bytes, record)).is_err() {
+                                if out_tx.send((idx, bytes, record, encoded)).is_err() {
                                     break;
                                 }
                             }
@@ -933,15 +960,15 @@ impl<'a> CrawlerBox<'a> {
             // Collector, on the calling thread: park out-of-order records,
             // deliver in message order, release one admission token per
             // delivery. Ends when every worker has dropped its `out_tx`.
-            let mut reorder: std::collections::BTreeMap<usize, (u64, ScanRecord)> =
+            let mut reorder: std::collections::BTreeMap<usize, (u64, ScanRecord, E::Encoded)> =
                 std::collections::BTreeMap::new();
             let mut next = 0usize;
-            for (idx, bytes, record) in out_rx.iter() {
-                reorder.insert(idx, (bytes, record));
+            for (idx, bytes, record, encoded) in out_rx.iter() {
+                reorder.insert(idx, (bytes, record, encoded));
                 self.note_reorder_depth(reorder.len() as u64);
-                while let Some((b, r)) = reorder.remove(&next) {
+                while let Some((b, r, e)) = reorder.remove(&next) {
                     let mid = r.message_id;
-                    sink.accept(r);
+                    sink.accept_encoded(r, e);
                     self.tracer.delivery(mid, vec![("order", delivered.to_string())]);
                     self.note_delivered(b);
                     let _ = token_tx.try_send(());

@@ -25,6 +25,56 @@ pub trait RecordSink {
     fn accept(&mut self, record: ScanRecord);
 }
 
+/// Producer-side record encoding for
+/// [`scan_stream_encoded`](crate::pipeline::CrawlerBox::scan_stream_encoded):
+/// runs on the scan workers, right after the record is produced, so
+/// CPU-heavy sink preparation (canonical serialization, checksumming,
+/// framing) rides the worker pool instead of serializing on the delivery
+/// thread.
+///
+/// The encoder is shared by every worker (`Sync`) and its output travels
+/// through the stream channels (`Encoded: Send`). It may mutate the record
+/// — e.g. take its artifact bytes — as long as the mutation is one the
+/// downstream sink expects; the record itself is still delivered to the
+/// sink in message order.
+pub trait RecordEncoder: Sync {
+    /// The worker-produced encoding shipped alongside each record.
+    type Encoded: Send;
+
+    /// Encode `record` on the worker that scanned it.
+    fn encode(&self, record: &mut ScanRecord) -> Self::Encoded;
+}
+
+/// The identity encoder: no producer-side work. The plain
+/// [`RecordSink`] path of `scan_stream` is `scan_stream_encoded` with this
+/// encoder, which keeps the owned-record path as the reference oracle for
+/// the encoded one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopEncoder;
+
+impl RecordEncoder for NoopEncoder {
+    type Encoded = ();
+
+    fn encode(&self, _record: &mut ScanRecord) {}
+}
+
+/// Consumer of streaming records plus their producer-side encoding.
+///
+/// Like [`RecordSink`], `accept_encoded` is called exactly once per
+/// scanned message, in message order, on the calling thread.
+pub trait EncodedSink<E> {
+    /// Accept the next record and its worker-produced encoding.
+    fn accept_encoded(&mut self, record: ScanRecord, encoded: E);
+}
+
+/// Every plain record sink is an encoded sink for the unit encoding, so
+/// `scan_stream` can delegate to the encoded pipeline unchanged.
+impl<S: RecordSink> EncodedSink<()> for S {
+    fn accept_encoded(&mut self, record: ScanRecord, _encoded: ()) {
+        self.accept(record);
+    }
+}
+
 /// Collecting into a vector reproduces batch behaviour (and batch memory).
 impl RecordSink for Vec<ScanRecord> {
     fn accept(&mut self, record: ScanRecord) {

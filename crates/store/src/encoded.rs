@@ -1,0 +1,94 @@
+//! Producer-side record encoding: the worker half of the group-commit
+//! ingest pipeline.
+//!
+//! On the owned-record path, `StoreSink::accept` performs canonical JSON
+//! serialization, meta derivation and CRC framing on `scan_stream`'s
+//! delivery thread — the serial tail of the pipeline. [`StoreEncoder`]
+//! moves all of that onto the scan workers via
+//! [`scan_stream_encoded`](crawlerbox::CrawlerBox::scan_stream_encoded):
+//! each worker emits an [`EncodedRecord`] carrying the canonical payload
+//! bytes, the pre-built (CRC'd) blob-ref + record frames, the derived
+//! [`RecordMeta`] and the captured artifact bytes, so the delivery thread
+//! only routes bytes to shards and the store only writes them.
+//!
+//! The encoding is byte-identical to the owned-record path: artifacts are
+//! taken off the record *before* serialization, which changes nothing
+//! because `ScanRecord.artifacts` is `#[serde(skip)]` — the canonical
+//! encoding never contains them. The owned-record `StoreSink` path stays
+//! in place as the reference oracle; `tests/store.rs` asserts both paths
+//! produce bit-identical logs.
+
+use crate::frame::{encode_blob_refs, encode_frame, KIND_BLOB_REF, KIND_RECORD};
+use crate::index::RecordMeta;
+use cb_sim::SimTime;
+use crawlerbox::{CapturedArtifact, RecordEncoder, ScanRecord};
+use std::io;
+
+/// One record, fully encoded on a scan worker and ready to route: the
+/// store's delivery-thread work is reduced to blob writes and a frame
+/// append on the owning shard.
+#[derive(Debug, Clone)]
+pub struct EncodedRecord {
+    /// Delivery instant of the record (for sim-time commit caps).
+    pub delivered_at: SimTime,
+    /// Derived index meta. `seq` is a placeholder (0) until the store
+    /// assigns the shard-local log position at insert.
+    pub meta: RecordMeta,
+    /// Canonical record payload length in bytes (the record frame's
+    /// payload, excluding headers and the blob-ref frame).
+    pub payload_len: usize,
+    /// The bytes to append: the blob-ref frame (when artifacts are
+    /// present) followed by the record frame, CRCs included, exactly as
+    /// the owned-record path would build them.
+    pub frame: Vec<u8>,
+    /// Blob addresses referenced by the frame, in artifact order.
+    pub refs: Vec<u128>,
+    /// The artifact bytes to write to the blob store *before* the frame.
+    pub artifacts: Vec<CapturedArtifact>,
+}
+
+/// Encode `record` for the store on the calling (worker) thread, taking
+/// its artifact bytes (the downstream sink sees the record with artifacts
+/// already shed, exactly like the owned-record `StoreSink` path).
+///
+/// # Errors
+///
+/// Canonical serialization failure (never expected for well-formed
+/// records).
+pub fn encode_record(record: &mut ScanRecord) -> io::Result<EncodedRecord> {
+    let artifacts = std::mem::take(&mut record.artifacts);
+    let refs: Vec<u128> = artifacts.iter().map(|a| a.hash).collect();
+    // Artifacts are #[serde(skip)], so taking them first leaves the
+    // canonical payload bytes unchanged.
+    let payload =
+        serde_json::to_vec(record).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let meta = RecordMeta::of(0, record);
+    let mut frame = Vec::with_capacity(payload.len() + 64);
+    if !refs.is_empty() {
+        frame.extend_from_slice(&encode_frame(KIND_BLOB_REF, &encode_blob_refs(&refs)));
+    }
+    frame.extend_from_slice(&encode_frame(KIND_RECORD, &payload));
+    Ok(EncodedRecord {
+        delivered_at: record.delivered_at,
+        meta,
+        payload_len: payload.len(),
+        frame,
+        refs,
+        artifacts,
+    })
+}
+
+/// The [`RecordEncoder`] that runs [`encode_record`] on every scan worker.
+/// Pair with
+/// [`EncodedStoreSink`](crate::sink::EncodedStoreSink) via
+/// [`scan_stream_encoded`](crawlerbox::CrawlerBox::scan_stream_encoded).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreEncoder;
+
+impl RecordEncoder for StoreEncoder {
+    type Encoded = io::Result<EncodedRecord>;
+
+    fn encode(&self, record: &mut ScanRecord) -> io::Result<EncodedRecord> {
+        encode_record(record)
+    }
+}

@@ -30,6 +30,15 @@
 //!   turn a repeated scan into a cheap delta scan, and [`Store::repair`]
 //!   returns a quarantined shard to service from its last valid frames.
 //!
+//! The ingest side has two paths (DESIGN.md §14): the owned-record
+//! [`StoreSink`] oracle above, and the group-commit pipeline —
+//! [`StoreEncoder`] encodes records on the scan workers,
+//! [`EncodedStoreSink`] batches them, and
+//! [`Store::append_batch`] fans the pre-built frames out to their shards
+//! in parallel, amortizing the durable barrier over
+//! [`StoreOptions::commit_batch`] records. Both paths produce
+//! bit-identical logs; a record is acked only once a barrier covers it.
+//!
 //! Everything is plain `std` file I/O behind the [`vfs::Vfs`] seam —
 //! [`vfs::FaultVfs`] injects deterministic short writes, fsync failures
 //! and crash points for the crash-consistency sweep in
@@ -57,6 +66,7 @@
 
 pub mod blob;
 pub mod crc;
+pub mod encoded;
 pub mod frame;
 pub mod index;
 pub(crate) mod metascan;
@@ -68,10 +78,11 @@ pub mod store;
 pub mod vfs;
 
 pub use blob::{BlobFault, BlobStore};
+pub use encoded::{encode_record, EncodedRecord, StoreEncoder};
 pub use index::{url_token_scheme, RecordMeta, StoreIndex};
 pub use query::{cluster_campaigns, Campaign, CampaignClusterer};
 pub use shard::{shard_of, RepairReport, Shard, ShardHealth, TornTail};
-pub use sink::StoreSink;
+pub use sink::{EncodedStoreSink, StoreSink};
 pub use store::{
     CompactReport, RecoveryReport, Store, StoreOptions, StoreStats, VerifyFault, VerifyReport,
 };

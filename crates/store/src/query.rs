@@ -171,6 +171,63 @@ impl CampaignClusterer {
         }
     }
 
+    /// Absorb another clusterer built independently (e.g. one shard's
+    /// fragment clustered on a worker thread), renumbering its nodes onto
+    /// the end of this one. The result is bit-identical to having fed the
+    /// fragment's metas through [`add`](Self::add) directly: the output of
+    /// [`finish`](Self::finish) depends only on the connected components
+    /// and the node numbering, and absorbing preserves both — the
+    /// fragment's internal components are replayed edge-free via its
+    /// roots, and its first-seen evidence representatives union with this
+    /// clusterer's (or become the global representative when the key is
+    /// new, exactly as `add` would have picked them).
+    pub fn absorb(&mut self, mut part: CampaignClusterer) {
+        let offset = self.uf.len();
+        let n = part.uf.len();
+        for _ in 0..n {
+            self.uf.push();
+        }
+        // Replay the fragment's components: linking every node to its
+        // fragment-local root reproduces the same partition whatever the
+        // fragment's internal union order was.
+        for node in 0..n {
+            let root = part.uf.find(node);
+            if root != node {
+                self.uf.union(root + offset, node + offset);
+            }
+        }
+        // Merge evidence representatives. A key both sides know bridges
+        // the fragment's component onto ours; a key only the fragment
+        // knows makes its (shifted) first-seen node the global
+        // representative — the same node `add` would have recorded.
+        for (p, first) in part.by_phash.drain() {
+            match self.by_phash.get(&p) {
+                Some(&mine) => self.uf.union(mine, first + offset),
+                None => {
+                    self.by_phash.insert(p, first + offset);
+                }
+            }
+        }
+        for (fp, first) in part.by_cert.drain() {
+            match self.by_cert.get(&fp) {
+                Some(&mine) => self.uf.union(mine, first + offset),
+                None => {
+                    self.by_cert.insert(fp, first + offset);
+                }
+            }
+        }
+        for (scheme, first) in part.by_scheme.drain() {
+            match self.by_scheme.get(scheme.as_str()) {
+                Some(&mine) => self.uf.union(mine, first + offset),
+                None => {
+                    self.by_scheme.insert(scheme, first + offset);
+                }
+            }
+        }
+        self.members.append(&mut part.members);
+        self.metas.append(&mut part.metas);
+    }
+
     /// Records merged so far.
     pub fn len(&self) -> usize {
         self.uf.len()
@@ -296,6 +353,34 @@ mod tests {
     #[test]
     fn empty_index_clusters_to_nothing() {
         assert!(cluster_campaigns(&StoreIndex::new()).is_empty());
+    }
+
+    #[test]
+    fn absorb_matches_serial_clustering() {
+        // Cross-fragment links on all three evidence axes, plus a
+        // fragment-internal component and singletons.
+        let mut a = StoreIndex::new();
+        a.insert_meta_for_test(meta(0, &[0xAA], &[], &[]));
+        a.insert_meta_for_test(meta(1, &[0xAA], &[7], &[]));
+        a.insert_meta_for_test(meta(2, &[], &[], &["a5/x16"]));
+        let mut b = StoreIndex::new();
+        b.insert_meta_for_test(meta(0, &[], &[7], &[]));
+        b.insert_meta_for_test(meta(1, &[], &[], &["a5/x16"]));
+        b.insert_meta_for_test(meta(2, &[0xDD], &[], &[]));
+
+        let mut serial = CampaignClusterer::new();
+        serial.add_index(0, &a);
+        serial.add_index(1, &b);
+
+        let mut merged = CampaignClusterer::new();
+        let mut frag_a = CampaignClusterer::new();
+        frag_a.add_index(0, &a);
+        let mut frag_b = CampaignClusterer::new();
+        frag_b.add_index(1, &b);
+        merged.absorb(frag_a);
+        merged.absorb(frag_b);
+
+        assert_eq!(serial.finish(), merged.finish());
     }
 
     #[test]

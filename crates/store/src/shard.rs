@@ -42,12 +42,12 @@ use crate::frame::{
 };
 use crate::index::{RecordMeta, StoreIndex};
 use crate::metascan;
-use crate::segment::{list_segments, SegmentWriter};
+use crate::segment::{list_segments, segment_file_name, SegmentWriter};
 use crate::store::{StoreMetrics, StoreOptions};
 use crate::vfs::Vfs;
 use cb_telemetry::{with_active, Tracer};
 use crawlerbox::ScanRecord;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -260,11 +260,22 @@ pub struct Shard {
     index: StoreIndex,
     /// Per-record blob refs, parallel to the index (empty when none).
     blob_refs: Vec<Vec<u128>>,
+    /// Per-record frame location as `(segment index, byte offset)`,
+    /// parallel to the index — the lazy-paging map for
+    /// [`fetch_payloads`](Shard::fetch_payloads). The offset points at the
+    /// record's first frame (the blob-ref frame when one is present).
+    locations: Vec<(u32, u64)>,
     health: ShardHealth,
     torn: Option<TornTail>,
     log_bytes: u64,
     /// A segment file was created since the last generation-dir fsync.
     pending_dir_sync: bool,
+    /// Frame bytes were appended since the last durable barrier — when
+    /// clear, [`Shard::sync`] is a no-op (a sync after a read-only window
+    /// must cost zero fsyncs).
+    dirty: bool,
+    /// Records appended to this shard this session (ingest observability).
+    session_appends: u64,
 }
 
 impl Shard {
@@ -343,10 +354,13 @@ impl Shard {
             next_segment: 0,
             index: StoreIndex::new(),
             blob_refs: Vec::new(),
+            locations: Vec::new(),
             health: ShardHealth::Healthy,
             torn: None,
             log_bytes: 0,
             pending_dir_sync: false,
+            dirty: false,
+            session_appends: 0,
         };
         for (pos, (seg_index, path)) in segments.iter().enumerate() {
             let last = pos + 1 == segments.len();
@@ -369,9 +383,10 @@ impl Shard {
                 records.truncate(i);
             }
             let seg_records = records.len();
-            for (meta, refs, _) in records {
+            for (meta, refs, start) in records {
                 shard.index.push_recovered(meta);
                 shard.blob_refs.push(refs);
+                shard.locations.push((*seg_index, start as u64));
             }
             m.recover_segments.incr();
             m.recover_records.add(seg_records as u64);
@@ -420,6 +435,7 @@ impl Shard {
             // discarded so queries and known_hashes only see healthy data.
             shard.index = StoreIndex::new();
             shard.blob_refs.clear();
+            shard.locations.clear();
             shard.log_bytes = 0;
         }
         Ok(shard)
@@ -447,10 +463,13 @@ impl Shard {
             next_segment: 0,
             index: StoreIndex::new(),
             blob_refs: Vec::new(),
+            locations: Vec::new(),
             health: ShardHealth::Quarantined { segment, at, reason },
             torn: None,
             log_bytes: 0,
             pending_dir_sync: false,
+            dirty: false,
+            session_appends: 0,
         }
     }
 
@@ -536,6 +555,16 @@ impl Shard {
             frame.extend_from_slice(&encode_frame(KIND_BLOB_REF, &encode_blob_refs(refs)));
         }
         frame.extend_from_slice(&encode_frame(KIND_RECORD, payload));
+        self.append_frame(&frame)
+    }
+
+    /// Append one pre-built blob-ref/record frame pair (the encoded ingest
+    /// path: the frame bytes were already built and CRC'd on a scan
+    /// worker). Returns the frame bytes written.
+    pub(crate) fn append_frame(&mut self, frame: &[u8]) -> io::Result<u64> {
+        if !self.health.is_healthy() {
+            return Err(self.quarantine_error());
+        }
         if self.writer.is_none() {
             let seg_dir = self.dir.join(generation_dir_name(self.generation));
             self.writer = Some(SegmentWriter::create(&self.vfs, &seg_dir, self.next_segment)?);
@@ -543,9 +572,30 @@ impl Shard {
             self.pending_dir_sync = true;
         }
         let writer = self.writer.as_mut().expect("writer just ensured");
-        let wrote = writer.append(&frame)?;
+        let location = (writer.index(), writer.bytes());
+        let wrote = writer.append(frame)?;
         self.log_bytes += wrote;
+        self.locations.push(location);
+        self.dirty = true;
+        self.session_appends += 1;
         Ok(wrote)
+    }
+
+    /// The quarantine refusal for this shard, if it is fenced off; `None`
+    /// while healthy. Batch appends pre-check every target shard with this
+    /// so a refused batch has no side effects.
+    pub(crate) fn quarantine_refusal(&self) -> Option<io::Error> {
+        if self.health.is_healthy() {
+            None
+        } else {
+            Some(self.quarantine_error())
+        }
+    }
+
+    /// Bytes in the active segment (0 when no writer is open) — the
+    /// batch append path's roll predictor.
+    pub(crate) fn active_segment_bytes(&self) -> u64 {
+        self.writer.as_ref().map(SegmentWriter::bytes).unwrap_or(0)
     }
 
     /// Whether the active segment has reached its target size and should
@@ -570,12 +620,24 @@ impl Shard {
             self.vfs.sync_dir(&self.dir.join(generation_dir_name(self.generation)))?;
             self.pending_dir_sync = false;
         }
+        // Only the active segment can hold unsynced appends, and it was
+        // just fsynced.
+        self.dirty = false;
         Ok(())
     }
 
     /// Record `record` in the in-memory index (after a successful append).
     pub(crate) fn index_record(&mut self, record: &ScanRecord, refs: Vec<u128>) -> usize {
         let seq = self.index.insert(record);
+        self.blob_refs.push(refs);
+        seq
+    }
+
+    /// Record a worker-derived meta in the in-memory index (the encoded
+    /// ingest path's counterpart of [`index_record`](Self::index_record) —
+    /// the shard-local `seq` is assigned here).
+    pub(crate) fn index_encoded(&mut self, meta: RecordMeta, refs: Vec<u128>) -> usize {
+        let seq = self.index.push_recovered(meta);
         self.blob_refs.push(refs);
         seq
     }
@@ -588,14 +650,23 @@ impl Shard {
         Ok(())
     }
 
-    /// Durable-write barrier: fsync the active segment, then fsync the
-    /// generation directory if any segment file was created since the last
-    /// barrier. Returns whether an fsync was actually issued.
+    /// Durable-write barrier: fsync the active segment if it has unsynced
+    /// appends, then fsync the generation directory if any segment file was
+    /// created since the last barrier. A clean shard (nothing appended
+    /// since its last barrier) issues **zero** fsyncs — a sync after a
+    /// read-only window must cost nothing. Returns whether an fsync was
+    /// actually issued.
     pub(crate) fn sync(&mut self) -> io::Result<bool> {
+        if !self.dirty && !self.pending_dir_sync {
+            return Ok(false);
+        }
         let mut synced = false;
-        if let Some(w) = self.writer.as_mut() {
-            w.sync()?;
-            synced = true;
+        if self.dirty {
+            if let Some(w) = self.writer.as_mut() {
+                w.sync()?;
+                synced = true;
+            }
+            self.dirty = false;
         }
         if self.pending_dir_sync {
             self.vfs.sync_dir(&self.dir.join(generation_dir_name(self.generation)))?;
@@ -603,6 +674,68 @@ impl Shard {
             synced = true;
         }
         Ok(synced)
+    }
+
+    /// Records appended to this shard this session (ingest observability
+    /// for `crawl-log store stats`).
+    pub fn session_appends(&self) -> u64 {
+        self.session_appends
+    }
+
+    /// Fetch the canonical payloads of the records at `seqs`, in input
+    /// order, paging in each needed segment lazily (and only once) instead
+    /// of replaying the whole log. The query fan-out path.
+    pub(crate) fn fetch_payloads(&mut self, seqs: &[usize]) -> io::Result<Vec<Vec<u8>>> {
+        if !self.health.is_healthy() {
+            return Err(self.quarantine_error());
+        }
+        self.flush()?;
+        let seg_dir = self.dir.join(generation_dir_name(self.generation));
+        // Group the requested records by segment so each segment file is
+        // read at most once, remembering each request's output position.
+        let mut by_segment: BTreeMap<u32, Vec<(usize, u64)>> = BTreeMap::new();
+        for (pos, &seq) in seqs.iter().enumerate() {
+            let (seg, offset) = *self.locations.get(seq).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("shard {}: record seq {seq} out of range", self.id),
+                )
+            })?;
+            by_segment.entry(seg).or_default().push((pos, offset));
+        }
+        let mut out = vec![Vec::new(); seqs.len()];
+        for (seg, wants) in by_segment {
+            let path = seg_dir.join(segment_file_name(seg));
+            let buf = self.vfs.read(&path)?;
+            for (pos, offset) in wants {
+                // The location points at the record's first frame (the
+                // blob-ref frame when one is present); walk past it to the
+                // record frame.
+                let mut at = offset as usize;
+                loop {
+                    match next_frame(&buf, at) {
+                        FrameStep::Frame { kind: KIND_BLOB_REF, next, .. } => at = next,
+                        FrameStep::Frame { kind: KIND_RECORD, payload, .. } => {
+                            out[pos] = payload.to_vec();
+                            break;
+                        }
+                        FrameStep::Frame { kind, .. } => {
+                            return Err(corrupt(
+                                &path,
+                                format!("unexpected frame kind {kind} at {at}"),
+                            ));
+                        }
+                        FrameStep::End | FrameStep::Torn { .. } => {
+                            return Err(corrupt(
+                                &path,
+                                format!("no record frame at offset {at}"),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Raw canonical record payloads in log order (blob-ref frames are
@@ -691,6 +824,7 @@ impl Shard {
         self.vfs.create_dir_all(&new_dir)?;
         let mut seg_index = 0u32;
         let mut writer: Option<SegmentWriter> = None;
+        let mut locations = Vec::with_capacity(survivors.len());
         for (payload, refs) in survivors {
             let mut frame = Vec::new();
             if !refs.is_empty() {
@@ -702,6 +836,7 @@ impl Shard {
                 seg_index += 1;
             }
             let w = writer.as_mut().expect("writer just ensured");
+            locations.push((w.index(), w.bytes()));
             w.append(&frame)?;
             if w.bytes() >= self.segment_target_bytes {
                 w.sync()?;
@@ -735,10 +870,13 @@ impl Shard {
         self.generation = new_generation;
         self.index = index;
         self.blob_refs = blob_refs;
+        self.locations = locations;
         self.log_bytes = log_bytes;
         self.writer = None;
         self.next_segment = seg_index;
         self.pending_dir_sync = false;
+        // Every rewritten segment was fsynced above.
+        self.dirty = false;
         // A partially filled final segment stays open for future appends.
         let segs = list_segments(self.vfs.as_ref(), &new_dir)?;
         if let Some((idx, path)) = segs.last() {

@@ -44,19 +44,22 @@
 //! can be lost.
 
 use crate::blob::BlobStore;
-use crate::index::RecordMeta;
+use crate::encoded::EncodedRecord;
+use crate::index::{RecordMeta, StoreIndex};
 use crate::query::{Campaign, CampaignClusterer};
 use crate::shard::{shard_of, RepairReport, Shard, ShardHealth, TornTail};
 use crate::vfs::{RealVfs, Vfs};
 use cb_phishgen::MessageClass;
+use cb_sim::{SimDuration, SimTime};
 use cb_telemetry::{
-    with_active, CounterHandle, Determinism, GaugeHandle, MetricsRegistry, Trace, Tracer,
+    with_active, CounterHandle, Determinism, GaugeHandle, HistogramHandle, MetricsRegistry, Trace,
+    Tracer,
 };
 use crawlerbox::ScanRecord;
 use std::collections::{BTreeMap, HashSet};
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Trace "message id" used for store-level (non-per-record) events like
 /// fsync, so they sort after every per-record span in the merged trace.
@@ -67,16 +70,35 @@ const STORE_OP_TRACE_ID: usize = usize::MAX;
 pub struct StoreOptions {
     /// Roll to a fresh segment once the current one reaches this size.
     pub segment_target_bytes: u64,
-    /// Fsync after every append (durable but slow). Off by default; an
-    /// explicit [`Store::sync`] is always available and `StoreSink`
-    /// syncs once when finished.
+    /// Run the durable barrier automatically as records arrive (durable
+    /// ingest mode). Off by default; an explicit [`Store::sync`] is always
+    /// available and `StoreSink` syncs once when finished. With
+    /// [`commit_batch`](StoreOptions::commit_batch) = 1 this is the classic
+    /// fsync-per-append discipline; larger batches group-commit.
     pub fsync_each_append: bool,
+    /// Group-commit batch size: in durable ingest mode, run the barrier
+    /// once per this many appended records instead of after every one,
+    /// amortizing the blob-dir → segment → generation-dir fsync chain.
+    /// A record is **acked** only once a barrier covering it completes.
+    /// 1 (the default) reproduces fsync-per-append exactly.
+    pub commit_batch: usize,
+    /// Byte cap on a group commit: the barrier also fires once this many
+    /// pending frame bytes accumulate, whatever the batch count says.
+    /// 0 disables the cap.
+    pub commit_max_bytes: u64,
+    /// Sim-time cap on a group commit: the barrier also fires when the
+    /// delivery-time span of the pending records reaches this duration.
+    /// [`SimDuration::ZERO`] (the default) disables the cap — corpus
+    /// delivery times span months of sim time, so any small cap would
+    /// degenerate to a commit per record.
+    pub commit_max_hold: SimDuration,
     /// Record `store.*` telemetry spans (metrics counters are always on).
     pub tracing: bool,
     /// Shard count for a store created by this open. An existing store's
     /// manifest always wins — the count is fixed at creation.
     pub shards: usize,
-    /// Worker threads for parallel shard recovery and compaction.
+    /// Worker threads for parallel shard recovery, compaction and the
+    /// batch-append / query fan-out.
     pub recovery_workers: usize,
 }
 
@@ -85,6 +107,9 @@ impl Default for StoreOptions {
         StoreOptions {
             segment_target_bytes: 4 * 1024 * 1024,
             fsync_each_append: false,
+            commit_batch: 1,
+            commit_max_bytes: 4 * 1024 * 1024,
+            commit_max_hold: SimDuration::ZERO,
             tracing: false,
             shards: 4,
             recovery_workers: std::thread::available_parallelism()
@@ -156,6 +181,10 @@ pub struct CompactReport {
 pub(crate) struct StoreMetrics {
     pub(crate) append_records: CounterHandle,
     pub(crate) append_bytes: CounterHandle,
+    pub(crate) append_errors: CounterHandle,
+    pub(crate) append_pending: GaugeHandle,
+    pub(crate) commit_batches: CounterHandle,
+    pub(crate) commit_records: HistogramHandle,
     pub(crate) fsync_calls: CounterHandle,
     pub(crate) recover_segments: CounterHandle,
     pub(crate) recover_records: CounterHandle,
@@ -176,6 +205,14 @@ impl StoreMetrics {
         StoreMetrics {
             append_records: reg.counter("store.append.records", Deterministic),
             append_bytes: reg.counter("store.append.bytes", Deterministic),
+            append_errors: reg.counter("store.append.errors", Deterministic),
+            append_pending: reg.gauge("store.append.pending", Deterministic),
+            commit_batches: reg.counter("store.commit.batches", Deterministic),
+            commit_records: reg.histogram(
+                "store.commit.batch_records",
+                Deterministic,
+                &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024],
+            ),
             fsync_calls: reg.counter("store.fsync.calls", Deterministic),
             recover_segments: reg.counter("store.recover.segments", Deterministic),
             recover_records: reg.counter("store.recover.records", Deterministic),
@@ -209,6 +246,14 @@ pub struct StoreStats {
     pub quarantined: usize,
     /// Records appended this session.
     pub appended: u64,
+    /// Append errors this session (each one poisons a `StoreSink`).
+    pub append_errors: u64,
+    /// Group-commit barriers that acked at least one record this session.
+    pub commit_batches: u64,
+    /// Records acked by a durable barrier this session.
+    pub acked: u64,
+    /// Records appended but not yet covered by a barrier.
+    pub pending: u64,
     /// Fsyncs issued this session.
     pub fsyncs: u64,
     /// Blob dedup hits this session.
@@ -268,6 +313,17 @@ pub struct Store {
     metrics: MetricsRegistry,
     m: StoreMetrics,
     tracer: Tracer,
+    /// Records appended since the last durable barrier (the unacked
+    /// window — a crash may lose exactly these, never an acked record).
+    pending_records: u64,
+    /// Frame bytes appended since the last barrier.
+    pending_bytes: u64,
+    /// Delivery-time span `(oldest, newest)` of the pending records.
+    pending_span: Option<(SimTime, SimTime)>,
+    /// Records acked by a completed barrier this session.
+    acked: u64,
+    /// Whether the one-shot `store.poisoned` instant fired.
+    poison_noted: bool,
 }
 
 impl Store {
@@ -367,6 +423,11 @@ impl Store {
             metrics,
             m,
             tracer,
+            pending_records: 0,
+            pending_bytes: 0,
+            pending_span: None,
+            acked: 0,
+            poison_noted: false,
         })
     }
 
@@ -374,16 +435,29 @@ impl Store {
     /// the canonically encoded record (preceded by a blob-ref frame when
     /// artifacts are present) is framed onto its shard's log.
     ///
+    /// This is the owned-record **reference oracle** of the ingest
+    /// pipeline; [`Store::append_batch`] must produce bit-identical logs.
+    ///
     /// # Errors
     ///
     /// I/O failure writing blobs or the segment, or the record routing to
     /// a quarantined shard (repair it first, or re-scan after repair).
     pub fn append(&mut self, record: &ScanRecord) -> io::Result<()> {
+        match self.append_oracle(record) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.note_append_error();
+                Err(e)
+            }
+        }
+    }
+
+    fn append_oracle(&mut self, record: &ScanRecord) -> io::Result<()> {
         let shard_id = shard_of(record.content_hash, self.shards.len());
-        if !self.shards[shard_id].health().is_healthy() {
+        if let Some(e) = self.shards[shard_id].quarantine_refusal() {
             // Check health before writing blobs, so a refused append has
             // no side effects.
-            return self.shards[shard_id].append_payload(&[], &[]).map(|_| ());
+            return Err(e);
         }
 
         // Blobs before the record frame: recovery must never surface a
@@ -441,10 +515,245 @@ impl Store {
             });
         }
 
-        if self.opts.fsync_each_append {
+        self.note_pending(wrote, record.delivered_at);
+        self.commit_if_due()
+    }
+
+    /// Append a batch of records already encoded on scan workers: blob
+    /// puts run serially in batch order, then the pre-built frames fan out
+    /// to their shards over the work-stealing pool — each touched shard is
+    /// owned by exactly one task, which appends that shard's frames in
+    /// batch order, so the per-shard log is bit-identical to feeding the
+    /// same records one by one through [`Store::append`], whatever the
+    /// scheduler or batch size.
+    ///
+    /// # Errors
+    ///
+    /// Like [`Store::append`]; any record routing to a quarantined shard
+    /// refuses the whole batch before side effects.
+    pub fn append_batch(&mut self, batch: Vec<EncodedRecord>) -> io::Result<()> {
+        match self.append_batch_inner(batch) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.note_append_error();
+                Err(e)
+            }
+        }
+    }
+
+    fn append_batch_inner(&mut self, batch: Vec<EncodedRecord>) -> io::Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let shard_count = self.shards.len();
+        // Health pre-check of every target shard: a refused batch has no
+        // side effects (mirrors the oracle's refusal-before-blobs rule).
+        for rec in &batch {
+            if let Some(e) =
+                self.shards[shard_of(rec.meta.content_hash, shard_count)].quarantine_refusal()
+            {
+                return Err(e);
+            }
+        }
+
+        // Blobs before any frame, in batch order — recovery must never
+        // surface a record whose artifacts are missing.
+        let mut blob_fields = Vec::with_capacity(batch.len());
+        for rec in &batch {
+            let mut fields = Vec::with_capacity(rec.artifacts.len());
+            for artifact in &rec.artifacts {
+                let written = self.blobs.put(artifact.hash, &artifact.bytes)?;
+                if written {
+                    self.m.blob_writes.incr();
+                    self.m.blob_bytes.add(artifact.bytes.len() as u64);
+                } else {
+                    self.m.blob_dedup_hits.incr();
+                }
+                fields.push((artifact.kind.label(), artifact.bytes.len(), written));
+            }
+            blob_fields.push(fields);
+        }
+
+        // Group frames by shard, preserving batch order within each shard.
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+        let mut incoming = vec![0u64; shard_count];
+        for (pos, rec) in batch.iter().enumerate() {
+            let sid = shard_of(rec.meta.content_hash, shard_count);
+            per_shard[sid].push(pos);
+            incoming[sid] += rec.frame.len() as u64;
+        }
+
+        // If any shard may seal a segment during this batch, the blob
+        // directory must be durable first: a sealed (interior) segment
+        // must never reference non-durable blobs, or a crash would turn
+        // the batch into wrongful quarantine instead of a torn tail.
+        let may_seal = self.shards.iter().enumerate().any(|(i, s)| {
+            incoming[i] > 0
+                && s.active_segment_bytes() + incoming[i] >= self.opts.segment_target_bytes
+        });
+        if may_seal {
+            self.blobs.sync()?;
+        }
+
+        // Fan the appends out: one task per touched shard.
+        let touched: Vec<usize> =
+            (0..shard_count).filter(|&i| !per_shard[i].is_empty()).collect();
+        let workers = self.opts.recovery_workers.max(1).min(touched.len());
+        let results = {
+            let slots: Vec<Mutex<&mut Shard>> =
+                self.shards.iter_mut().map(Mutex::new).collect();
+            crawlerbox::run_stealing(workers, touched.len(), |_, j| {
+                let sid = touched[j];
+                let mut shard = slots[sid].lock().expect("shard slot");
+                let mut wrote_each = Vec::with_capacity(per_shard[sid].len());
+                let mut seals = 0u64;
+                for &pos in &per_shard[sid] {
+                    let wrote = shard.append_frame(&batch[pos].frame)?;
+                    wrote_each.push((pos, wrote));
+                    if shard.segment_full() {
+                        shard.seal_active_segment()?;
+                        seals += 1;
+                    }
+                }
+                Ok::<_, io::Error>((wrote_each, seals))
+            })
+        };
+        let mut wrote_by_pos = vec![0u64; batch.len()];
+        let mut seals_total = 0u64;
+        for (j, slot) in results.into_iter().enumerate() {
+            let (wrote_each, seals) = match slot {
+                Some(r) => r?,
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Other,
+                        format!("append worker died on shard {}", touched[j]),
+                    ))
+                }
+            };
+            for (pos, wrote) in wrote_each {
+                wrote_by_pos[pos] = wrote;
+            }
+            seals_total += seals;
+        }
+        self.m.fsync_calls.add(seals_total);
+
+        // Index and account in batch (delivery) order.
+        for (pos, rec) in batch.into_iter().enumerate() {
+            let EncodedRecord { delivered_at, meta, payload_len, refs, .. } = rec;
+            let sid = shard_of(meta.content_hash, shard_count);
+            let hash = meta.content_hash;
+            let message_id = meta.message_id;
+            self.m.append_records.incr();
+            self.m.append_bytes.add(wrote_by_pos[pos]);
+            self.shards[sid].index_encoded(meta, refs);
+            if let Some(_guard) = self.tracer.message(message_id) {
+                with_active(|t| {
+                    t.begin(
+                        "store.append",
+                        vec![
+                            ("bytes", payload_len.to_string()),
+                            ("shard", sid.to_string()),
+                            ("hash", format!("{hash:032x}")),
+                        ],
+                    );
+                    for (kind, len, written) in &blob_fields[pos] {
+                        t.instant(
+                            "store.blob",
+                            vec![
+                                ("kind", kind.to_string()),
+                                ("bytes", len.to_string()),
+                                ("dedup", (!written).to_string()),
+                            ],
+                        );
+                    }
+                    t.end();
+                });
+            }
+            self.note_pending(wrote_by_pos[pos], delivered_at);
+        }
+        self.commit_if_due()
+    }
+
+    /// Track one appended-but-unacked record.
+    fn note_pending(&mut self, bytes: u64, at: SimTime) {
+        self.pending_records += 1;
+        self.pending_bytes += bytes;
+        self.m.append_pending.add(1);
+        self.pending_span = Some(match self.pending_span {
+            None => (at, at),
+            Some((lo, hi)) => (lo.min(at), hi.max(at)),
+        });
+    }
+
+    /// Whether the pending window must commit now (durable ingest mode
+    /// only): batch count reached, byte cap reached, or the sim-time hold
+    /// cap exceeded.
+    fn commit_due(&self) -> bool {
+        if !self.opts.fsync_each_append || self.pending_records == 0 {
+            return false;
+        }
+        if self.pending_records >= self.opts.commit_batch.max(1) as u64 {
+            return true;
+        }
+        if self.opts.commit_max_bytes > 0 && self.pending_bytes >= self.opts.commit_max_bytes {
+            return true;
+        }
+        if self.opts.commit_max_hold > SimDuration::ZERO {
+            if let Some((oldest, newest)) = self.pending_span {
+                if newest.since(oldest) >= self.opts.commit_max_hold {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn commit_if_due(&mut self) -> io::Result<()> {
+        if self.commit_due() {
             self.sync()?;
         }
         Ok(())
+    }
+
+    /// Count an append error, and emit the one-shot `store.poisoned`
+    /// instant the first time (sinks poison themselves on the first
+    /// error, so the trace marks where persistence stopped).
+    fn note_append_error(&mut self) {
+        self.m.append_errors.incr();
+        if !self.poison_noted {
+            self.poison_noted = true;
+            if let Some(_guard) = self.tracer.message(STORE_OP_TRACE_ID) {
+                with_active(|t| {
+                    t.instant("store.poisoned", vec![]);
+                });
+            }
+        }
+    }
+
+    /// Records appended but not yet acked by a durable barrier.
+    pub fn pending_appends(&self) -> u64 {
+        self.pending_records
+    }
+
+    /// Records acked by a completed barrier this session. A crash loses
+    /// at most the pending window, never an acked record.
+    pub fn acked_appends(&self) -> u64 {
+        self.acked
+    }
+
+    /// The configured group-commit batch size.
+    pub fn commit_batch(&self) -> usize {
+        self.opts.commit_batch.max(1)
+    }
+
+    /// The configured group-commit byte cap (0 = disabled).
+    pub fn commit_max_bytes(&self) -> u64 {
+        self.opts.commit_max_bytes
+    }
+
+    /// The configured group-commit sim-time hold cap (ZERO = disabled).
+    pub fn commit_max_hold(&self) -> SimDuration {
+        self.opts.commit_max_hold
     }
 
     /// Flush buffered log writes to the OS (no fsync).
@@ -461,11 +770,14 @@ impl Store {
 
     /// The durable-write barrier: fsync the blob directory (blob renames
     /// become durable *before* the frames referencing them), then every
-    /// dirty shard's segment and generation directory.
+    /// dirty shard's segment and generation directory. Clean shards cost
+    /// zero fsyncs, so a sync after a read-only window is free. On
+    /// success every pending record becomes **acked** — this is the
+    /// group-commit ack point.
     ///
     /// # Errors
     ///
-    /// I/O failure flushing or syncing.
+    /// I/O failure flushing or syncing. The pending window stays unacked.
     pub fn sync(&mut self) -> io::Result<()> {
         self.blobs.sync()?;
         let mut synced = 0u64;
@@ -481,6 +793,15 @@ impl Store {
                     t.instant("store.fsync", vec![("shards", synced.to_string())]);
                 });
             }
+        }
+        if self.pending_records > 0 {
+            self.m.commit_batches.incr();
+            self.m.commit_records.observe(self.pending_records as i64);
+            self.m.append_pending.sub(self.pending_records);
+            self.acked += self.pending_records;
+            self.pending_records = 0;
+            self.pending_bytes = 0;
+            self.pending_span = None;
         }
         Ok(())
     }
@@ -505,15 +826,82 @@ impl Store {
 
     /// Raw canonical payload bytes of every record, shard by shard in
     /// shard order — the byte-identity primitive the determinism tests
-    /// compare. Blob-ref frames are not included.
+    /// compare. Blob-ref frames are not included. Shards are read in
+    /// parallel over the work-stealing pool and concatenated in shard
+    /// order, so the output is scheduler-independent.
     ///
     /// # Errors
     ///
     /// I/O failure, non-clean frames, or any quarantined shard.
     pub fn read_payloads(&mut self) -> io::Result<Vec<Vec<u8>>> {
+        let workers = self.opts.recovery_workers.max(1).min(self.shards.len());
+        let slots: Vec<Mutex<&mut Shard>> =
+            self.shards.iter_mut().map(Mutex::new).collect();
+        let results = crawlerbox::run_stealing(workers, slots.len(), |_, i| {
+            slots[i].lock().expect("shard slot").read_payloads()
+        });
         let mut out = Vec::new();
-        for shard in &mut self.shards {
-            out.extend(shard.read_payloads()?);
+        for (i, slot) in results.into_iter().enumerate() {
+            match slot {
+                Some(r) => out.extend(r?),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Other,
+                        format!("read worker died on shard {i}"),
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fetch the canonical payloads of specific records, addressed as
+    /// `(shard id, shard-local seq)` (the addressing [`Store::metas`]
+    /// yields). The fetches fan out over the work-stealing pool, each
+    /// shard paging in only the segments its requested records live in —
+    /// the point-query path, as opposed to the full-log
+    /// [`Store::read_payloads`] replay. Results come back in input order.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, an out-of-range address, or a quarantined shard.
+    pub fn fetch_payloads(&mut self, keys: &[(usize, usize)]) -> io::Result<Vec<Vec<u8>>> {
+        let shard_count = self.shards.len();
+        let mut positions: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+        let mut seqs: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+        for (pos, &(sid, seq)) in keys.iter().enumerate() {
+            if sid >= shard_count {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("no shard {sid}: store has {shard_count} shard(s)"),
+                ));
+            }
+            positions[sid].push(pos);
+            seqs[sid].push(seq);
+        }
+        let touched: Vec<usize> = (0..shard_count).filter(|&i| !seqs[i].is_empty()).collect();
+        let workers = self.opts.recovery_workers.max(1).min(touched.len().max(1));
+        let slots: Vec<Mutex<&mut Shard>> =
+            self.shards.iter_mut().map(Mutex::new).collect();
+        let results = crawlerbox::run_stealing(workers, touched.len(), |_, j| {
+            let sid = touched[j];
+            slots[sid].lock().expect("shard slot").fetch_payloads(&seqs[sid])
+        });
+        let mut out = vec![Vec::new(); keys.len()];
+        for (j, slot) in results.into_iter().enumerate() {
+            let sid = touched[j];
+            let payloads = match slot {
+                Some(r) => r?,
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Other,
+                        format!("fetch worker died on shard {sid}"),
+                    ))
+                }
+            };
+            for (k, payload) in payloads.into_iter().enumerate() {
+                out[positions[sid][k]] = payload;
+            }
         }
         Ok(out)
     }
@@ -643,12 +1031,34 @@ impl Store {
         Ok(removed)
     }
 
-    /// Cluster the healthy shards' records into campaigns, merging the
-    /// union-find incrementally shard by shard.
+    /// Cluster the healthy shards' records into campaigns. Each shard's
+    /// index clusters into a fragment on the work-stealing pool; the
+    /// fragments are absorbed in shard order, which is provably
+    /// bit-identical to serial clustering (the output depends only on the
+    /// connected components and node numbering, and
+    /// [`CampaignClusterer::absorb`] preserves both).
     pub fn campaigns(&self) -> Vec<Campaign> {
+        let indexes: Vec<(usize, &StoreIndex)> =
+            self.shards.iter().map(|s| (s.id(), s.index())).collect();
+        let workers = self.opts.recovery_workers.max(1).min(indexes.len().max(1));
         let mut clusterer = CampaignClusterer::new();
-        for shard in &self.shards {
-            clusterer.add_index(shard.id(), shard.index());
+        if workers <= 1 || indexes.len() <= 1 {
+            for (id, index) in indexes {
+                clusterer.add_index(id, index);
+            }
+            return clusterer.finish();
+        }
+        let fragments = crawlerbox::run_stealing(workers, indexes.len(), |_, i| {
+            let mut fragment = CampaignClusterer::new();
+            fragment.add_index(indexes[i].0, indexes[i].1);
+            fragment
+        });
+        for (i, slot) in fragments.into_iter().enumerate() {
+            match slot {
+                Some(fragment) => clusterer.absorb(fragment),
+                // A dead worker degrades that shard to the serial path.
+                None => clusterer.add_index(indexes[i].0, indexes[i].1),
+            }
         }
         clusterer.finish()
     }
@@ -766,6 +1176,13 @@ impl Store {
         &self.metrics
     }
 
+    /// The commit-batch-size histogram (`store.commit.batch_records`):
+    /// how many records each durable barrier acked this session. Handles
+    /// share the underlying instrument, so the clone stays live.
+    pub fn commit_batch_sizes(&self) -> HistogramHandle {
+        self.m.commit_records.clone()
+    }
+
     /// Drain the store's telemetry trace (empty unless
     /// [`StoreOptions::tracing`] was on).
     pub fn take_trace(&self) -> Trace {
@@ -782,6 +1199,10 @@ impl Store {
             shards: self.shards.len(),
             quarantined: self.shards.iter().filter(|s| !s.health().is_healthy()).count(),
             appended: self.m.append_records.get(),
+            append_errors: self.m.append_errors.get(),
+            commit_batches: self.m.commit_batches.get(),
+            acked: self.acked,
+            pending: self.pending_records,
             fsyncs: self.m.fsync_calls.get(),
             blob_dedup_hits: self.m.blob_dedup_hits.get(),
         }

@@ -18,7 +18,9 @@
 //! subcommand renders a span trace as an indented per-message tree. The
 //! `store` family queries the durable record log: `stats` summarizes the
 //! store (including a per-shard health table — a DEGRADED store keeps
-//! serving its healthy shards), `verify` CRC-checks every frame and
+//! serving its healthy shards — and the session-scoped ingest counters:
+//! fsyncs per record, the commit-batch-size histogram and per-shard
+//! append depth), `verify` CRC-checks every frame and
 //! re-hashes every blob (nonzero exit on faults), `repair`
 //! re-adjudicates quarantined shards from their last valid frames,
 //! `query` looks records up by index axes, and `campaigns` reproduces
@@ -224,14 +226,50 @@ fn store_main(mut iter: impl Iterator<Item = String>) {
             } else {
                 println!("status: healthy");
             }
+            // Ingest observability is session-scoped: for a store opened
+            // by this CLI it reflects recovery plus whatever this process
+            // appended (nothing), which is still the honest answer.
+            println!(
+                "ingest (this session): {} appended, {} acked, {} pending, {} append error(s), {} fsync(s) ({:.3}/record)",
+                stats.appended,
+                stats.acked,
+                stats.pending,
+                stats.append_errors,
+                stats.fsyncs,
+                stats.fsyncs as f64 / stats.appended.max(1) as f64,
+            );
+            let batch_sizes = store.commit_batch_sizes();
+            if batch_sizes.count() == 0 {
+                println!("commit batches: none this session");
+            } else {
+                println!(
+                    "commit batches: {} barrier(s), {} record(s) acked, sizes:",
+                    batch_sizes.count(),
+                    batch_sizes.sum()
+                );
+                let bounds = batch_sizes.bounds();
+                for (i, n) in batch_sizes.bucket_counts().iter().enumerate() {
+                    if *n == 0 {
+                        continue;
+                    }
+                    match bounds.get(i) {
+                        Some(hi) => println!("  <= {hi:>5}  {n}"),
+                        None => println!(
+                            "   > {:>5}  {n}",
+                            bounds.last().copied().unwrap_or(0)
+                        ),
+                    }
+                }
+            }
             println!("shards:");
             for shard in store.shards() {
                 match shard.health() {
                     ShardHealth::Healthy => println!(
-                        "  shard {:>2}  {:>6} record(s)  {:>9} log bytes  healthy",
+                        "  shard {:>2}  {:>6} record(s)  {:>9} log bytes  {:>5} appended this session  healthy",
                         shard.id(),
                         shard.len(),
-                        shard.log_bytes()
+                        shard.log_bytes(),
+                        shard.session_appends()
                     ),
                     ShardHealth::Quarantined { segment, at, reason } => println!(
                         "  shard {:>2}  QUARANTINED at {}+{at}: {reason}",

@@ -5,6 +5,7 @@
 //! repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl]
 //!       [--scheduler serial|chunked|stealing] [--no-cache]
 //!       [--stream] [--stream-capacity N] [--store DIR] [--store-shards N]
+//!       [--commit-batch N]
 //!       [--trace FILE.jsonl] [--trace-chrome FILE.json] [--metrics FILE.json]
 //!
 //! EXPERIMENT: all (default) | table1 | ablation | table2 | figure2 |
@@ -34,6 +35,11 @@
 //!                 run `crawl-log store DIR repair` first.
 //! --store-shards N: shard count when DIR is created (default 4; an
 //!                 existing store's shard count is fixed at creation)
+//! --commit-batch N: durable group-commit ingest: fsync barriers are
+//!                 amortized over batches of N records, and a record is
+//!                 acked only once a barrier covers it. Without this flag
+//!                 the log is made durable once, at the end of the run.
+//!                 Requires --store.
 //! --trace FILE:        write the sim-time span trace as JSONL (full mode:
 //!                      advisory worker/cache fields included)
 //! --trace-chrome FILE: write the trace in Chrome `trace_event` format —
@@ -48,7 +54,7 @@
 
 use cb_phishgen::{Corpus, CorpusSpec};
 use cb_stats::{Moments, P2Quantile};
-use cb_store::{Store, StoreSink};
+use cb_store::{EncodedStoreSink, Store, StoreEncoder};
 use crawlerbox::analysis::{analyze, fault_sweep, AnalysisReport};
 use crawlerbox::{
     ClassMixSink, CrawlerBox, ExportMode, RecordSink, ScanRecord, Scheduler, TruthLedger,
@@ -73,6 +79,7 @@ struct Args {
     stream_capacity: usize,
     store: Option<String>,
     store_shards: usize,
+    commit_batch: Option<usize>,
     trace: Option<String>,
     trace_chrome: Option<String>,
     metrics: Option<String>,
@@ -87,7 +94,7 @@ impl Args {
 fn usage_exit(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
-        "usage: repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl] [--scheduler serial|chunked|stealing] [--no-cache] [--stream] [--stream-capacity N] [--store DIR] [--store-shards N] [--trace FILE.jsonl] [--trace-chrome FILE.json] [--metrics FILE.json]"
+        "usage: repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl] [--scheduler serial|chunked|stealing] [--no-cache] [--stream] [--stream-capacity N] [--store DIR] [--store-shards N] [--commit-batch N] [--trace FILE.jsonl] [--trace-chrome FILE.json] [--metrics FILE.json]"
     );
     std::process::exit(2);
 }
@@ -105,6 +112,7 @@ fn parse_args() -> Args {
         stream_capacity: 32,
         store: None,
         store_shards: cb_store::StoreOptions::default().shards,
+        commit_batch: None,
         trace: None,
         trace_chrome: None,
         metrics: None,
@@ -160,6 +168,12 @@ fn parse_args() -> Args {
                     _ => usage_exit("--store-shards needs an integer in 1..=256"),
                 };
             }
+            "--commit-batch" => {
+                args.commit_batch = match iter.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => Some(n),
+                    _ => usage_exit("--commit-batch needs an integer >= 1"),
+                };
+            }
             "--trace" => {
                 args.trace = match iter.next() {
                     Some(p) => Some(p),
@@ -202,6 +216,9 @@ fn parse_args() -> Args {
     }
     if args.store.is_some() && !args.stream {
         usage_exit("--store persists through the streaming sink; combine it with --stream");
+    }
+    if args.commit_batch.is_some() && args.store.is_none() {
+        usage_exit("--commit-batch sizes the store's group commit; combine it with --store");
     }
     args
 }
@@ -352,7 +369,16 @@ fn run_stream(args: &Args, spec: &CorpusSpec) {
         .map(|n| n.get())
         .unwrap_or(4);
     let store = args.store.as_ref().map(|dir| {
-        let opts = cb_store::StoreOptions { shards: args.store_shards, ..Default::default() };
+        // --commit-batch switches on durable group-commit ingest: every
+        // batch ends with the blob-dir → segment → watermark barrier and
+        // records are acked batch-at-a-time. Without it the run syncs
+        // once, at finish.
+        let opts = cb_store::StoreOptions {
+            shards: args.store_shards,
+            fsync_each_append: args.commit_batch.is_some(),
+            commit_batch: args.commit_batch.unwrap_or(1),
+            ..Default::default()
+        };
         match Store::open_with(std::path::Path::new(dir), opts) {
             Ok(s) => s,
             Err(e) => usage_exit(&format!("cannot open store {dir}: {e}")),
@@ -396,14 +422,21 @@ fn run_stream(args: &Args, spec: &CorpusSpec) {
     };
     eprintln!("scanning {total} reported messages through the streaming pipeline ...");
     let stream = stream.inspect(move |m| tap.note(m.truth.class));
-    let (delivered, store_stats) = match store {
-        None => (cbx.scan_stream(stream, &mut sink), None),
+    let (delivered, store_stats, store_dropped) = match store {
+        None => (cbx.scan_stream(stream, &mut sink), None, 0),
         Some(store) => {
-            let mut persisting = StoreSink::with_inner(store, sink);
-            let delivered = cbx.scan_stream(stream, &mut persisting);
+            // The encoded ingest path: records are serialized and framed
+            // on the scan workers, batched by the sink, and fanned out to
+            // their shards in parallel by `append_batch` — bit-identical
+            // on disk to the owned-record oracle path.
+            let mut persisting = EncodedStoreSink::with_inner(store, sink);
+            let delivered = cbx.scan_stream_encoded(stream, &StoreEncoder, &mut persisting);
+            let dropped = persisting.dropped() as u64;
             let (store, inner) = match persisting.finish() {
                 Ok(done) => done,
-                Err(e) => usage_exit(&format!("store write failed: {e}")),
+                Err(e) => usage_exit(&format!(
+                    "store write failed ({dropped} record(s) dropped after poisoning): {e}"
+                )),
             };
             sink = inner;
             let stats = store.stats();
@@ -412,11 +445,19 @@ fn run_stream(args: &Args, spec: &CorpusSpec) {
                 stats.records, stats.segments, stats.shards, stats.log_bytes, stats.blobs,
                 stats.blob_dedup_hits
             );
-            (delivered, Some(stats))
+            eprintln!(
+                "store ingest: {} batch(es), {} acked, {} fsync(s) ({:.3}/record)",
+                stats.commit_batches,
+                stats.acked,
+                stats.fsyncs,
+                stats.fsyncs as f64 / stats.appended.max(1) as f64,
+            );
+            (delivered, Some(stats), dropped)
         }
     };
     write_telemetry(args, &cbx);
-    let stats = cbx.stats();
+    let mut stats = cbx.stats();
+    stats.store_dropped = store_dropped;
     eprintln!("scan stats: {stats}");
     eprintln!(
         "scheduler summary: {} steals | cache hit rate {:.1}% | peak in-flight {}",

@@ -8,8 +8,8 @@
 use cb_artifacts::fingerprint;
 use cb_phishgen::{Corpus, CorpusSpec, MessageClass, ReportedMessage};
 use cb_sim::SimTime;
-use cb_store::{shard_of, Store, StoreOptions, StoreSink};
-use crawlerbox::{ArtifactKind, CapturedArtifact, CrawlerBox, ScanRecord, Scheduler};
+use cb_store::{encode_record, shard_of, EncodedStoreSink, Store, StoreEncoder, StoreOptions, StoreSink};
+use crawlerbox::{ArtifactKind, CapturedArtifact, CrawlerBox, RecordSink, ScanRecord, Scheduler};
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
@@ -169,6 +169,256 @@ fn store_round_trip_is_byte_identical_across_configs() {
             std::fs::remove_dir_all(&dir).unwrap();
         }
     }
+}
+
+/// The group-commit tentpole acceptance: the encoded ingest path
+/// (worker-side encoding via `StoreEncoder`, batched appends via
+/// `EncodedStoreSink`, parallel per-shard fan-out in `append_batch`)
+/// writes segment files byte-identical to the owned-record `StoreSink`
+/// oracle for every scheduler × commit batch × shard count, with durable
+/// ingest on — and at batch ≥ 16 the barrier is amortized to well under
+/// one fsync per record.
+#[test]
+fn encoded_ingest_is_byte_identical_to_oracle_across_batches() {
+    let (corpus, subset) = corpus_subset(13, 16);
+    for shards in [1usize, 4, 8] {
+        // Oracle: a serial scan through the owned-record reference sink.
+        let oracle_dir = scratch(&format!("enc-oracle-{shards}"));
+        let opts = StoreOptions { shards, ..StoreOptions::default() };
+        let cbx = CrawlerBox::new(&corpus.world)
+            .with_scheduler(Scheduler::Serial)
+            .with_artifact_capture(true)
+            .with_stream_capacity(4);
+        let mut sink = StoreSink::new(Store::open_with(&oracle_dir, opts).unwrap());
+        cbx.scan_stream(subset.iter().cloned(), &mut sink);
+        let (_store, ()) = sink.finish().unwrap();
+        let golden = segment_bytes(&oracle_dir);
+
+        for scheduler in SCHEDULERS {
+            for batch in [1usize, 16, 256] {
+                let dir = scratch(&format!("enc-{shards}-{scheduler:?}-{batch}"));
+                let opts = StoreOptions {
+                    shards,
+                    fsync_each_append: true,
+                    commit_batch: batch,
+                    ..StoreOptions::default()
+                };
+                let cbx = CrawlerBox::new(&corpus.world)
+                    .with_scheduler(scheduler)
+                    .with_artifact_capture(true)
+                    .with_stream_capacity(4);
+                let mut sink = EncodedStoreSink::new(Store::open_with(&dir, opts).unwrap());
+                let delivered =
+                    cbx.scan_stream_encoded(subset.iter().cloned(), &StoreEncoder, &mut sink);
+                assert_eq!(delivered, subset.len(), "{shards} {scheduler:?} {batch}");
+                assert_eq!(sink.dropped(), 0);
+                let (store, ()) = sink.finish().unwrap();
+                let stats = store.stats();
+                assert_eq!(stats.appended, subset.len() as u64);
+                assert_eq!(stats.acked, subset.len() as u64, "finish acks everything");
+                assert_eq!(stats.pending, 0);
+                if batch >= 16 {
+                    assert!(
+                        stats.fsyncs < stats.appended,
+                        "group commit must amortize fsyncs: {} fsyncs / {} records \
+                         ({shards} shards, batch {batch})",
+                        stats.fsyncs,
+                        stats.appended,
+                    );
+                }
+                drop(store);
+                assert_eq!(
+                    segment_bytes(&dir),
+                    golden,
+                    "encoded log diverged from oracle \
+                     ({shards} shards, {scheduler:?}, batch {batch})"
+                );
+                std::fs::remove_dir_all(&dir).unwrap();
+            }
+        }
+        std::fs::remove_dir_all(&oracle_dir).unwrap();
+    }
+}
+
+/// Group-commit ack semantics: in durable ingest mode a record is acked
+/// only once a barrier covering it completes — `commit_batch` records
+/// accumulate pending, then one barrier acks the whole window at once.
+#[test]
+fn group_commit_acks_records_only_at_batch_barriers() {
+    let dir = scratch("ack");
+    let opts = StoreOptions {
+        shards: 1,
+        fsync_each_append: true,
+        commit_batch: 4,
+        ..StoreOptions::default()
+    };
+    let mut store = Store::open_with(&dir, opts).unwrap();
+    for id in 0..3usize {
+        let mut r = synthetic_record(id, id as u128 + 1, MessageClass::NoResource);
+        store.append_batch(vec![encode_record(&mut r).unwrap()]).unwrap();
+    }
+    assert_eq!(store.pending_appends(), 3, "below the batch size nothing commits");
+    assert_eq!(store.acked_appends(), 0);
+
+    let mut r = synthetic_record(3, 4, MessageClass::ErrorPage);
+    store.append_batch(vec![encode_record(&mut r).unwrap()]).unwrap();
+    assert_eq!(store.pending_appends(), 0, "the 4th record trips the barrier");
+    assert_eq!(store.acked_appends(), 4);
+    let stats = store.stats();
+    assert_eq!(stats.commit_batches, 1);
+
+    // An explicit sync acks a partial window too.
+    let mut r = synthetic_record(4, 5, MessageClass::Download);
+    store.append_batch(vec![encode_record(&mut r).unwrap()]).unwrap();
+    assert_eq!(store.pending_appends(), 1);
+    store.sync().unwrap();
+    assert_eq!((store.pending_appends(), store.acked_appends()), (0, 5));
+    assert_eq!(store.stats().commit_batches, 2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Property: batch size never changes the bytes — appending the same
+/// records (duplicates included) one-by-one or as one big batch yields
+/// bit-identical logs, before *and after* compaction, and the rewritten
+/// generation still serves point payload fetches from the right offsets.
+#[test]
+fn batch_one_and_batch_256_logs_identical_after_compaction() {
+    let shards = 4usize;
+    let records: Vec<ScanRecord> = (0..20usize)
+        .map(|id| {
+            // `id % 8` fixes both the shard (8 ≡ 0 mod 4) and the salt,
+            // so ids 8.. reuse earlier content hashes and compaction
+            // actually drops duplicates: 8 distinct hashes in 20 records.
+            let hash = hash_in_shard(id % shards, shards, (id % 8) as u128 + 1);
+            synthetic_record(id, hash, MessageClass::ActivePhish)
+        })
+        .collect();
+
+    let mut dirs = Vec::new();
+    for batch in [1usize, 256] {
+        let dir = scratch(&format!("cbatch-{batch}"));
+        let opts = StoreOptions {
+            shards,
+            fsync_each_append: true,
+            commit_batch: batch,
+            ..StoreOptions::default()
+        };
+        let mut store = Store::open_with(&dir, opts).unwrap();
+        let encoded: Vec<_> = records
+            .iter()
+            .map(|r| encode_record(&mut r.clone()).unwrap())
+            .collect();
+        if batch == 1 {
+            for enc in encoded {
+                store.append_batch(vec![enc]).unwrap();
+            }
+        } else {
+            store.append_batch(encoded).unwrap();
+        }
+        store.sync().unwrap();
+
+        // Point fetches agree with the bulk read, in caller key order.
+        let mut keys = Vec::new();
+        for sid in 0..store.shard_count() {
+            for seq in 0..store.shard(sid).unwrap().len() {
+                keys.push((sid, seq));
+            }
+        }
+        let bulk = store.read_payloads().unwrap();
+        assert_eq!(store.fetch_payloads(&keys).unwrap(), bulk);
+        keys.reverse();
+        let mut reversed = store.fetch_payloads(&keys).unwrap();
+        reversed.reverse();
+        assert_eq!(reversed, bulk, "fetch scatters results back to key order");
+
+        let report = store.compact().unwrap();
+        assert_eq!(report.dropped, 12, "duplicate hashes compact away");
+        // Fetches keep working against the rewritten generation.
+        let mut keys = Vec::new();
+        for sid in 0..store.shard_count() {
+            for seq in 0..store.shard(sid).unwrap().len() {
+                keys.push((sid, seq));
+            }
+        }
+        assert_eq!(store.fetch_payloads(&keys).unwrap(), store.read_payloads().unwrap());
+        assert!(store.verify().unwrap().is_clean());
+        drop(store);
+        dirs.push(dir);
+    }
+    assert_eq!(
+        segment_bytes(&dirs[0]),
+        segment_bytes(&dirs[1]),
+        "batch=1 and batch=256 logs must be bit-identical after compaction"
+    );
+    for dir in dirs {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Dirty-shard tracking satellite: a sync after a read-only window is
+/// free — clean shards are skipped, so `store.fsync.calls` stays flat.
+#[test]
+fn sync_after_read_only_window_performs_zero_fsyncs() {
+    let dir = scratch("cleansync");
+    let mut store = Store::open_with(&dir, one_shard()).unwrap();
+    for id in 0..4usize {
+        store.append(&synthetic_record(id, id as u128 + 1, MessageClass::NoResource)).unwrap();
+    }
+    store.sync().unwrap();
+    let after_write = store.stats().fsyncs;
+    assert!(after_write > 0, "the dirty shard must fsync at least once");
+
+    // A read-only window: queries touch no writer state.
+    let _ = store.read_payloads().unwrap();
+    let _ = store.campaigns();
+    assert!(store.contains_hash(1));
+    store.sync().unwrap();
+    store.sync().unwrap();
+    assert_eq!(store.stats().fsyncs, after_write, "clean shards cost zero fsyncs");
+
+    // The next append re-dirties the shard; sync fsyncs again.
+    store.append(&synthetic_record(9, 99, MessageClass::Download)).unwrap();
+    store.sync().unwrap();
+    assert!(store.stats().fsyncs > after_write);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Poison-surfacing satellite: a failed append poisons the sink, later
+/// records are dropped (and counted), and the store's `append_errors`
+/// counter surfaces the failure in `stats()`.
+#[test]
+fn poisoned_sink_surfaces_drop_count_and_error_counter() {
+    let dir = scratch("poison");
+    let shards = 4usize;
+    let opts = StoreOptions { segment_target_bytes: 1, shards, ..StoreOptions::default() };
+    let mut store = Store::open_with(&dir, opts).unwrap();
+    for id in 0..2usize {
+        let h = hash_in_shard(1, shards, id as u128 + 10);
+        store.append(&synthetic_record(id, h, MessageClass::NoResource)).unwrap();
+    }
+    store.sync().unwrap();
+    drop(store);
+    // Corrupt an interior segment of shard 1 so it reopens quarantined.
+    let seg0 = dir.join("shard-01").join("segments-00000").join("seg-00000.cbl");
+    let mut bytes = std::fs::read(&seg0).unwrap();
+    let at = bytes.len() - 2;
+    bytes[at] ^= 0xFF;
+    std::fs::write(&seg0, &bytes).unwrap();
+
+    let store = Store::open(&dir).unwrap();
+    assert!(store.is_degraded());
+    let mut sink = StoreSink::new(store);
+    // First record routes to the quarantined shard: append fails, the
+    // sink poisons. The next two are dropped without touching the store.
+    for id in 0..3usize {
+        sink.accept(synthetic_record(20 + id, hash_in_shard(1, shards, 500 + id as u128), MessageClass::Download));
+    }
+    assert_eq!(sink.appended(), 0);
+    assert_eq!(sink.dropped(), 3);
+    assert!(sink.error().is_some());
+    assert_eq!(sink.store().stats().append_errors, 1, "one failed append, not three");
+    assert!(sink.finish().is_err(), "finish surfaces the poisoning error");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 /// The crash-recovery satellite: chop bytes off the tail of the last
@@ -516,6 +766,10 @@ fn crawl_log_cli_store_queries_run_clean() {
     assert!(stdout.contains("status: healthy"), "{stdout}");
     assert!(stdout.contains("shard  0"), "{stdout}");
     assert!(stdout.contains("class mix:"), "{stdout}");
+    assert!(stdout.contains("ingest (this session):"), "{stdout}");
+    // A freshly opened CLI store has appended nothing, so the
+    // session-scoped commit histogram is honest about being empty.
+    assert!(stdout.contains("commit batches: none this session"), "{stdout}");
 
     let out = Command::new(bin).args(["store", dir_arg, "verify"]).output().unwrap();
     assert!(out.status.success(), "verify failed: {}", String::from_utf8_lossy(&out.stderr));

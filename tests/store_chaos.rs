@@ -17,14 +17,18 @@
 //! * an incremental re-scan refills exactly the lost records and the
 //!   final log is bit-identical to a never-crashed run.
 //!
-//! `CB_CHAOS_SEED` (default 1) picks the fault-injection seed and
-//! `CB_CHAOS_SHARDS` pins a single shard count (default: sweep 1 and 4);
-//! CI runs the sweep across seeds and shard counts.
+//! `CB_CHAOS_SEED` (default 1) picks the fault-injection seed,
+//! `CB_CHAOS_SHARDS` pins a single shard count (default: sweep 1 and 4)
+//! and `CB_CHAOS_BATCH` pins a single group-commit batch size (default:
+//! sweep 1 and 16); CI runs the sweep across seeds, shard counts and
+//! batch sizes. Under group commit an append is **acked** only once a
+//! barrier covers it (`Store::pending_appends` drops to zero), and the
+//! sweep's lost-record assertion tracks exactly that watermark.
 
 use cb_artifacts::fingerprint::fnv128;
 use cb_phishgen::MessageClass;
 use cb_sim::SimTime;
-use cb_store::{FaultVfs, IoFaultKind, IoFaultPlan, Store, StoreOptions, Vfs};
+use cb_store::{encode_record, FaultVfs, IoFaultKind, IoFaultPlan, Store, StoreOptions, Vfs};
 use crawlerbox::{ArtifactKind, CapturedArtifact, ScanRecord};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -36,17 +40,51 @@ fn scratch(tag: &str) -> PathBuf {
 }
 
 /// Deterministic sweep options: single-threaded recovery (so the mutating
-/// op sequence is identical across probe and crash runs), a small segment
-/// target (so the sweep crosses segment seals and rolls), and
-/// `fsync_each_append` (so every `Ok` append is an acknowledged record).
-fn sweep_opts(shards: usize) -> StoreOptions {
+/// op sequence is identical across probe and crash runs — one worker also
+/// inlines the batch-append fan-out), a small segment target (so the
+/// sweep crosses segment seals and rolls), and `fsync_each_append` with
+/// the given group-commit batch size (so the ack watermark is exercised:
+/// at `batch` = 1 every `Ok` append is an acknowledged record, at larger
+/// batches only a completed barrier acks the window).
+fn sweep_opts(shards: usize, batch: usize) -> StoreOptions {
     StoreOptions {
         segment_target_bytes: 256,
         fsync_each_append: true,
+        commit_batch: batch,
         shards,
         recovery_workers: 1,
         ..StoreOptions::default()
     }
+}
+
+/// Drive `records` into `store` through the group-commit ingest path in
+/// `batch`-sized chunks, stopping at the first I/O error, then run one
+/// final explicit barrier for any partial window. Returns the content
+/// hashes that were **acked** — covered by a completed durable barrier —
+/// when the run ended. A crash may lose anything beyond these, never one
+/// of them.
+fn ingest_acked(store: &mut Store, records: &[ScanRecord], batch: usize) -> Vec<u128> {
+    let mut acked = Vec::new();
+    let mut pending = Vec::new();
+    'run: for chunk in records.chunks(batch.max(1)) {
+        let mut encoded = Vec::with_capacity(chunk.len());
+        for r in chunk {
+            encoded.push(encode_record(&mut r.clone()).expect("canonical encoding"));
+        }
+        match store.append_batch(encoded) {
+            Ok(()) => {
+                pending.extend(chunk.iter().map(|r| r.content_hash));
+                if store.pending_appends() == 0 {
+                    acked.append(&mut pending);
+                }
+            }
+            Err(_) => break 'run,
+        }
+    }
+    if !pending.is_empty() && store.sync().is_ok() {
+        acked.append(&mut pending);
+    }
+    acked
 }
 
 /// A small corpus of synthetic records: artifacts on most (blob path),
@@ -103,117 +141,193 @@ fn crash_point_sweep_loses_no_acked_records() {
         Ok(v) => vec![v.parse().expect("CB_CHAOS_SHARDS must be a shard count")],
         Err(_) => vec![1, 4],
     };
+    let batches: Vec<usize> = match std::env::var("CB_CHAOS_BATCH") {
+        Ok(v) => vec![v.parse().expect("CB_CHAOS_BATCH must be a batch size")],
+        Err(_) => vec![1, 16],
+    };
     let records = chaos_records();
 
     for &shards in &shard_counts {
-        // Golden run: a never-crashed store on the real file system.
-        let golden_dir = scratch(&format!("golden-{shards}"));
-        let mut golden_store = Store::open_with(&golden_dir, sweep_opts(shards)).unwrap();
-        for r in &records {
-            golden_store.append(r).unwrap();
-        }
-        let golden = golden_store.read_payloads().unwrap();
-        let golden_blobs = golden_store.blobs().hashes();
-        drop(golden_store);
-        std::fs::remove_dir_all(&golden_dir).unwrap();
+        for &batch in &batches {
+            let tag = format!("{shards}-{batch}");
+            // Golden run: a never-crashed store on the real file system.
+            let golden_dir = scratch(&format!("golden-{tag}"));
+            let mut golden_store =
+                Store::open_with(&golden_dir, sweep_opts(shards, batch)).unwrap();
+            let golden_acked = ingest_acked(&mut golden_store, &records, batch);
+            assert_eq!(golden_acked.len(), records.len(), "uncrashed run acks everything");
+            let golden = golden_store.read_payloads().unwrap();
+            let golden_blobs = golden_store.blobs().hashes();
+            drop(golden_store);
+            std::fs::remove_dir_all(&golden_dir).unwrap();
 
-        // Probe run: count the mutating ops of the full run.
-        let probe_dir = scratch(&format!("probe-{shards}"));
-        let probe = FaultVfs::new(IoFaultPlan::counting(seed));
-        let probe_vfs: Arc<dyn Vfs> = Arc::new(Arc::clone(&probe));
-        let mut store = Store::open_with_vfs(&probe_dir, sweep_opts(shards), probe_vfs).unwrap();
-        for r in &records {
-            store.append(r).unwrap();
-        }
-        drop(store);
-        std::fs::remove_dir_all(&probe_dir).unwrap();
-        let ops = probe.ops();
-        assert!(ops > 20, "probe must see a realistic op count, got {ops}");
-
-        let mut orphan_crash_points = 0usize;
-        for crash_at in 1..=ops {
-            let dir = scratch(&format!("sweep-{shards}-{crash_at}"));
-            let fault = FaultVfs::new(IoFaultPlan::crash_at(seed, crash_at));
-            let vfs: Arc<dyn Vfs> = Arc::new(Arc::clone(&fault));
-            let mut acked: Vec<u128> = Vec::new();
-            match Store::open_with_vfs(&dir, sweep_opts(shards), vfs) {
-                Err(_) => {} // crashed while creating the store
-                Ok(mut store) => {
-                    for r in &records {
-                        match store.append(r) {
-                            Ok(()) => acked.push(r.content_hash),
-                            Err(_) => break,
-                        }
-                    }
-                }
-            }
-            assert!(
-                fault.crashed(),
-                "shards {shards}: crash point {crash_at}/{ops} was never reached"
-            );
-            fault.apply_crash().unwrap();
-
-            // Power is back: recover on the real file system.
-            let mut store = Store::open_with(&dir, sweep_opts(shards)).unwrap();
-            assert!(
-                store.recovery().quarantined.is_empty(),
-                "shards {shards} crash {crash_at}: crash artifacts must never quarantine: {:?}",
-                store.recovery().quarantined
-            );
-            for h in &acked {
-                assert!(
-                    store.contains_hash(*h),
-                    "shards {shards} crash {crash_at}: acked record {h:032x} lost \
-                     ({} of {} acked, {} recovered)",
-                    acked.len(),
-                    records.len(),
-                    store.len()
-                );
-            }
-            // Every surviving frame's evidence must resolve (a dangling
-            // blob ref is the bug class the blob-before-frame ordering
-            // exists to prevent); at worst the crash left orphan blobs.
-            assert!(
-                store.verify().unwrap().is_clean(),
-                "shards {shards} crash {crash_at}: recovered store fails verify"
-            );
-            let orphans = store.gc_orphan_blobs().unwrap();
-            if !orphans.is_empty() {
-                orphan_crash_points += 1;
-            }
-
-            // Delta re-scan: refill exactly the lost records.
-            let known = store.known_hashes();
-            let refilled = records.iter().filter(|r| !known.contains(&r.content_hash));
-            for r in refilled {
-                store.append(r).unwrap();
-            }
-            store.sync().unwrap();
-            assert_eq!(store.len(), records.len(), "shards {shards} crash {crash_at}");
-            assert_eq!(
-                store.read_payloads().unwrap(),
-                golden,
-                "shards {shards} crash {crash_at}: refilled log is not bit-identical"
-            );
-            assert_eq!(
-                store.blobs().hashes(),
-                golden_blobs,
-                "shards {shards} crash {crash_at}: blob set diverged"
-            );
-            assert!(store.verify().unwrap().is_clean());
-            assert_eq!(
-                store.gc_orphan_blobs().unwrap(),
-                Vec::<u128>::new(),
-                "shards {shards} crash {crash_at}: refill must re-reference every blob"
-            );
+            // Probe run: count the mutating ops of the full run.
+            let probe_dir = scratch(&format!("probe-{tag}"));
+            let probe = FaultVfs::new(IoFaultPlan::counting(seed));
+            let probe_vfs: Arc<dyn Vfs> = Arc::new(Arc::clone(&probe));
+            let mut store =
+                Store::open_with_vfs(&probe_dir, sweep_opts(shards, batch), probe_vfs).unwrap();
+            ingest_acked(&mut store, &records, batch);
             drop(store);
-            std::fs::remove_dir_all(&dir).unwrap();
+            std::fs::remove_dir_all(&probe_dir).unwrap();
+            let ops = probe.ops();
+            assert!(ops > 20, "probe must see a realistic op count, got {ops}");
+
+            let mut orphan_crash_points = 0usize;
+            for crash_at in 1..=ops {
+                let dir = scratch(&format!("sweep-{tag}-{crash_at}"));
+                let fault = FaultVfs::new(IoFaultPlan::crash_at(seed, crash_at));
+                let vfs: Arc<dyn Vfs> = Arc::new(Arc::clone(&fault));
+                let mut acked: Vec<u128> = Vec::new();
+                match Store::open_with_vfs(&dir, sweep_opts(shards, batch), vfs) {
+                    Err(_) => {} // crashed while creating the store
+                    Ok(mut store) => acked = ingest_acked(&mut store, &records, batch),
+                }
+                assert!(
+                    fault.crashed(),
+                    "{tag}: crash point {crash_at}/{ops} was never reached"
+                );
+                fault.apply_crash().unwrap();
+
+                // Power is back: recover on the real file system.
+                let mut store = Store::open_with(&dir, sweep_opts(shards, batch)).unwrap();
+                assert!(
+                    store.recovery().quarantined.is_empty(),
+                    "{tag} crash {crash_at}: crash artifacts must never quarantine: {:?}",
+                    store.recovery().quarantined
+                );
+                for h in &acked {
+                    assert!(
+                        store.contains_hash(*h),
+                        "{tag} crash {crash_at}: acked record {h:032x} lost \
+                         ({} of {} acked, {} recovered)",
+                        acked.len(),
+                        records.len(),
+                        store.len()
+                    );
+                }
+                // Every surviving frame's evidence must resolve (a dangling
+                // blob ref is the bug class the blob-before-frame ordering
+                // exists to prevent); at worst the crash left orphan blobs.
+                assert!(
+                    store.verify().unwrap().is_clean(),
+                    "{tag} crash {crash_at}: recovered store fails verify"
+                );
+                let orphans = store.gc_orphan_blobs().unwrap();
+                if !orphans.is_empty() {
+                    orphan_crash_points += 1;
+                }
+
+                // Delta re-scan: refill exactly the lost records.
+                let known = store.known_hashes();
+                let refilled = records.iter().filter(|r| !known.contains(&r.content_hash));
+                for r in refilled {
+                    store.append(r).unwrap();
+                }
+                store.sync().unwrap();
+                assert_eq!(store.len(), records.len(), "{tag} crash {crash_at}");
+                assert_eq!(
+                    store.read_payloads().unwrap(),
+                    golden,
+                    "{tag} crash {crash_at}: refilled log is not bit-identical"
+                );
+                assert_eq!(
+                    store.blobs().hashes(),
+                    golden_blobs,
+                    "{tag} crash {crash_at}: blob set diverged"
+                );
+                assert!(store.verify().unwrap().is_clean());
+                assert_eq!(
+                    store.gc_orphan_blobs().unwrap(),
+                    Vec::<u128>::new(),
+                    "{tag} crash {crash_at}: refill must re-reference every blob"
+                );
+                drop(store);
+                std::fs::remove_dir_all(&dir).unwrap();
+            }
+            eprintln!(
+                "chaos sweep shards={shards} batch={batch} seed={seed}: {ops} crash \
+                 points, {orphan_crash_points} left orphan blobs (GC'd)"
+            );
         }
-        eprintln!(
-            "chaos sweep shards={shards} seed={seed}: {ops} crash points, \
-             {orphan_crash_points} left orphan blobs (GC'd)"
-        );
     }
+}
+
+/// Group-commit ack semantics under crashes, pinned at batch boundaries:
+/// with `commit_batch` = 3 every `Ok` batch append whose barrier
+/// completed is an acked *batch*, and a crash anywhere in the run must
+/// recover either the whole batch or (if unacked) any prefix of it —
+/// acked batches are all-or-nothing, and the single-shard log recovers as
+/// an exact prefix of the append order (frames are never reordered or
+/// torn interior).
+#[test]
+fn group_commit_crash_points_ack_batches_all_or_nothing() {
+    let seed = env_u64("CB_CHAOS_SEED", 1);
+    let records = chaos_records();
+    let batch = 3usize;
+    let expected: Vec<Vec<u8>> = records
+        .iter()
+        .map(|r| serde_json::to_vec(r).unwrap())
+        .collect();
+
+    // Probe the op count of the full chunked run.
+    let probe_dir = scratch("batchwin-probe");
+    let probe = FaultVfs::new(IoFaultPlan::counting(seed));
+    let probe_vfs: Arc<dyn Vfs> = Arc::new(Arc::clone(&probe));
+    let mut store = Store::open_with_vfs(&probe_dir, sweep_opts(1, batch), probe_vfs).unwrap();
+    assert_eq!(ingest_acked(&mut store, &records, batch).len(), records.len());
+    drop(store);
+    std::fs::remove_dir_all(&probe_dir).unwrap();
+    let ops = probe.ops();
+
+    let mut partial_batch_recoveries = 0usize;
+    for crash_at in 1..=ops {
+        let dir = scratch(&format!("batchwin-{crash_at}"));
+        let fault = FaultVfs::new(IoFaultPlan::crash_at(seed, crash_at));
+        let vfs: Arc<dyn Vfs> = Arc::new(Arc::clone(&fault));
+        let mut acked: Vec<u128> = Vec::new();
+        match Store::open_with_vfs(&dir, sweep_opts(1, batch), vfs) {
+            Err(_) => {}
+            Ok(mut store) => acked = ingest_acked(&mut store, &records, batch),
+        }
+        assert!(fault.crashed(), "crash point {crash_at}/{ops} was never reached");
+        // The helper acks whole batches only: a partial window is acked
+        // by the trailing sync, which this run never completed.
+        assert_eq!(acked.len() % batch, 0, "crash {crash_at}: torn ack watermark");
+        fault.apply_crash().unwrap();
+
+        let mut store = Store::open_with(&dir, sweep_opts(1, batch)).unwrap();
+        assert!(store.recovery().quarantined.is_empty(), "crash {crash_at}");
+        assert!(store.verify().unwrap().is_clean(), "crash {crash_at}");
+        let recovered = store.read_payloads().unwrap();
+        // One shard ⇒ the recovered log is an exact prefix of the append
+        // order: no record survives ahead of a lost one.
+        assert!(
+            recovered.len() <= expected.len()
+                && recovered == expected[..recovered.len()],
+            "crash {crash_at}: recovered log is not a prefix ({} records)",
+            recovered.len()
+        );
+        // Every acked batch is fully present — the all-or-nothing ack.
+        assert!(
+            recovered.len() >= acked.len(),
+            "crash {crash_at}: acked batch lost ({} acked, {} recovered)",
+            acked.len(),
+            recovered.len()
+        );
+        if recovered.len() % batch != 0 {
+            partial_batch_recoveries += 1;
+        }
+        let _ = store.gc_orphan_blobs().unwrap();
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    // The sweep must actually exercise the interesting window: crashes
+    // that land mid-batch recover a partial (unacked) batch.
+    assert!(
+        partial_batch_recoveries > 0,
+        "no crash point recovered a partial batch — the barrier window was not swept"
+    );
 }
 
 /// The blob-write/frame-append crash window, pinned: crash exactly at the
@@ -232,7 +346,7 @@ fn crash_between_blob_write_and_frame_append_leaves_orphan_not_dangling() {
     let probe_dir = scratch("window-probe");
     let probe = FaultVfs::new(IoFaultPlan::counting(0));
     let probe_vfs: Arc<dyn Vfs> = Arc::new(Arc::clone(&probe));
-    let mut store = Store::open_with_vfs(&probe_dir, sweep_opts(1), probe_vfs).unwrap();
+    let mut store = Store::open_with_vfs(&probe_dir, sweep_opts(1, 1), probe_vfs).unwrap();
     store.append(record).unwrap();
     drop(store);
     std::fs::remove_dir_all(&probe_dir).unwrap();
@@ -245,12 +359,12 @@ fn crash_between_blob_write_and_frame_append_leaves_orphan_not_dangling() {
         let dir = scratch(&format!("window-{seed}"));
         let fault = FaultVfs::new(IoFaultPlan::crash_at(seed, segment_fsync_op));
         let vfs: Arc<dyn Vfs> = Arc::new(Arc::clone(&fault));
-        let mut store = Store::open_with_vfs(&dir, sweep_opts(1), vfs).unwrap();
+        let mut store = Store::open_with_vfs(&dir, sweep_opts(1, 1), vfs).unwrap();
         store.append(record).unwrap_err();
         drop(store);
         fault.apply_crash().unwrap();
 
-        let mut store = Store::open_with(&dir, sweep_opts(1)).unwrap();
+        let mut store = Store::open_with(&dir, sweep_opts(1, 1)).unwrap();
         assert!(store.recovery().quarantined.is_empty(), "seed {seed}");
         assert!(store.verify().unwrap().is_clean(), "seed {seed}: dangling evidence");
         if store.is_empty() {
@@ -295,7 +409,7 @@ fn transient_io_faults_fail_appends_without_corrupting_the_log() {
     let fault = FaultVfs::new(plan);
     let vfs: Arc<dyn Vfs> = Arc::new(Arc::clone(&fault));
     let mut acked = Vec::new();
-    match Store::open_with_vfs(&dir, sweep_opts(2), vfs) {
+    match Store::open_with_vfs(&dir, sweep_opts(2, 1), vfs) {
         Err(_) => {} // creation itself may fault; nothing was acked
         Ok(mut store) => {
             for r in &records {
@@ -306,7 +420,7 @@ fn transient_io_faults_fail_appends_without_corrupting_the_log() {
         }
     }
 
-    let mut store = Store::open_with(&dir, sweep_opts(2)).unwrap();
+    let mut store = Store::open_with(&dir, sweep_opts(2, 1)).unwrap();
     assert!(store.recovery().quarantined.is_empty(), "transient faults must not quarantine");
     for h in &acked {
         assert!(store.contains_hash(*h), "acked record {h:032x} lost to a transient fault");
