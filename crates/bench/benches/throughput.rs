@@ -24,6 +24,7 @@
 //! whenever the batch is ≥ 16 — so the CI smoke run is the gate.
 
 use cb_bench::{bench_corpus, skewed_batch};
+use cb_sim::SimTime;
 use cb_store::{EncodedStoreSink, Store, StoreEncoder, StoreOptions, StoreSink};
 use crawlerbox::{CrawlerBox, ScanRecord, Scheduler};
 use std::time::Instant;
@@ -82,6 +83,32 @@ struct IngestArm {
 /// configuration the < 15% persistence-overhead target is measured at.
 const OVERHEAD_COMMIT_BATCH: usize = 256;
 const OVERHEAD_SHARDS: usize = 4;
+
+/// Messages per simulated second in the soak arm: 12/s × 86400 s/day
+/// = 1,036,800 msgs/day simulated, just over the 1M/day target.
+const SOAK_MSGS_PER_SIM_SEC: u64 = 12;
+
+/// One round of the sim-time soak: the same long-lived pipeline + store
+/// ingests a fresh (content-unique) batch, and resident memory is
+/// sampled after the durable barrier.
+struct SoakRound {
+    round: usize,
+    messages: usize,
+    secs: f64,
+    msgs_per_sec: f64,
+    rss_bytes: u64,
+}
+
+/// Resident set size in bytes from `/proc/self/statm` (Linux). Returns 0
+/// where the file is unavailable; the memory-bound assertion is skipped
+/// in that case rather than faked.
+fn resident_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/statm")
+        .ok()
+        .and_then(|s| s.split_whitespace().nth(1).and_then(|f| f.parse::<u64>().ok()))
+        .map(|pages| pages * 4096)
+        .unwrap_or(0)
+}
 
 fn scheduler_name(s: Scheduler) -> &'static str {
     match s {
@@ -491,6 +518,100 @@ fn main() {
             });
         }
     }
+    // Sim-time soak arm: one long-lived pipeline + durable store ingesting
+    // round after round of content-unique messages whose delivered_at
+    // stamps advance at SOAK_MSGS_PER_SIM_SEC per simulated second —
+    // ~1.04M msgs/day simulated, just over the crawlboxd sizing target
+    // (DESIGN.md §15). Every round ends on a full commit barrier; resident
+    // memory is sampled after each round and the last round must stay
+    // within 1.5x of the first plus a 64 MiB allowance, so the arm is a
+    // bounded-memory gate as well as a sustained-throughput record.
+    let soak_rounds_n = if smoke { 4 } else { 8 };
+    let soak_dir = store_root.join("soak");
+    let soak_opts = StoreOptions {
+        shards: OVERHEAD_SHARDS,
+        fsync_each_append: true,
+        commit_batch: OVERHEAD_COMMIT_BATCH,
+        ..StoreOptions::default()
+    };
+    let mut soak_store = Store::open_with(&soak_dir, soak_opts).expect("open soak store");
+    let mut soak_cbx = CrawlerBox::new(&corpus.world)
+        .with_scheduler(Scheduler::WorkStealing)
+        .with_caching(true)
+        .with_stream_capacity(store_capacity)
+        .with_artifact_capture(true);
+    soak_cbx.parallelism = WORKERS;
+    let soak_epoch = 1_700_000_000i64;
+    let mut soak_sent = 0u64;
+    let mut soak_rounds: Vec<SoakRound> = Vec::new();
+    for round in 0..soak_rounds_n {
+        let mut wave: Vec<_> = corpus.messages.clone();
+        for m in wave.iter_mut() {
+            // A unique header per (round, message) keeps every wave's
+            // content hashes distinct — no dedup short-circuit — while the
+            // delivery stamps pace the simulated clock at the target rate.
+            m.raw = format!("X-Soak: r{round} m{}\r\n{}", m.id, m.raw);
+            m.id = soak_sent as usize;
+            m.delivered_at =
+                SimTime::from_unix(soak_epoch + (soak_sent / SOAK_MSGS_PER_SIM_SEC) as i64);
+            soak_sent += 1;
+        }
+        let messages = wave.len();
+        let mut sink = EncodedStoreSink::new(soak_store);
+        let started = Instant::now();
+        soak_cbx.scan_stream_encoded(wave.into_iter(), &StoreEncoder, &mut sink);
+        let (store, ()) = sink.finish().expect("finish soak round");
+        let secs = started.elapsed().as_secs_f64();
+        soak_store = store;
+        assert_eq!(
+            soak_store.len() as u64,
+            soak_sent,
+            "soak round {round}: every acked message must be durable, none deduped"
+        );
+        let r = SoakRound {
+            round,
+            messages,
+            secs,
+            msgs_per_sec: if secs > 0.0 { messages as f64 / secs } else { f64::INFINITY },
+            rss_bytes: resident_bytes(),
+        };
+        eprintln!(
+            "  soak round {:<2} {:>4} msgs  {:8.3}s  {:9.1} msgs/sec  rss {:.1} MiB",
+            r.round,
+            r.messages,
+            r.secs,
+            r.msgs_per_sec,
+            r.rss_bytes as f64 / (1024.0 * 1024.0)
+        );
+        soak_rounds.push(r);
+    }
+    // Simulated ingest rate from the delivery stamps themselves: the span
+    // the waves covered on the simulated clock, not wall time.
+    let soak_sim_span_secs = soak_sent.div_ceil(SOAK_MSGS_PER_SIM_SEC).max(1);
+    let soak_sim_msgs_per_day = soak_sent as f64 * 86_400.0 / soak_sim_span_secs as f64;
+    let soak_rss_first = soak_rounds.first().map(|r| r.rss_bytes).unwrap_or(0);
+    let soak_rss_last = soak_rounds.last().map(|r| r.rss_bytes).unwrap_or(0);
+    let soak_rss_bound = soak_rss_first + soak_rss_first / 2 + 64 * 1024 * 1024;
+    assert!(
+        soak_sim_msgs_per_day >= 1_000_000.0,
+        "soak pacing must simulate >= 1M msgs/day, got {soak_sim_msgs_per_day:.0}"
+    );
+    if soak_rss_first > 0 {
+        assert!(
+            soak_rss_last <= soak_rss_bound,
+            "soak resident memory grew unbounded: round 0 {soak_rss_first}B, \
+             final {soak_rss_last}B, bound {soak_rss_bound}B"
+        );
+    }
+    eprintln!(
+        "soak: {} msgs over {} sim-sec ({:.2}M msgs/day simulated), rss {:.1} -> {:.1} MiB",
+        soak_sent,
+        soak_sim_span_secs,
+        soak_sim_msgs_per_day / 1e6,
+        soak_rss_first as f64 / (1024.0 * 1024.0),
+        soak_rss_last as f64 / (1024.0 * 1024.0),
+    );
+    drop(soak_store);
     let _ = std::fs::remove_dir_all(&store_root);
 
     let report = serde_json::json!({
@@ -554,6 +675,26 @@ fn main() {
                 "msgs_per_sec": r.msgs_per_sec,
                 "fsyncs_per_record": r.fsyncs_per_record,
             })).collect::<Vec<_>>(),
+        },
+        "soak": {
+            "scheduler": "work_stealing",
+            "capacity": store_capacity,
+            "commit_batch": OVERHEAD_COMMIT_BATCH,
+            "shards": OVERHEAD_SHARDS,
+            "rounds": soak_rounds.iter().map(|r| serde_json::json!({
+                "round": r.round,
+                "messages": r.messages,
+                "secs": r.secs,
+                "msgs_per_sec": r.msgs_per_sec,
+                "rss_bytes": r.rss_bytes,
+            })).collect::<Vec<_>>(),
+            "messages_total": soak_sent,
+            "sim_span_secs": soak_sim_span_secs,
+            "sim_msgs_per_day": soak_sim_msgs_per_day,
+            "sim_msgs_per_day_target": 1_000_000.0,
+            "rss_first_bytes": soak_rss_first,
+            "rss_last_bytes": soak_rss_last,
+            "rss_bound_bytes": soak_rss_bound,
         },
         "speedup_stealing_cached_vs_chunked_uncached": speedup,
         "streaming_vs_batch_stealing_ratio": streaming_ratio,

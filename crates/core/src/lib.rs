@@ -39,6 +39,7 @@ pub mod logging;
 pub mod pipeline;
 pub mod pool;
 pub mod sink;
+pub mod tasks;
 
 pub use classify::SpearClassifier;
 pub use extract::{
@@ -51,3 +52,4 @@ pub use pool::run_stealing;
 pub use sink::{
     ClassMixSink, CountingSink, EncodedSink, NoopEncoder, RecordEncoder, RecordSink, TruthLedger,
 };
+pub use tasks::{route_shard, TaskRegistry, TaskSnapshot, TaskState};

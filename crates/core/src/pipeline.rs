@@ -24,6 +24,7 @@ use cb_telemetry::{
 use parking_lot::RwLock;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// The content identity of a reported message: the 128-bit FNV hash of its
 /// raw wire bytes. This is the key the persistent store dedups on and the
@@ -368,8 +369,10 @@ pub struct CrawlerBox<'a> {
     /// message contract.
     known: Option<HashSet<u128>>,
     /// Named-instrument registry backing [`stats`](Self::stats) and the
-    /// metrics exports (DESIGN.md §10).
-    metrics: MetricsRegistry,
+    /// metrics exports (DESIGN.md §10). Shared (`Arc`) so a daemon can
+    /// hand every worker's box the same registry and export one merged
+    /// view — get-or-create semantics make re-registration idempotent.
+    metrics: Arc<MetricsRegistry>,
     /// Pre-fetched handles into `metrics` for hot paths.
     m: PipelineMetrics,
     /// Span tracer over sim time; off by default, enabled via
@@ -380,7 +383,7 @@ pub struct CrawlerBox<'a> {
 impl<'a> CrawlerBox<'a> {
     /// A CrawlerBox crawling `world` with NotABot.
     pub fn new(world: &'a Internet) -> CrawlerBox<'a> {
-        let metrics = MetricsRegistry::new();
+        let metrics = Arc::new(MetricsRegistry::new());
         let m = PipelineMetrics::register(&metrics);
         let artifacts =
             ArtifactMemo::with_counters(m.artifact_hits.clone(), m.artifact_misses.clone());
@@ -528,6 +531,20 @@ impl<'a> CrawlerBox<'a> {
     /// The metrics registry (counters, gauges, histograms by name).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// Record into a shared registry instead of a private one. Instruments
+    /// are get-or-create by name, so several boxes pointed at the same
+    /// registry accumulate into the same counters — this is how the
+    /// daemon's shard workers produce one `/metrics` view. Pre-fetched
+    /// handles (and the artifact memo's hit/miss counters) are rebound to
+    /// the new registry.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> CrawlerBox<'a> {
+        self.m = PipelineMetrics::register(&metrics);
+        self.artifacts =
+            ArtifactMemo::with_counters(self.m.artifact_hits.clone(), self.m.artifact_misses.clone());
+        self.metrics = metrics;
+        self
     }
 
     /// Export the metrics registry as JSON. [`ExportMode::Canonical`] is

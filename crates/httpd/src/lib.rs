@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # cb-httpd
+//!
+//! A pure-`std` HTTP/1.1 server for the `crawlboxd` daemon (DESIGN.md
+//! §15): its own request parser and response serializer — no external
+//! dependencies, like everything else in the workspace — plus a
+//! thread-per-connection server loop with keep-alive, pipelining, read
+//! timeouts and graceful shutdown.
+//!
+//! The wire surface is deliberately small and strict:
+//!
+//! * [`parse_request`] parses incrementally from a connection buffer and
+//!   classifies every malformed input as a 4xx/501/505 [`ParseError`] —
+//!   never a panic (property-tested over arbitrary bytes; there is no
+//!   `catch_unwind` in the request path).
+//! * Request-smuggling shapes (`Content-Length` + `Transfer-Encoding`,
+//!   repeated/list/non-digit lengths, folded headers, non-chunked
+//!   transfer codings) are rejected outright.
+//! * [`serve`] drives a [`Handler`] over a `TcpListener`; slowloris
+//!   requests time out with 408, oversized starts/heads/bodies answer
+//!   414/431/413, and shutdown drains in-flight connections.
+//!
+//! ```no_run
+//! use cb_httpd::{serve, Response, ServerConfig};
+//! use std::net::TcpListener;
+//! use std::sync::Arc;
+//!
+//! let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+//! let server = serve(
+//!     listener,
+//!     ServerConfig::default(),
+//!     Arc::new(|req| Response::text(200, format!("hello {}", req.path()))),
+//! )
+//! .unwrap();
+//! println!("listening on {}", server.addr());
+//! ```
+
+pub mod request;
+pub mod response;
+pub mod server;
+
+pub use request::{parse_request, Limits, ParseError, Request};
+pub use response::Response;
+pub use server::{serve, Handler, ServerConfig, ServerHandle};

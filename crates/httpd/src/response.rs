@@ -1,0 +1,115 @@
+//! Response construction and serialization.
+
+use std::io::{self, Write};
+
+/// A response under construction. `Content-Length` and `Connection` are
+/// always emitted by [`Response::write_to`]; other headers are optional.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers (`Content-Type` etc.), in emit order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with `status`.
+    pub fn new(status: u16) -> Response {
+        Response { status, headers: Vec::new(), body: Vec::new() }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response::new(status)
+            .with_header("Content-Type", "text/plain; charset=utf-8")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response::new(status)
+            .with_header("Content-Type", "application/json")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// Add a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Set the body.
+    pub fn with_body(mut self, body: Vec<u8>) -> Response {
+        self.body = body;
+        self
+    }
+
+    /// The standard reason phrase for `status`.
+    pub fn reason_phrase(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Content Too Large",
+            414 => "URI Too Long",
+            429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            503 => "Service Unavailable",
+            505 => "HTTP Version Not Supported",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize onto `w` as an HTTP/1.1 response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures (the connection is torn down anyway).
+    pub fn write_to(&self, keep_alive: bool, w: &mut impl Write) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            Response::reason_phrase(self.status),
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_status_headers_and_framing() {
+        let mut out = Vec::new();
+        Response::json(202, "{\"ok\":true}").write_to(true, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 202 Accepted\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        Response::new(404).write_to(false, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("Connection: close"));
+    }
+}

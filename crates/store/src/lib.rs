@@ -84,6 +84,7 @@ pub use query::{cluster_campaigns, Campaign, CampaignClusterer};
 pub use shard::{shard_of, RepairReport, Shard, ShardHealth, TornTail};
 pub use sink::{EncodedStoreSink, StoreSink};
 pub use store::{
-    CompactReport, RecoveryReport, Store, StoreOptions, StoreStats, VerifyFault, VerifyReport,
+    CompactReport, RecoveryReport, Store, StoreOptions, StoreStats, StoreWatch, VerifyFault,
+    VerifyReport,
 };
 pub use vfs::{FaultVfs, IoFaultKind, IoFaultPlan, RealVfs, Vfs};

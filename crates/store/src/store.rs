@@ -267,6 +267,59 @@ impl StoreStats {
     }
 }
 
+/// A cloneable, lock-free window onto one store's live counters (see
+/// [`Store::watch`]). Telemetry handles share their instruments, so the
+/// watch keeps reading live values however long the store itself stays
+/// locked inside a writer.
+#[derive(Clone)]
+pub struct StoreWatch {
+    append_records: CounterHandle,
+    append_errors: CounterHandle,
+    append_pending: GaugeHandle,
+    commit_batches: CounterHandle,
+    commit_records: HistogramHandle,
+    fsync_calls: CounterHandle,
+    shards_quarantined: GaugeHandle,
+}
+
+impl StoreWatch {
+    /// Records appended this session (acked or not).
+    pub fn appended(&self) -> u64 {
+        self.append_records.get()
+    }
+
+    /// Append errors this session.
+    pub fn append_errors(&self) -> u64 {
+        self.append_errors.get()
+    }
+
+    /// Records in the unacked window right now.
+    pub fn pending(&self) -> u64 {
+        self.append_pending.level()
+    }
+
+    /// Durable barriers that acked at least one record this session.
+    pub fn commit_batches(&self) -> u64 {
+        self.commit_batches.get()
+    }
+
+    /// Records covered by a completed durable barrier this session (the
+    /// commit histogram's sum: every barrier observes its batch size).
+    pub fn acked(&self) -> u64 {
+        self.commit_records.sum() as u64
+    }
+
+    /// Fsyncs issued this session.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsync_calls.get()
+    }
+
+    /// Whether any shard is quarantined (degraded, not down).
+    pub fn is_degraded(&self) -> bool {
+        self.shards_quarantined.level() > 0
+    }
+}
+
 fn corrupt(path: &Path, what: impl std::fmt::Display) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("{}: {what}", path.display()))
 }
@@ -1181,6 +1234,38 @@ impl Store {
     /// share the underlying instrument, so the clone stays live.
     pub fn commit_batch_sizes(&self) -> HistogramHandle {
         self.m.commit_records.clone()
+    }
+
+    /// A lock-free watch over this store's live counters.
+    ///
+    /// The daemon serializes appends through a mutex per partition, but
+    /// `/health` and `/metrics` must answer without contending on the
+    /// write path — a [`StoreWatch`] taken at open time keeps observing
+    /// the live instruments without touching the store again.
+    pub fn watch(&self) -> StoreWatch {
+        StoreWatch {
+            append_records: self.m.append_records.clone(),
+            append_errors: self.m.append_errors.clone(),
+            append_pending: self.m.append_pending.clone(),
+            commit_batches: self.m.commit_batches.clone(),
+            commit_records: self.m.commit_records.clone(),
+            fsync_calls: self.m.fsync_calls.clone(),
+            shards_quarantined: self.m.shards_quarantined.clone(),
+        }
+    }
+
+    /// This store's campaign-cluster fragment, with shard ids offset by
+    /// `shard_base` so fragments from several independent stores (the
+    /// daemon's partitions) can be absorbed into one cross-partition
+    /// clustering without id collisions. Absorb fragments in partition
+    /// order for the same bit-identical-to-serial guarantee
+    /// [`campaigns`](Self::campaigns) keeps across shards.
+    pub fn campaign_fragment(&self, shard_base: usize) -> CampaignClusterer {
+        let mut fragment = CampaignClusterer::new();
+        for shard in &self.shards {
+            fragment.add_index(shard_base + shard.id(), shard.index());
+        }
+        fragment
     }
 
     /// Drain the store's telemetry trace (empty unless

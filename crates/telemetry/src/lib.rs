@@ -32,9 +32,11 @@
 mod export;
 mod json;
 mod metrics;
+pub mod prometheus;
 mod trace;
 
 pub use metrics::{CounterHandle, Determinism, GaugeHandle, HistogramHandle, MetricsRegistry};
+pub use prometheus::{render_prometheus, MetricValue, MetricsSnapshot};
 pub use trace::{
     set_worker, with_active, worker, ActiveTrace, FieldList, MessageTrace, ScanTraceGuard, Trace,
     TraceEvent, Tracer,

@@ -229,6 +229,38 @@ impl MetricsRegistry {
         }
     }
 
+    /// Capture every instrument's current value, in sorted name order.
+    /// `Canonical` mode drops advisory instruments, exactly like
+    /// [`export_json`](Self::export_json) — the snapshot is the input to
+    /// the Prometheus renderer and can outlive any lock the registry's
+    /// owner holds.
+    pub fn snapshot(&self, mode: ExportMode) -> crate::prometheus::MetricsSnapshot {
+        use crate::prometheus::{MetricValue, MetricsSnapshot};
+        let entries = self.entries.read().expect("metrics registry poisoned");
+        let keep = |det: &Determinism| mode == ExportMode::Full || *det == Determinism::Deterministic;
+        MetricsSnapshot {
+            entries: entries
+                .iter()
+                .filter(|(_, (det, _))| keep(det))
+                .map(|(name, (_, instrument))| {
+                    let value = match instrument {
+                        Instrument::Counter(h) => MetricValue::Counter(h.get()),
+                        Instrument::Gauge(h) => {
+                            MetricValue::Gauge { level: h.level(), peak: h.peak() }
+                        }
+                        Instrument::Histogram(h) => MetricValue::Histogram {
+                            bounds: h.bounds(),
+                            buckets: h.bucket_counts(),
+                            count: h.count(),
+                            sum: h.sum(),
+                        },
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+
     /// Registered metric names, in export (sorted) order.
     pub fn names(&self) -> Vec<String> {
         self.entries.read().expect("metrics registry poisoned").keys().cloned().collect()

@@ -8,6 +8,8 @@
 //! table and figure of the paper) and the runnable examples under
 //! `examples/`.
 
+pub mod daemon;
+
 /// One-stop imports for examples and downstream experiments.
 pub mod prelude {
     pub use cb_botdetect::{AnonWaf, BotD, Detector, ReCaptchaV3, Turnstile};

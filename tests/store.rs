@@ -816,3 +816,55 @@ fn crawl_log_cli_store_queries_run_clean() {
 
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// CLI golden satellite: every `crawl-log store` subcommand rejects
+/// unknown flags with exit 2 + usage, and a missing, unreadable
+/// (file-shadowed) or corrupt store directory is a usage error for all of
+/// them — never a panic, never a zero exit.
+#[test]
+fn crawl_log_cli_store_subcommand_goldens() {
+    let bin = env!("CARGO_BIN_EXE_crawl-log");
+    let subcommands = ["stats", "verify", "query", "campaigns", "repair"];
+
+    // A real (tiny but valid) store, so unknown-flag rejection is tested
+    // against a directory that would otherwise succeed.
+    let (corpus, subset) = corpus_subset(11, 2);
+    let dir = scratch("cli-goldens");
+    let cbx = CrawlerBox::new(&corpus.world);
+    let mut sink = StoreSink::new(Store::open(&dir).unwrap());
+    cbx.scan_stream(subset.iter().cloned(), &mut sink);
+    drop(sink.finish().unwrap());
+    let dir_arg = dir.to_str().unwrap().to_string();
+
+    let assert_usage = |args: &[&str], what: &str| {
+        let out = Command::new(bin).args(args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{what}: {args:?} must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage:"), "{what}: {args:?} stderr: {stderr}");
+        assert!(stderr.contains("error:"), "{what}: {args:?} stderr: {stderr}");
+    };
+
+    for sub in subcommands {
+        // Unknown flag after a valid store + subcommand.
+        assert_usage(&["store", &dir_arg, sub, "--wat"], "unknown flag");
+        // Missing store directory.
+        assert_usage(&["store", "/nonexistent-cb-store", sub], "missing dir");
+    }
+
+    // The store path exists but is a file, not a directory.
+    let shadow = std::env::temp_dir().join(format!("cb-store-shadow-{}", std::process::id()));
+    std::fs::write(&shadow, b"not a store").unwrap();
+    let shadow_arg = shadow.to_str().unwrap().to_string();
+    for sub in subcommands {
+        assert_usage(&["store", &shadow_arg, sub], "file-shadowed dir");
+    }
+    std::fs::remove_file(&shadow).unwrap();
+
+    // A corrupt manifest fails the open for every subcommand.
+    std::fs::write(dir.join("STORE"), b"v9 shards=banana\n").unwrap();
+    for sub in subcommands {
+        assert_usage(&["store", &dir_arg, sub], "corrupt manifest");
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
