@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # cb-adaptive
+//!
+//! The adaptive anti-cloaking crawler: the defender's move in the
+//! arms race (DESIGN.md §16, ROADMAP item 3).
+//!
+//! The paper's central finding is that modern phishing is *evasive*:
+//! campaigns cloak behind bot checks and serve benign decoys to
+//! fixed-profile crawlers. `crawlerbox` reproduces that hostile side —
+//! `cb-phishkit` sites filter by User-Agent, IP class and challenge
+//! attestation, and (since this crate landed) keep *counter-memory*:
+//! per-egress-class reputation and returning-device blocklists that burn a
+//! crawler profile after it de-cloaks a page. A fixed NotABot therefore
+//! wins exactly once per campaign and never again.
+//!
+//! This crate closes the loop in the spirit of PhishParrot (PAPERS.md),
+//! but deterministic and seed-reproducible instead of LLM-driven:
+//!
+//! * [`verdict`] — the verdict taxonomy: every supervised visit collapses
+//!   to block page / benign decoy / fingerprint challenge / de-cloaked
+//!   phish.
+//! * [`arms`] — the structured arm space: UA family × IP egress class ×
+//!   patience × interaction script, 32 concrete crawler profiles, each a
+//!   mutation of NotABot.
+//! * [`bandit`] — the seeded epsilon-greedy policy over that space, with
+//!   a canonical probe sweep, a Laplace-smoothed champion, burn-aware
+//!   rotation, and a per-campaign-family [`bandit::PolicyMemory`] that a
+//!   [`cb_store::Store`] persists so a re-opened store *resumes* the race.
+//! * [`experiment`] — the `repro adaptive` experiment: adaptive vs fixed
+//!   NotABot over the cloaking-family grid, byte-identical across all
+//!   three schedulers for a fixed seed.
+
+pub mod arms;
+pub mod bandit;
+pub mod experiment;
+pub mod verdict;
+
+pub use arms::{canonical_probes, Arm, UaFamily};
+pub use bandit::{ArmStats, Policy, PolicyMemory, RaceState};
+pub use experiment::{families, AdaptiveConfig, AdaptiveReport, AdaptiveRun, CellOutcome};
+pub use verdict::{classify, CloakVerdict};

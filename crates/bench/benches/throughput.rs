@@ -614,6 +614,67 @@ fn main() {
     drop(soak_store);
     let _ = std::fs::remove_dir_all(&store_root);
 
+    // Adaptive arms-race arms: the `repro adaptive` experiment (DESIGN.md
+    // §16) at the golden seed — adaptive bandit vs fixed NotABot over six
+    // cloaking families, swept across the visit budgets. The run is fully
+    // simulated and seeded, so the win counts are deterministic; the arm
+    // records per budget the aggregate uncloak (campaign-win) rate of both
+    // strategies and the mean visits the adaptive side spent to converge.
+    // In-bench gate: at every budget >= 4 the adaptive crawler must be
+    // strictly ahead of fixed NotABot on at least 3 families — the
+    // headline acceptance claim, asserted here so CI's smoke run is the
+    // gate.
+    let adaptive_cfg = cb_adaptive::AdaptiveConfig::new(2024);
+    let adaptive_started = Instant::now();
+    let adaptive_run =
+        cb_adaptive::experiment::run(&adaptive_cfg, &cb_adaptive::PolicyMemory::default());
+    let adaptive_secs = adaptive_started.elapsed().as_secs_f64();
+    let mut adaptive_arms: Vec<serde_json::Value> = Vec::new();
+    for &budget in &adaptive_cfg.budgets {
+        let pairs: Vec<_> = adaptive_run
+            .report
+            .pairs()
+            .into_iter()
+            .filter(|(f, _)| f.budget == budget)
+            .collect();
+        let campaigns: u32 = pairs.iter().map(|(f, _)| f.campaigns).sum();
+        let fixed_wins: u32 = pairs.iter().map(|(f, _)| f.wins).sum();
+        let adaptive_wins: u32 = pairs.iter().map(|(_, a)| a.wins).sum();
+        let adaptive_visits: u32 = pairs.iter().map(|(_, a)| a.visits).sum();
+        let families_ahead = adaptive_run.report.adaptive_ahead(budget).len();
+        let fixed_rate = f64::from(fixed_wins) / f64::from(campaigns.max(1));
+        let adaptive_rate = f64::from(adaptive_wins) / f64::from(campaigns.max(1));
+        let visits_to_converge = f64::from(adaptive_visits)
+            / f64::from(pairs.iter().map(|(_, a)| a.campaigns).sum::<u32>().max(1));
+        if budget >= 4 {
+            assert!(
+                families_ahead >= 3,
+                "budget {budget}: adaptive must beat fixed NotABot on >= 3 families, \
+                 got {families_ahead}"
+            );
+        }
+        eprintln!(
+            "  adaptive budget={budget:<2} fixed {fixed_wins}/{campaigns}  \
+             adaptive {adaptive_wins}/{campaigns}  {visits_to_converge:.1} visits/campaign  \
+             ahead on {families_ahead} families"
+        );
+        adaptive_arms.push(serde_json::json!({
+            "budget": budget,
+            "campaigns": campaigns,
+            "fixed_wins": fixed_wins,
+            "fixed_uncloak_rate": fixed_rate,
+            "adaptive_wins": adaptive_wins,
+            "adaptive_uncloak_rate": adaptive_rate,
+            "visits_to_converge": visits_to_converge,
+            "families_ahead": families_ahead,
+        }));
+    }
+    eprintln!(
+        "adaptive arms race: {} cells in {adaptive_secs:.3}s (seed {})",
+        adaptive_run.report.cells.len(),
+        adaptive_cfg.seed,
+    );
+
     let report = serde_json::json!({
         "bench": "pipeline_throughput",
         "mode": if smoke { "smoke" } else { "full" },
@@ -696,6 +757,14 @@ fn main() {
             "rss_last_bytes": soak_rss_last,
             "rss_bound_bytes": soak_rss_bound,
         },
+        "adaptive": {
+            "seed": adaptive_cfg.seed,
+            "families": cb_adaptive::experiment::families().len(),
+            "campaigns_per_family": adaptive_cfg.campaigns_per_family,
+            "uncloaks_needed": adaptive_cfg.uncloaks_needed,
+            "secs": adaptive_secs,
+        },
+        "adaptive_arms": adaptive_arms,
         "speedup_stealing_cached_vs_chunked_uncached": speedup,
         "streaming_vs_batch_stealing_ratio": streaming_ratio,
         "identical_records": true,

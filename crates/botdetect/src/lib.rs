@@ -60,6 +60,41 @@ impl Verdict {
     }
 }
 
+/// A stable 64-bit signature of a client attestation — the key under which
+/// kit-side counter-memory recognises a *returning device*. Two visits whose
+/// measurable environment (UA string, automation tells, TLS stack, egress
+/// class, behavioral trust) is identical hash identically no matter which
+/// address or attempt they arrive from; any single-axis mutation produces a
+/// different signature. FNV-1a over the discriminating fields, in fixed
+/// order, so the value is reproducible across runs and processes.
+pub fn report_signature(r: &ChallengeReport) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Field separator, so ("ab", "c") and ("a", "bc") differ.
+        h ^= 0xFF;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(r.user_agent.as_bytes());
+    mix(&[
+        u8::from(r.webdriver_visible),
+        u8::from(r.ua_headless_marker),
+        u8::from(r.cdc_artifacts),
+        u8::from(r.runtime_domain_leak),
+        u8::from(r.cache_header_anomaly),
+        u8::from(r.header_order_anomaly),
+        u8::from(r.trusted_events),
+        u8::from(r.mouse_movement),
+        u8::from(r.physical_timing),
+    ]);
+    mix(format!("{:?}", r.tls).as_bytes());
+    mix(format!("{:?}", r.ip_class).as_bytes());
+    h
+}
+
 /// Common interface of every detection service.
 pub trait Detector {
     /// Service name as printed in Table I.

@@ -122,18 +122,33 @@ pub struct Browser {
 }
 
 impl Browser {
-    /// A browser for `profile` with NotABot-grade patience (60 s).
+    /// A browser for `profile` with that profile's own wait budget
+    /// ([`CrawlerProfile::patience_secs`]).
     pub fn new(profile: CrawlerProfile) -> Browser {
         Browser {
             profile,
             fingerprint: profile.fingerprint(),
-            patience_secs: 60,
+            patience_secs: profile.patience_secs(),
         }
     }
 
-    /// Override the wait budget (naive crawlers time out quickly).
+    /// Override the wait budget (naive crawlers time out quickly; patient
+    /// adaptive arms wait out long delayed reveals).
     pub fn with_patience(mut self, secs: u32) -> Browser {
         self.patience_secs = secs;
+        self
+    }
+
+    /// The current wait budget in seconds.
+    pub fn patience_secs(&self) -> u32 {
+        self.patience_secs
+    }
+
+    /// Replace the presented fingerprint wholesale. This is the adaptive
+    /// crawler's mutation point: an arm starts from a profile's fingerprint
+    /// and swaps one axis (UA family, IP egress class) before visiting.
+    pub fn with_fingerprint(mut self, fingerprint: BrowserFingerprint) -> Browser {
+        self.fingerprint = fingerprint;
         self
     }
 

@@ -101,6 +101,30 @@ impl CrawlerProfile {
         }
     }
 
+    /// Longest meta-refresh delay (seconds) this configuration waits out
+    /// before giving up on a reloading page. The paper benchmarked every
+    /// crawler "within a consistent environment" (§VII), so all the Table I
+    /// profiles and ablations share NotABot's 60 s wait budget; adaptive
+    /// timing arms override it per-visit via [`crate::Browser::with_patience`].
+    pub fn patience_secs(self) -> u32 {
+        match self {
+            CrawlerProfile::Kangooroo
+            | CrawlerProfile::Lacus
+            | CrawlerProfile::PuppeteerStealth
+            | CrawlerProfile::SeleniumStealth
+            | CrawlerProfile::UndetectedChromedriver
+            | CrawlerProfile::UndetectedChromedriverHeadless
+            | CrawlerProfile::Nodriver
+            | CrawlerProfile::SeleniumDriverless
+            | CrawlerProfile::NotABot
+            | CrawlerProfile::NotABotWebdriverVisible
+            | CrawlerProfile::NotABotWithInterception
+            | CrawlerProfile::NotABotUntrustedEvents
+            | CrawlerProfile::NotABotDatacenterIp
+            | CrawlerProfile::NotABotHeadless => 60,
+        }
+    }
+
     /// The fingerprint this configuration presents.
     pub fn fingerprint(self) -> BrowserFingerprint {
         let chrome_ua = "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 \

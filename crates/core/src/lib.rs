@@ -47,7 +47,7 @@ pub use extract::{
 };
 pub use logging::{ArtifactKind, CapturedArtifact, ScanRecord, ScanStats, VisitLog};
 pub use cb_telemetry::{ExportMode, MetricsRegistry, Trace};
-pub use pipeline::{message_content_hash, CrawlerBox, ScanPolicy, Scheduler};
+pub use pipeline::{message_content_hash, CrawlerBox, ProbeSession, ScanPolicy, Scheduler};
 pub use pool::run_stealing;
 pub use sink::{
     ClassMixSink, CountingSink, EncodedSink, NoopEncoder, RecordEncoder, RecordSink, TruthLedger,

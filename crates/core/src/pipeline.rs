@@ -174,6 +174,14 @@ impl<'p> ScanCtx<'p> {
     }
 }
 
+/// Supervision state for a sequence of adaptive probe visits — a scan's
+/// [`ScanCtx`], held open across visits instead of scoped to one message.
+/// Created by [`CrawlerBox::probe_session`], consumed by
+/// [`CrawlerBox::probe`].
+pub struct ProbeSession<'p> {
+    ctx: ScanCtx<'p>,
+}
+
 /// Per-scan circuit-breaker bank: consecutive-failure counts and open/half-
 /// open state per host, on a scan-local simulated timeline. Scan-local
 /// state keeps `scan_all` deterministic — concurrent scans never share
@@ -580,6 +588,44 @@ impl<'a> CrawlerBox<'a> {
     /// The active crawler profile.
     pub fn profile(&self) -> CrawlerProfile {
         self.browser.profile()
+    }
+
+    /// Open a probe session: the supervision state (per-host circuit
+    /// breakers, enrichment cache) shared by every [`probe`](Self::probe)
+    /// made through it. A multi-visit adaptive race accumulates breaker
+    /// state across its visits the way one scan's URLs do, while staying
+    /// isolated from every other concurrently running race — the same
+    /// scan-local-state rule that keeps `scan_all` bit-identical across
+    /// schedulers.
+    pub fn probe_session(&self) -> ProbeSession<'_> {
+        ProbeSession {
+            ctx: ScanCtx::new(&self.policy),
+        }
+    }
+
+    /// One supervised visit with an arbitrary `browser` — the adaptive
+    /// crawler's entry into the scan machinery. The visit flows through the
+    /// exact retry/backoff/budget/circuit-breaker supervisor scans use, so
+    /// adaptive re-visits inherit transient-fault recovery unchanged.
+    /// `message_text` is the lure body the gate solver may mine for
+    /// out-of-band codes; pass `""` to probe without interaction context.
+    pub fn probe(
+        &self,
+        session: &mut ProbeSession<'_>,
+        browser: &Browser,
+        url: &str,
+        message_text: &str,
+    ) -> VisitLog {
+        let delivered_at = self.world.now();
+        self.crawl_with(browser, url, message_text, delivered_at, &mut session.ctx)
+    }
+
+    /// Install this box's tracer as the active collector for a probe task,
+    /// the way scans install it per message: pipeline spans emitted while
+    /// the guard lives land in the task's trace group. `None` when tracing
+    /// is off.
+    pub fn trace_task(&self, task_id: usize) -> Option<cb_telemetry::ScanTraceGuard> {
+        self.tracer.message(task_id)
     }
 
     /// Scan one reported message end to end.

@@ -38,6 +38,16 @@ pub enum IpClass {
 }
 
 impl IpClass {
+    /// Every egress class, in a fixed canonical order. The adaptive
+    /// crawler's arm space and the phishkit's per-class reputation memory
+    /// both index off this ordering, so it must never be reordered.
+    pub const ALL: [IpClass; 4] = [
+        IpClass::Datacenter,
+        IpClass::VpnProxy,
+        IpClass::Residential,
+        IpClass::MobileCarrier,
+    ];
+
     /// Reputation penalty this class contributes to bot-likelihood scoring
     /// (0 = human-typical, higher = more suspicious).
     pub fn reputation_penalty(self) -> u32 {

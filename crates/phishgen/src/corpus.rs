@@ -371,6 +371,7 @@ impl Corpus {
                             ..Default::default()
                         },
                         client: Default::default(),
+                        counter: cb_phishkit::CounterCloak::default(),
                     };
                     world.host(
                         &d,

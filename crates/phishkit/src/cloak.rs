@@ -84,6 +84,39 @@ pub struct ClientCloak {
     pub hotlink_brand_resources: bool,
 }
 
+/// Kit-side counter-adaptation: memory the kit keeps *across* requests, so
+/// a crawler that finds a working profile cannot reuse it forever. This is
+/// the cloaker's move in the arms race (DESIGN.md §16): per-egress-class
+/// reputation, returning-device blocklists, and a delayed reveal that only
+/// patient visitors wait out. All thresholds default to 0 = off, so corpus
+/// campaigns are byte-for-byte unaffected unless a config opts in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterCloak {
+    /// Burn an egress class (datacenter / VPN / residential / mobile) after
+    /// this many core-path requests from it: repeat visits from one class
+    /// read as a scanner farm rotating addresses. 0 = off.
+    #[serde(default)]
+    pub egress_burn_after: u32,
+    /// Blocklist a returning device fingerprint
+    /// ([`cb_botdetect::report_signature`]) after this many sightings:
+    /// the same measured environment probing again and again is a crawler,
+    /// whatever address it arrives from. 0 = off.
+    #[serde(default)]
+    pub profile_burn_after: u32,
+    /// Serve a meta-refresh holding page with this delay before revealing
+    /// anything: crawlers that "do not wait enough time before the page is
+    /// reloaded with malicious content" never see past it. 0 = off.
+    #[serde(default)]
+    pub reveal_delay_secs: u32,
+}
+
+impl CounterCloak {
+    /// `true` when any counter-adaptation is enabled.
+    pub fn is_active(&self) -> bool {
+        self.egress_burn_after > 0 || self.profile_burn_after > 0 || self.reveal_delay_secs > 0
+    }
+}
+
 /// A kit's complete cloaking configuration.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CloakConfig {
@@ -91,6 +124,9 @@ pub struct CloakConfig {
     pub server: ServerCloak,
     /// Client-side techniques.
     pub client: ClientCloak,
+    /// Cross-request counter-adaptation memory thresholds.
+    #[serde(default)]
+    pub counter: CounterCloak,
 }
 
 impl CloakConfig {
@@ -111,6 +147,7 @@ impl CloakConfig {
                 hotlink_brand_resources: true,
                 ..ClientCloak::default()
             },
+            counter: CounterCloak::default(),
         }
     }
 

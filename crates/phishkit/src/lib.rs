@@ -43,5 +43,5 @@ pub mod infrastructure {
 
 pub use brand::Brand;
 pub use c2::C2Server;
-pub use cloak::{ClientCloak, CloakConfig, ServerCloak};
+pub use cloak::{ClientCloak, CloakConfig, CounterCloak, ServerCloak};
 pub use site::PhishingSite;

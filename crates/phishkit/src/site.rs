@@ -11,10 +11,11 @@
 use crate::brand::Brand;
 use crate::cloak::CloakConfig;
 use crate::scripts;
-use cb_botdetect::{AnonWaf, Detector, ReCaptchaV3, Turnstile};
+use cb_botdetect::{report_signature, AnonWaf, Detector, ReCaptchaV3, Turnstile};
 use cb_browser::ChallengeReport;
-use cb_netsim::{HttpRequest, HttpResponse, NetContext, SiteHandler};
+use cb_netsim::{HttpRequest, HttpResponse, IpClass, NetContext, SiteHandler};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Serving statistics, for the analysis phase.
@@ -26,6 +27,30 @@ pub struct ServeStats {
     pub benign_served: u64,
     /// Requests answered with an interaction gate.
     pub gates_served: u64,
+    /// Requests bounced by counter-memory (burned egress class or
+    /// blocklisted fingerprint) — a subset of `benign_served`.
+    pub counter_blocked: u64,
+}
+
+/// The kit's cross-request counter-adaptation memory (DESIGN.md §16):
+/// per-egress-class request counts and per-device-fingerprint sighting
+/// counts. Deterministic given the request sequence the site observes —
+/// the adaptive experiment deploys one site per campaign and probes it
+/// serially, so the race replays bit-identically per seed.
+#[derive(Debug, Default)]
+struct CounterMemory {
+    /// Core-path requests seen per egress class, indexed by
+    /// [`IpClass::ALL`] position.
+    egress_seen: [u32; 4],
+    /// Sightings per device-fingerprint signature.
+    profile_seen: HashMap<u64, u32>,
+}
+
+fn class_slot(class: IpClass) -> usize {
+    IpClass::ALL
+        .iter()
+        .position(|&c| c == class)
+        .expect("IpClass::ALL is exhaustive")
 }
 
 /// The default OTP-gate code kits ship with (the victim receives it out of
@@ -41,6 +66,7 @@ pub struct PhishingSite {
     /// Correct OTP for the OTP gate (sent to the victim separately).
     otp_code: String,
     stats: Arc<Mutex<ServeStats>>,
+    memory: Arc<Mutex<CounterMemory>>,
     /// Also protect the site behind the commercial WAF (kits hosted behind
     /// such services inherit their bot filtering).
     waf: bool,
@@ -56,6 +82,7 @@ impl PhishingSite {
             cloak,
             otp_code: DEFAULT_OTP_CODE.to_string(),
             stats: Arc::new(Mutex::new(ServeStats::default())),
+            memory: Arc::new(Mutex::new(CounterMemory::default())),
             waf: false,
         }
     }
@@ -203,8 +230,66 @@ impl SiteHandler for PhishingSite {
             return self.benign("missing or burned token");
         }
 
-        // 5. Bot challenges over the client attestation (see DESIGN.md §4).
+        // 4b. Delayed reveal: a holding page that meta-refreshes into the
+        // real content. Only visitors patient enough to wait out the delay
+        // ever reach the steps below; the holding request itself is not
+        // charged against the reputation counters, so one logical visit
+        // costs one count no matter how it got here.
+        let counter = &self.cloak.counter;
+        if counter.reveal_delay_secs > 0 && req.url.query_param("revealed") != Some("1") {
+            self.stats.lock().benign_served += 1;
+            let target = if req.url.query.is_empty() {
+                format!("{}?revealed=1", req.url.path)
+            } else {
+                format!("{}?{}&revealed=1", req.url.path, req.url.query)
+            };
+            return HttpResponse::html(&format!(
+                r#"<html><head><title>Welcome</title>
+<meta http-equiv="refresh" content="{delay}; url={target}"></head>
+<body><h2>Preparing your document&hellip;</h2>
+<p>Please keep this page open.</p>
+<!-- cloak: delayed reveal -->
+</body></html>"#,
+                delay = counter.reveal_delay_secs,
+            ));
+        }
+
+        // 4c. Egress-class reputation memory: the first `egress_burn_after`
+        // core-path requests from a class pass; afterwards the whole class
+        // reads as a scanner farm rotating addresses and is burned for good.
+        if counter.egress_burn_after > 0 {
+            let slot = class_slot(ctx.client_class);
+            let mut mem = self.memory.lock();
+            let prior = mem.egress_seen[slot];
+            mem.egress_seen[slot] = prior + 1;
+            drop(mem);
+            if prior >= counter.egress_burn_after {
+                self.stats.lock().counter_blocked += 1;
+                return self.benign("egress class burned");
+            }
+        }
+
+        // 4d. Returning-device blocklist: the same measured environment
+        // (UA + tells + TLS + egress class) probing more than
+        // `profile_burn_after` times is a crawler, whatever address it
+        // arrives from. No-JS clients carry no attestation and are handled
+        // by the challenge step below instead.
         let report = ChallengeReport::from_request(req);
+        if counter.profile_burn_after > 0 {
+            if let Some(r) = report.as_ref() {
+                let sig = report_signature(r);
+                let mut mem = self.memory.lock();
+                let prior = *mem.profile_seen.get(&sig).unwrap_or(&0);
+                mem.profile_seen.insert(sig, prior + 1);
+                drop(mem);
+                if prior >= counter.profile_burn_after {
+                    self.stats.lock().counter_blocked += 1;
+                    return self.benign("fingerprint blocklisted");
+                }
+            }
+        }
+
+        // 5. Bot challenges over the client attestation (see DESIGN.md §4).
         if self.waf || self.cloak.client.turnstile || self.cloak.client.recaptcha_v3 {
             let Some(report) = report.as_ref() else {
                 // no-JS clients never complete a challenge
@@ -244,7 +329,7 @@ impl SiteHandler for PhishingSite {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cloak::{ClientCloak, ServerCloak};
+    use crate::cloak::{ClientCloak, CounterCloak, ServerCloak};
     use cb_browser::{Browser, CrawlerProfile, VisitOutcome};
     use cb_netsim::Internet;
     use cb_sim::{SimDuration, SimTime};
@@ -307,6 +392,7 @@ mod tests {
                 ..ServerCloak::default()
             },
             client: ClientCloak::default(),
+            counter: CounterCloak::default(),
         };
         deploy(&net, cloak);
         let before = Browser::new(CrawlerProfile::NotABot).visit(&net, "https://evil-site.example/");
@@ -325,6 +411,7 @@ mod tests {
                 ..ServerCloak::default()
             },
             client: ClientCloak::default(),
+            counter: CounterCloak::default(),
         };
         deploy(&net, cloak);
         let desktop = Browser::new(CrawlerProfile::NotABot).visit(&net, "https://evil-site.example/");
@@ -349,6 +436,7 @@ mod tests {
                 ..ServerCloak::default()
             },
             client: ClientCloak::default(),
+            counter: CounterCloak::default(),
         };
         deploy(&net, cloak);
         let b = Browser::new(CrawlerProfile::NotABot);
@@ -367,6 +455,7 @@ mod tests {
                 ..ServerCloak::default()
             },
             client: ClientCloak::default(),
+            counter: CounterCloak::default(),
         };
         deploy(&net, cloak);
         // NotABot on a datacenter IP (the ablation profile) is filtered.
@@ -386,6 +475,7 @@ mod tests {
                 otp_gate: true,
                 ..ClientCloak::default()
             },
+            counter: CounterCloak::default(),
         };
         deploy(&net, cloak);
         let b = Browser::new(CrawlerProfile::NotABot);
@@ -406,6 +496,7 @@ mod tests {
                 math_challenge: true,
                 ..ClientCloak::default()
             },
+            counter: CounterCloak::default(),
         };
         deploy(&net, cloak);
         let b = Browser::new(CrawlerProfile::NotABot);
@@ -430,6 +521,7 @@ mod tests {
                 exfil_with_geo: true,
                 ..ClientCloak::default()
             },
+            counter: CounterCloak::default(),
         };
         deploy(&net, cloak);
         // httpbin/ipapi style services must exist for exfil
@@ -447,6 +539,113 @@ mod tests {
         // exfil chain fired: httpbin, ipapi, c2
         assert_eq!(v.exfil.len(), 3);
         assert!(v.exfil[2].0.contains("c2.example/collect"));
+    }
+
+    #[test]
+    fn egress_reputation_burns_a_repeating_class() {
+        let net = world();
+        let cloak = CloakConfig {
+            counter: CounterCloak {
+                egress_burn_after: 2,
+                ..CounterCloak::default()
+            },
+            ..CloakConfig::none()
+        };
+        let site = deploy(&net, cloak);
+        let b = Browser::new(CrawlerProfile::NotABot);
+        assert!(b.visit(&net, "https://evil-site.example/").shows_login_form());
+        assert!(b.visit(&net, "https://evil-site.example/").shows_login_form());
+        assert!(
+            !b.visit(&net, "https://evil-site.example/").shows_login_form(),
+            "third request from the mobile class reads as a scanner farm"
+        );
+        assert_eq!(site.stats().counter_blocked, 1);
+        // Rotating to a fresh egress class gets through again.
+        let rotated = Browser::new(CrawlerProfile::NotABot).with_fingerprint(
+            cb_browser::BrowserFingerprint {
+                ip_class: cb_netsim::IpClass::Residential,
+                ..CrawlerProfile::NotABot.fingerprint()
+            },
+        );
+        assert!(rotated.visit(&net, "https://evil-site.example/").shows_login_form());
+    }
+
+    #[test]
+    fn profile_blocklist_burns_a_returning_device_but_not_a_mutated_one() {
+        let net = world();
+        let cloak = CloakConfig {
+            counter: CounterCloak {
+                profile_burn_after: 1,
+                ..CounterCloak::default()
+            },
+            ..CloakConfig::none()
+        };
+        let site = deploy(&net, cloak);
+        let b = Browser::new(CrawlerProfile::NotABot);
+        assert!(b.visit(&net, "https://evil-site.example/").shows_login_form());
+        assert!(
+            !b.visit(&net, "https://evil-site.example/").shows_login_form(),
+            "the same measured environment returning is blocklisted"
+        );
+        assert_eq!(site.stats().counter_blocked, 1);
+        // A single-axis mutation (different UA string) is a new device.
+        let mutated = Browser::new(CrawlerProfile::NotABot).with_fingerprint(
+            cb_browser::BrowserFingerprint {
+                user_agent: "Mozilla/5.0 (Linux; Android 14; Pixel 8) AppleWebKit/537.36 \
+                             (KHTML, like Gecko) Chrome/121.0.0.0 Mobile Safari/537.36"
+                    .to_string(),
+                ..CrawlerProfile::NotABot.fingerprint()
+            },
+        );
+        assert!(mutated.visit(&net, "https://evil-site.example/").shows_login_form());
+    }
+
+    #[test]
+    fn delayed_reveal_requires_patience() {
+        let net = world();
+        let cloak = CloakConfig {
+            counter: CounterCloak {
+                reveal_delay_secs: 120,
+                ..CounterCloak::default()
+            },
+            ..CloakConfig::none()
+        };
+        deploy(&net, cloak);
+        // NotABot's 60 s patience is not enough for a 120 s reveal.
+        let hasty = Browser::new(CrawlerProfile::NotABot).visit(&net, "https://evil-site.example/");
+        assert!(!hasty.shows_login_form());
+        assert!(
+            hasty.document.unwrap().visible_text().contains("Preparing your document"),
+            "impatient crawler is stuck on the holding page"
+        );
+        // A patient arm waits the reveal out.
+        let patient = Browser::new(CrawlerProfile::NotABot)
+            .with_patience(300)
+            .visit(&net, "https://evil-site.example/");
+        assert!(patient.shows_login_form());
+        assert_eq!(patient.final_url().query, "revealed=1");
+    }
+
+    #[test]
+    fn delayed_reveal_preserves_existing_query_params() {
+        let net = world();
+        let cloak = CloakConfig {
+            client: ClientCloak {
+                otp_gate: true,
+                ..ClientCloak::default()
+            },
+            counter: CounterCloak {
+                reveal_delay_secs: 30,
+                ..CounterCloak::default()
+            },
+            ..CloakConfig::none()
+        };
+        deploy(&net, cloak);
+        let b = Browser::new(CrawlerProfile::NotABot);
+        let v = b.visit(&net, "https://evil-site.example/?otp=491827");
+        assert!(v.shows_login_form(), "otp param survives the reveal redirect");
+        assert!(v.final_url().query.contains("otp=491827"));
+        assert!(v.final_url().query.contains("revealed=1"));
     }
 
     #[test]

@@ -359,6 +359,7 @@ fn migrate_v1(vfs: &Arc<dyn Vfs>, root: &Path) -> io::Result<()> {
 #[derive(Debug)]
 pub struct Store {
     root: PathBuf,
+    vfs: Arc<dyn Vfs>,
     opts: StoreOptions,
     shards: Vec<Shard>,
     blobs: BlobStore,
@@ -469,6 +470,7 @@ impl Store {
 
         Ok(Store {
             root: root.to_path_buf(),
+            vfs,
             opts,
             shards,
             blobs,
@@ -1296,5 +1298,45 @@ impl Store {
     /// The store's root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// Durably persist an opaque named state blob under `<root>/state/`.
+    ///
+    /// State blobs live beside the record log (the `state/` directory is
+    /// invisible to shard discovery and v1 migration) and follow the same
+    /// write-tmp → rename → dir-fsync discipline as the manifest, so a
+    /// crash mid-write leaves either the old bytes or the new bytes —
+    /// never a torn file. Used by the adaptive crawler to checkpoint its
+    /// per-campaign-family bandit policies so a re-opened store resumes
+    /// the arms race where it left off.
+    ///
+    /// `name` must be a single path component (no separators).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or a `name` containing path separators.
+    pub fn put_state(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        if name.is_empty() || name.contains('/') || name.contains('\\') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("state name must be a bare file name, got {name:?}"),
+            ));
+        }
+        let dir = self.root.join("state");
+        self.vfs.create_dir_all(&dir)?;
+        let tmp = dir.join(format!("{name}.tmp"));
+        self.vfs.write(&tmp, bytes)?;
+        self.vfs.fsync(&tmp)?;
+        self.vfs.rename(&tmp, &dir.join(name))?;
+        self.vfs.sync_dir(&dir)
+    }
+
+    /// Read back a state blob written by [`Store::put_state`].
+    ///
+    /// Returns `None` when the blob was never written (or its directory
+    /// does not exist yet) — absence is a normal cold-start condition,
+    /// not an error.
+    pub fn state(&self, name: &str) -> Option<Vec<u8>> {
+        self.vfs.read(&self.root.join("state").join(name)).ok()
     }
 }

@@ -319,6 +319,17 @@ impl Trace {
     pub fn event_count(&self) -> usize {
         self.messages.iter().map(|m| m.events.len()).sum()
     }
+
+    /// Merge several traces (e.g. one per adaptive experiment cell, each
+    /// drained from its own tracer) into one message-ordered trace. The
+    /// result is re-sorted by `(message_id, stage)`, so the merge is
+    /// independent of the order the parts were produced in — what keeps a
+    /// fanned-out experiment's export byte-identical across schedulers.
+    pub fn merge(parts: impl IntoIterator<Item = Trace>) -> Trace {
+        let mut messages: Vec<MessageTrace> = parts.into_iter().flat_map(|t| t.messages).collect();
+        messages.sort_by(|a, b| (a.message_id, a.stage).cmp(&(b.message_id, b.stage)));
+        Trace { messages }
+    }
 }
 
 #[cfg(test)]

@@ -5,12 +5,12 @@
 //! repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl]
 //!       [--scheduler serial|chunked|stealing] [--no-cache]
 //!       [--stream] [--stream-capacity N] [--store DIR] [--store-shards N]
-//!       [--commit-batch N]
+//!       [--commit-batch N] [--budget N] [--fault-rate F]
 //!       [--trace FILE.jsonl] [--trace-chrome FILE.json] [--metrics FILE.json]
 //!
 //! EXPERIMENT: all (default) | table1 | ablation | table2 | figure2 |
 //!             figure3 | classmix | spear | volumes | lexical | cloaking |
-//!             ttest | funnel | faults
+//!             ttest | funnel | faults | adaptive
 //! --scale F:      corpus scale, default 1.0 (the paper's 5,181 messages)
 //! --seed N:       corpus seed, default 2024
 //! --json:         dump the full AnalysisReport as JSON to stdout
@@ -50,6 +50,13 @@
 //! `faults` runs the three-arm transient-fault sweep (baseline /
 //! supervised / retry-less) at a 20% fault rate instead of the normal
 //! analysis flow.
+//!
+//! `adaptive` races the cb-adaptive bandit against fixed NotABot over the
+//! cloaking-family grid instead of scanning a corpus. `--budget N` (1..=64)
+//! pins the sweep to one visit budget, `--fault-rate F` injects transient
+//! faults into every campaign world, and `--store DIR` loads/persists the
+//! bandit's policy memory so a rerun resumes the race. The table is
+//! byte-identical across schedulers for a fixed seed.
 //! ```
 
 use cb_phishgen::{Corpus, CorpusSpec};
@@ -64,7 +71,7 @@ use crawlerbox::{
 /// so a typo fails with a usage message instead of an exit-0 shrug.
 const EXPERIMENTS: &[&str] = &[
     "all", "table1", "ablation", "table2", "figure2", "figure3", "classmix", "spear", "volumes",
-    "lexical", "cloaking", "ttest", "funnel", "faults",
+    "lexical", "cloaking", "ttest", "funnel", "faults", "adaptive",
 ];
 
 struct Args {
@@ -80,6 +87,8 @@ struct Args {
     store: Option<String>,
     store_shards: usize,
     commit_batch: Option<usize>,
+    budget: Option<u32>,
+    fault_rate: Option<f64>,
     trace: Option<String>,
     trace_chrome: Option<String>,
     metrics: Option<String>,
@@ -94,7 +103,7 @@ impl Args {
 fn usage_exit(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
-        "usage: repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl] [--scheduler serial|chunked|stealing] [--no-cache] [--stream] [--stream-capacity N] [--store DIR] [--store-shards N] [--commit-batch N] [--trace FILE.jsonl] [--trace-chrome FILE.json] [--metrics FILE.json]"
+        "usage: repro [EXPERIMENT] [--scale F] [--seed N] [--json] [--log FILE.jsonl] [--scheduler serial|chunked|stealing] [--no-cache] [--stream] [--stream-capacity N] [--store DIR] [--store-shards N] [--commit-batch N] [--budget N] [--fault-rate F] [--trace FILE.jsonl] [--trace-chrome FILE.json] [--metrics FILE.json]"
     );
     std::process::exit(2);
 }
@@ -113,11 +122,14 @@ fn parse_args() -> Args {
         store: None,
         store_shards: cb_store::StoreOptions::default().shards,
         commit_batch: None,
+        budget: None,
+        fault_rate: None,
         trace: None,
         trace_chrome: None,
         metrics: None,
     };
     let mut experiment_set = false;
+    let mut scale_set = false;
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -126,6 +138,7 @@ fn parse_args() -> Args {
                     Some(s) if s > 0.0 && s <= 1.0 => s,
                     _ => usage_exit("--scale needs a number in (0, 1]"),
                 };
+                scale_set = true;
             }
             "--seed" => {
                 args.seed = match iter.next().and_then(|v| v.parse().ok()) {
@@ -174,6 +187,18 @@ fn parse_args() -> Args {
                     _ => usage_exit("--commit-batch needs an integer >= 1"),
                 };
             }
+            "--budget" => {
+                args.budget = match iter.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if (1..=64).contains(&n) => Some(n),
+                    _ => usage_exit("--budget needs an integer in 1..=64"),
+                };
+            }
+            "--fault-rate" => {
+                args.fault_rate = match iter.next().and_then(|v| v.parse().ok()) {
+                    Some(r) if (0.0..=1.0).contains(&r) => Some(r),
+                    _ => usage_exit("--fault-rate needs a number in [0, 1]"),
+                };
+            }
             "--trace" => {
                 args.trace = match iter.next() {
                     Some(p) => Some(p),
@@ -214,11 +239,28 @@ fn parse_args() -> Args {
     if args.experiment == "faults" && args.wants_telemetry() {
         usage_exit("--trace/--trace-chrome/--metrics don't apply to the fault sweep (it runs its own three pipelines)");
     }
-    if args.store.is_some() && !args.stream {
-        usage_exit("--store persists through the streaming sink; combine it with --stream");
-    }
-    if args.commit_batch.is_some() && args.store.is_none() {
-        usage_exit("--commit-batch sizes the store's group commit; combine it with --store");
+    if args.experiment == "adaptive" {
+        // The arms race generates its own campaign worlds: every
+        // corpus/stream knob is meaningless here, and --store means
+        // "persist the bandit's policy memory", not "ingest records".
+        if scale_set || args.stream || args.log.is_some() || !args.caching
+            || args.commit_batch.is_some()
+        {
+            usage_exit("adaptive races synthetic campaigns; it takes only --seed, --budget, --fault-rate, --scheduler, --json, --store (policy memory) and the telemetry flags");
+        }
+    } else {
+        if args.budget.is_some() {
+            usage_exit("--budget sizes the adaptive visit budget; combine it with the adaptive experiment");
+        }
+        if args.fault_rate.is_some() {
+            usage_exit("--fault-rate sets the adaptive fault injection; combine it with the adaptive experiment");
+        }
+        if args.store.is_some() && !args.stream {
+            usage_exit("--store persists through the streaming sink; combine it with --stream");
+        }
+        if args.commit_batch.is_some() && args.store.is_none() {
+            usage_exit("--commit-batch sizes the store's group commit; combine it with --store");
+        }
     }
     args
 }
@@ -303,7 +345,7 @@ fn section(report: &AnalysisReport, which: &str) -> String {
             report.funnel.confirmed_legitimate,
         ),
         "all" => report.render(),
-        other => format!("unknown experiment {other}; try: all table1 ablation table2 figure2 figure3 classmix spear volumes lexical cloaking ttest funnel faults\n"),
+        other => format!("unknown experiment {other}; try: all table1 ablation table2 figure2 figure3 classmix spear volumes lexical cloaking ttest funnel faults adaptive\n"),
     }
 }
 
@@ -510,8 +552,80 @@ fn run_stream(args: &Args, spec: &CorpusSpec) {
     }
 }
 
+/// The `adaptive` experiment: race the bandit against fixed NotABot over
+/// the cloaking-family grid. With `--store DIR` the learned policy memory
+/// is loaded before the run and persisted after it, so rerunning against
+/// the same DIR resumes the arms race.
+fn run_adaptive(args: &Args) {
+    let mut cfg = cb_adaptive::AdaptiveConfig::new(args.seed);
+    if let Some(budget) = args.budget {
+        cfg = cfg.with_budget(budget);
+    }
+    if let Some(rate) = args.fault_rate {
+        cfg.fault_rate = rate;
+    }
+    cfg.scheduler = args.scheduler;
+    cfg.parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    cfg.tracing = args.trace.is_some() || args.trace_chrome.is_some();
+    let store = args.store.as_ref().map(|dir| {
+        match Store::open(std::path::Path::new(dir)) {
+            Ok(s) => s,
+            Err(e) => usage_exit(&format!("cannot open store {dir}: {e}")),
+        }
+    });
+    let resume = store
+        .as_ref()
+        .map(cb_adaptive::PolicyMemory::load)
+        .unwrap_or_default();
+    if !resume.cells.is_empty() {
+        eprintln!(
+            "adaptive: resuming the race from {} persisted cell polic{}",
+            resume.cells.len(),
+            if resume.cells.len() == 1 { "y" } else { "ies" },
+        );
+    }
+    eprintln!(
+        "racing adaptive vs fixed NotABot (seed {}, budgets {:?}, fault rate {}) ...",
+        cfg.seed, cfg.budgets, cfg.fault_rate
+    );
+    let out = cb_adaptive::experiment::run(&cfg, &resume);
+    if let Some(path) = &args.trace {
+        write_export(path, "trace JSONL", &out.trace.to_jsonl(ExportMode::Full));
+    }
+    if let Some(path) = &args.trace_chrome {
+        write_export(path, "Chrome trace", &out.trace.to_chrome(ExportMode::Full));
+    }
+    if let Some(path) = &args.metrics {
+        write_export(path, "metrics JSON", &out.metrics.export_json(ExportMode::Full));
+    }
+    if let Some(store) = &store {
+        if let Err(e) = out.memory.save(store) {
+            usage_exit(&format!("cannot persist adaptive policy memory: {e}"));
+        }
+        eprintln!(
+            "adaptive: policy memory ({} cells) persisted to {}",
+            out.memory.cells.len(),
+            store.root().display()
+        );
+    }
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out.report).expect("report serializes")
+        );
+    } else {
+        print!("== Adaptive vs fixed NotABot ==\n{}", out.report);
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.experiment == "adaptive" {
+        run_adaptive(&args);
+        return;
+    }
     let spec = CorpusSpec::paper().with_scale(args.scale);
     if args.experiment == "faults" {
         // The sweep generates its own three corpora (baseline, supervised,

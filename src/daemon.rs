@@ -502,7 +502,9 @@ fn ingest(state: &DaemonState, req: &cb_httpd::Request) -> Response {
                 },
             };
             match senders[shard].try_send(IngestItem { task: task.id, message }) {
-                Ok(()) => state.dm.queue_depth.add(1),
+                Ok(()) => {
+                    state.dm.queue_depth.add(1);
+                }
                 Err(TrySendError::Full(_)) => {
                     state.tasks.fail(task.id, "shard queue full");
                     state.dm.ingest_rejected.incr();

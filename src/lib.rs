@@ -12,6 +12,7 @@ pub mod daemon;
 
 /// One-stop imports for examples and downstream experiments.
 pub mod prelude {
+    pub use cb_adaptive::{AdaptiveConfig, Arm, CloakVerdict, PolicyMemory};
     pub use cb_botdetect::{AnonWaf, BotD, Detector, ReCaptchaV3, Turnstile};
     pub use cb_browser::{Browser, BrowserFingerprint, CrawlerProfile};
     pub use cb_email::{MessageBuilder, MimeEntity};
